@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses in bench/. Each
+ * binary regenerates one table or figure of the paper, printing an
+ * aligned text table plus greppable CSV lines.
+ *
+ * Run scaling:
+ *   LVPSIM_INSTRS=<n>        instructions per workload (default 150K)
+ *   LVPSIM_SUITE=smoke|full  workload list (default full, 24 kernels)
+ */
+
+#ifndef LVPSIM_BENCH_COMMON_HH
+#define LVPSIM_BENCH_COMMON_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/composite.hh"
+#include "core/eves.hh"
+#include "sim/experiment.hh"
+#include "sim/options.hh"
+#include "sim/simulator.hh"
+#include "sim/tableio.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace bench
+{
+
+inline sim::RunConfig
+benchRunConfig()
+{
+    sim::RunConfig rc;
+    rc.maxInstrs = sim::instrsFromEnv(150000);
+    return rc;
+}
+
+/** Scale the paper's 1M-instruction epochs to the run length. */
+inline vp::CompositeConfig
+scaleEpochs(vp::CompositeConfig cfg, std::size_t instrs)
+{
+    cfg.epochInstrs = std::max<std::size_t>(2000, instrs / 40);
+    return cfg;
+}
+
+inline void
+banner(const std::string &what, const sim::RunConfig &rc,
+       std::size_t workloads)
+{
+    std::cout << "=====================================================\n"
+              << what << "\n"
+              << "workloads: " << workloads
+              << "   instructions/workload: " << rc.maxInstrs
+              << "\n"
+              << "=====================================================\n";
+}
+
+/** Factory helpers used by several harnesses. */
+inline sim::PredictorFactory
+compositeFactory(const vp::CompositeConfig &cfg)
+{
+    return [cfg] {
+        return std::make_unique<vp::CompositePredictor>(cfg);
+    };
+}
+
+/**
+ * The composite optimization variants a designer would choose among
+ * (the paper's Figure 10 reports the MAX over its composite design
+ * space). Smart training and fusion are included both on and off:
+ * their benefit depends on table pressure, which varies by suite.
+ */
+inline std::vector<std::pair<std::string, vp::CompositeConfig>>
+compositeVariants(std::size_t total, std::size_t instrs)
+{
+    std::vector<std::pair<std::string, vp::CompositeConfig>> out;
+    auto base = scaleEpochs(vp::CompositeConfig::homogeneous(total),
+                            instrs);
+    out.emplace_back("plain", base);
+    auto am = base;
+    am.am = vp::AmKind::PcAm;
+    out.emplace_back("pc-am", am);
+    auto fused = am;
+    fused.tableFusion = true;
+    out.emplace_back("pc-am+fusion", fused);
+    auto all = fused;
+    all.smartTraining = true;
+    out.emplace_back("all-opts", all);
+    return out;
+}
+
+/** The composite configuration that wins most broadly in this suite
+ *  (PC-AM + fusion); used where one fixed design is required. */
+inline vp::CompositeConfig
+tunedComposite(std::size_t total, std::size_t instrs)
+{
+    auto cfg = scaleEpochs(vp::CompositeConfig::homogeneous(total),
+                           instrs);
+    cfg.am = vp::AmKind::PcAm;
+    cfg.tableFusion = true;
+    return cfg;
+}
+
+inline sim::PredictorFactory
+singleFactory(pipe::ComponentId id, std::size_t entries)
+{
+    return [id, entries] {
+        return vp::makeSinglePredictor(id, entries);
+    };
+}
+
+inline sim::PredictorFactory
+evesFactory(const vp::EvesConfig &cfg)
+{
+    return [cfg] { return std::make_unique<vp::EvesPredictor>(cfg); };
+}
+
+} // namespace bench
+} // namespace lvpsim
+
+#endif // LVPSIM_BENCH_COMMON_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Paper Figure 5: speedup of a homogeneous composite predictor over
+ * the best single component predictor with the same total number of
+ * entries (256 - 4K).
+ */
+
+#include "bench_common.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::bench;
+using pipe::ComponentId;
+
+int
+main()
+{
+    const auto rc = benchRunConfig();
+    const auto workloads = sim::suiteFromEnv();
+    banner("Figure 5: composite vs best component (same total "
+           "entries)",
+           rc, workloads.size());
+
+    const std::size_t totals[] = {256, 512, 1024, 2048, 4096};
+    const ComponentId comps[] = {ComponentId::LVP, ComponentId::SAP,
+                                 ComponentId::CVP, ComponentId::CAP};
+
+    sim::SuiteRunner runner(workloads, rc);
+    sim::TextTable t({"total_entries", "composite", "best_component",
+                      "which", "composite_vs_best"});
+    for (std::size_t total : totals) {
+        const auto comp_res = runner.run(
+            "composite",
+            compositeFactory(vp::CompositeConfig::homogeneous(total)));
+
+        double best = -1.0;
+        std::string best_name;
+        for (ComponentId id : comps) {
+            const auto res = runner.run(pipe::componentName(id),
+                                        singleFactory(id, total));
+            if (res.geomeanSpeedup() > best) {
+                best = res.geomeanSpeedup();
+                best_name = pipe::componentName(id);
+            }
+            std::cout << "." << std::flush;
+        }
+        const double comp_speedup = comp_res.geomeanSpeedup();
+        t.addRow({std::to_string(total), sim::fmtPct(comp_speedup),
+                  sim::fmtPct(best), best_name,
+                  best > 0 ? sim::fmtPct(comp_speedup / best - 1.0)
+                           : "n/a"});
+    }
+    std::cout << "\n\n";
+    t.print(std::cout);
+    t.printCsv(std::cout, "fig05");
+    std::cout << "\npaper shape: except at the smallest size, the "
+                 "composite clearly exceeds the best component\n";
+    return 0;
+}

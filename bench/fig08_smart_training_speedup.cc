@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Paper Figure 8: speedup of the smart training policy over train-all
+ * as the total budget scales. Most effective at small/moderate sizes.
+ */
+
+#include "bench_common.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::bench;
+
+int
+main()
+{
+    const auto rc = benchRunConfig();
+    const auto workloads = sim::suiteFromEnv();
+    banner("Figure 8: smart training speedup", rc, workloads.size());
+
+    sim::SuiteRunner runner(workloads, rc);
+    const std::size_t totals[] = {256, 512, 1024, 2048, 4096};
+
+    sim::TextTable t({"total_entries", "train_all", "smart",
+                      "smart_gain"});
+    for (std::size_t total : totals) {
+        auto cfg = vp::CompositeConfig::homogeneous(total);
+        const auto all =
+            runner.run("train-all", compositeFactory(cfg));
+        cfg.smartTraining = true;
+        const auto smart =
+            runner.run("smart", compositeFactory(cfg));
+        t.addRow({std::to_string(total),
+                  sim::fmtPct(all.geomeanSpeedup()),
+                  sim::fmtPct(smart.geomeanSpeedup()),
+                  sim::fmtPct(smart.geomeanSpeedup() -
+                              all.geomeanSpeedup())});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    t.print(std::cout);
+    t.printCsv(std::cout, "fig08");
+    std::cout << "\npaper shape: smart training helps most at small "
+                 "and moderate predictor sizes\n";
+    return 0;
+}

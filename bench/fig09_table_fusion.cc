@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Paper Figure 9: speedup from epoch-based table fusion. Like smart
+ * training, fusion is most helpful for small predictors; at 1K
+ * entries and above it contributes no speedup.
+ */
+
+#include "bench_common.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::bench;
+
+int
+main()
+{
+    const auto rc = benchRunConfig();
+    const auto workloads = sim::suiteFromEnv();
+    banner("Figure 9: table fusion", rc, workloads.size());
+
+    sim::SuiteRunner runner(workloads, rc);
+    const std::size_t totals[] = {256, 512, 1024, 2048};
+
+    sim::TextTable t({"total_entries", "no_fusion", "fusion",
+                      "fusion_gain"});
+    for (std::size_t total : totals) {
+        auto cfg = scaleEpochs(
+            vp::CompositeConfig::homogeneous(total), rc.maxInstrs);
+        const auto off =
+            runner.run("no-fusion", compositeFactory(cfg));
+        cfg.tableFusion = true;
+        const auto on = runner.run("fusion", compositeFactory(cfg));
+        t.addRow({std::to_string(total),
+                  sim::fmtPct(off.geomeanSpeedup()),
+                  sim::fmtPct(on.geomeanSpeedup()),
+                  sim::fmtPct(on.geomeanSpeedup() -
+                              off.geomeanSpeedup())});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    t.print(std::cout);
+    t.printCsv(std::cout, "fig09");
+    std::cout << "\npaper shape: fusion helps small predictors; at 1K "
+                 "entries and above it is neutral\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Paper Figure 12: per-workload speedup (a) and coverage (b) of the
+ * best composite (9.6KB-class budget) vs EVES (32KB-class budget).
+ * The paper's composite wins on 67 of 85 workloads.
+ */
+
+#include "bench_common.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::bench;
+
+int
+main()
+{
+    const auto rc = benchRunConfig();
+    const auto workloads = sim::suiteFromEnv();
+    banner("Figure 12: per-workload composite (9.6KB) vs EVES (32KB)",
+           rc, workloads.size());
+
+    sim::SuiteRunner runner(workloads, rc);
+    const auto comp = runner.run(
+        "composite",
+        compositeFactory(tunedComposite(1024, rc.maxInstrs)));
+    const auto eves =
+        runner.run("eves", evesFactory(vp::EvesConfig::large32k()));
+
+    sim::TextTable t({"workload", "composite_speedup", "eves_speedup",
+                      "composite_coverage", "eves_coverage",
+                      "winner"});
+    int comp_wins = 0, eves_wins = 0, ties = 0;
+    for (std::size_t i = 0; i < comp.rows.size(); ++i) {
+        const auto &c = comp.rows[i];
+        const auto &e = eves.rows[i];
+        const double dc = c.speedup(), de = e.speedup();
+        const char *winner = "tie";
+        if (dc > de + 0.002) {
+            winner = "composite";
+            ++comp_wins;
+        } else if (de > dc + 0.002) {
+            winner = "eves";
+            ++eves_wins;
+        } else {
+            ++ties;
+        }
+        t.addRow({c.workload, sim::fmtPct(dc), sim::fmtPct(de),
+                  sim::fmtPct(c.coverage()),
+                  sim::fmtPct(e.coverage()), winner});
+    }
+    t.addRow({"AVERAGE", sim::fmtPct(comp.geomeanSpeedup()),
+              sim::fmtPct(eves.geomeanSpeedup()),
+              sim::fmtPct(comp.meanCoverage()),
+              sim::fmtPct(eves.meanCoverage()), ""});
+    t.print(std::cout);
+    t.printCsv(std::cout, "fig12");
+
+    std::cout << "\ncomposite wins " << comp_wins << ", EVES wins "
+              << eves_wins << ", ties " << ties << " (of "
+              << comp.rows.size()
+              << ")   paper: composite 67/85, EVES 9/85\n";
+    return 0;
+}

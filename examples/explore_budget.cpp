@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Example: sweep the composite predictor's storage budget on one
+ * workload and print the speedup/coverage curve - the kind of design
+ * space exploration the paper's Section V performs, as a library user
+ * would script it.
+ *
+ *   ./examples/explore_budget [workload]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/composite.hh"
+#include "sim/options.hh"
+#include "sim/simulator.hh"
+#include "sim/tableio.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lvpsim;
+
+    const std::string workload =
+        argc > 1 ? argv[1] : "pointer_chase";
+    sim::RunConfig rc;
+    rc.maxInstrs = sim::instrsFromEnv(150000);
+
+    pipe::NullPredictor none;
+    const auto base = sim::runWorkload(workload, &none, rc);
+    std::cout << "workload " << workload << ": baseline IPC "
+              << base.ipc() << "\n\n";
+
+    sim::TextTable t({"total_entries", "storageKB", "ipc", "speedup",
+                      "coverage", "accuracy", "flushes"});
+    for (std::size_t total : {128, 256, 512, 1024, 2048, 4096}) {
+        vp::CompositeConfig cfg = vp::CompositeConfig::bestOf(total);
+        cfg.epochInstrs = rc.maxInstrs / 40;
+        vp::CompositePredictor p(cfg);
+        const auto s = sim::runWorkload(workload, &p, rc);
+        t.addRow({std::to_string(total),
+                  sim::fmtF(double(p.storageBits()) / 8192.0, 2),
+                  sim::fmtF(s.ipc(), 3),
+                  sim::fmtPct(s.ipc() / base.ipc() - 1.0),
+                  sim::fmtPct(s.coverage()),
+                  sim::fmtPct(s.accuracy()),
+                  std::to_string(s.vpFlushes)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Example: dissect what value prediction does to the pipeline on a
+ * latency-bound workload - full run statistics with and without the
+ * composite predictor, plus the per-component usage breakdown.
+ */
+
+#include <iostream>
+
+#include "core/composite.hh"
+#include "pipeline/core.hh"
+#include "sim/options.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lvpsim;
+
+    const std::string workload =
+        argc > 1 ? argv[1] : "pointer_chase";
+    sim::RunConfig rc;
+    rc.maxInstrs = sim::instrsFromEnv(150000);
+
+    auto ops = sim::TraceCache::instance().get(workload,
+                                               rc.maxInstrs,
+                                               rc.traceSeed);
+
+    pipe::NullPredictor none;
+    pipe::Core base_core(rc.core, *ops, &none);
+    const auto base = base_core.run();
+
+    vp::CompositeConfig cfg = vp::CompositeConfig::bestOf(1024);
+    cfg.epochInstrs = rc.maxInstrs / 40;
+    vp::CompositePredictor composite(cfg);
+    pipe::Core vp_core(rc.core, *ops, &composite);
+    const auto with_vp = vp_core.run();
+
+    std::cout << "==== " << workload << ": baseline ====\n";
+    base.dump(std::cout);
+    std::cout << "  -- substrate --\n";
+    base_core.dumpSubstrateStats(std::cout);
+    std::cout << "\n==== " << workload << ": composite ("
+              << double(composite.storageBits()) / 8192.0
+              << " KB) ====\n";
+    with_vp.dump(std::cout);
+    std::cout << "  -- substrate --\n";
+    vp_core.dumpSubstrateStats(std::cout);
+    std::cout << "\n==== composite internals ====\n";
+    composite.dumpStats(std::cout);
+
+    std::cout << "\nspeedup: "
+              << 100.0 * (with_vp.ipc() / base.ipc() - 1.0) << "%\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build the paper's best composite predictor, run one
+ * workload against the Skylake-like baseline core, and compare with
+ * the no-prediction baseline.
+ *
+ *   ./examples/quickstart [workload] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/composite.hh"
+#include "pipeline/lvp_interface.hh"
+#include "sim/options.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lvpsim;
+
+    const std::string workload = argc > 1 ? argv[1] : "memset_loop";
+    sim::RunConfig rc;
+    rc.maxInstrs =
+        argc > 2 ? std::size_t(std::atoll(argv[2]))
+                 : sim::instrsFromEnv(200000);
+
+    std::cout << "workload: " << workload << "  ("
+              << rc.maxInstrs << " instructions)\n\n";
+
+    // Baseline: no value prediction.
+    pipe::NullPredictor none;
+    const auto base = sim::runWorkload(workload, &none, rc);
+
+    // The paper's composite predictor with every optimization on:
+    // 1K entries total, PC-AM, smart training, table fusion.
+    vp::CompositeConfig cfg = vp::CompositeConfig::bestOf(1024);
+    cfg.epochInstrs = rc.maxInstrs / 40; // scale epochs to run length
+    vp::CompositePredictor composite(cfg);
+    const auto with_vp = sim::runWorkload(workload, &composite, rc);
+
+    std::cout << "baseline IPC:   " << base.ipc() << "\n";
+    std::cout << "composite IPC:  " << with_vp.ipc() << "\n";
+    std::cout << "speedup:        "
+              << 100.0 * (with_vp.ipc() / base.ipc() - 1.0) << "%\n";
+    std::cout << "coverage:       " << 100.0 * with_vp.coverage()
+              << "% of eligible loads\n";
+    std::cout << "accuracy:       " << 100.0 * with_vp.accuracy()
+              << "% of used predictions\n";
+    std::cout << "predictor size: "
+              << double(composite.storageBits()) / 8192.0 << " KB\n\n";
+
+    std::cout << "--- detailed run statistics ---\n";
+    with_vp.dump(std::cout);
+    std::cout << "\n--- composite internals ---\n";
+    composite.dumpStats(std::cout);
+    return 0;
+}

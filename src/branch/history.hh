@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Branch/path history machinery shared by TAGE, ITTAGE and the
+ * context-aware value predictors (CVP, CAP).
+ *
+ * HistoryRing stores the raw outcome/path bits; FoldedHistory keeps an
+ * incrementally maintained XOR-fold of the most recent N bits down to a
+ * small index/tag width, exactly as in Seznec's TAGE implementations.
+ */
+
+#ifndef LVPSIM_BRANCH_HISTORY_HH
+#define LVPSIM_BRANCH_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace branch
+{
+
+/** A ring buffer of single history bits; index 0 is the newest bit. */
+class HistoryRing
+{
+  public:
+    explicit HistoryRing(std::size_t capacity = 4096)
+        : bits(capacity, 0), head(0)
+    {}
+
+    void
+    push(unsigned bit)
+    {
+        head = (head + 1) % bits.size();
+        bits[head] = static_cast<std::uint8_t>(bit & 1);
+    }
+
+    /** Bit pushed @p distance steps ago (0 = newest). */
+    unsigned
+    at(std::size_t distance) const
+    {
+        lvp_assert(distance < bits.size(), "history ring too short");
+        return bits[(head + bits.size() - distance) % bits.size()];
+    }
+
+  private:
+    std::vector<std::uint8_t> bits;
+    std::size_t head;
+};
+
+/**
+ * Incrementally maintained fold of the newest origLength history bits
+ * into compLength bits. update() must be called exactly once per
+ * history push, after the push.
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory(unsigned orig_length, unsigned comp_length)
+        : origLength(orig_length), compLength(comp_length),
+          outPoint(orig_length % comp_length), comp(0)
+    {
+        lvp_assert(comp_length >= 1 && comp_length <= 31,
+                   "bad fold width %u", comp_length);
+    }
+
+    void
+    update(const HistoryRing &ring)
+    {
+        comp = (comp << 1) | ring.at(0);
+        comp ^= static_cast<std::uint32_t>(ring.at(origLength))
+                << outPoint;
+        comp ^= comp >> compLength;
+        comp &= (std::uint32_t(1) << compLength) - 1;
+    }
+
+    std::uint32_t value() const { return comp; }
+    unsigned length() const { return origLength; }
+
+    void reset() { comp = 0; }
+
+  private:
+    unsigned origLength;
+    unsigned compLength;
+    unsigned outPoint;
+    std::uint32_t comp;
+};
+
+} // namespace branch
+} // namespace lvpsim
+
+#endif // LVPSIM_BRANCH_HISTORY_HH

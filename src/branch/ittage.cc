@@ -1,0 +1,140 @@
+#include "branch/ittage.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+namespace branch
+{
+
+std::uint64_t
+IttageConfig::storageBits() const
+{
+    const std::uint64_t target_bits = 49;
+    const std::uint64_t base_bits =
+        (std::uint64_t(1) << logBase) * target_bits;
+    const std::uint64_t entry_bits = tagBits + target_bits + 2 + 1;
+    return base_bits +
+           std::uint64_t(numTables) * (std::uint64_t(1) << logTagged) *
+               entry_bits;
+}
+
+Ittage::Ittage(const IttageConfig &config, std::uint64_t seed)
+    : cfg(config), rng(seed)
+{
+    base.assign(std::size_t(1) << cfg.logBase, 0);
+    tables.assign(cfg.numTables, {});
+    for (auto &t : tables)
+        t.assign(std::size_t(1) << cfg.logTagged, Entry{});
+
+    histLen.resize(cfg.numTables);
+    const double ratio =
+        std::pow(double(cfg.maxHist) / cfg.minHist,
+                 1.0 / std::max(1u, cfg.numTables - 1));
+    double len = cfg.minHist;
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        histLen[t] = std::max<unsigned>(1, unsigned(len + 0.5));
+        if (t > 0 && histLen[t] <= histLen[t - 1])
+            histLen[t] = histLen[t - 1] + 1;
+        len *= ratio;
+    }
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        foldIdx.emplace_back(histLen[t], cfg.logTagged);
+        foldTag.emplace_back(histLen[t], cfg.tagBits);
+    }
+}
+
+unsigned
+Ittage::tableIndex(Addr pc, unsigned t) const
+{
+    const std::uint64_t h =
+        (pc >> 2) ^ (pc >> (cfg.logTagged + 2)) ^ foldIdx[t].value();
+    return unsigned(h & mask(cfg.logTagged));
+}
+
+std::uint16_t
+Ittage::tableTag(Addr pc, unsigned t) const
+{
+    const std::uint64_t h =
+        (pc >> 2) ^ foldTag[t].value() ^ (foldTag[t].value() << 1);
+    return std::uint16_t(h & mask(cfg.tagBits));
+}
+
+Addr
+Ittage::predict(Addr pc)
+{
+    ++numLookups;
+    lastPc = pc;
+    providerTable = -1;
+    lastPrediction = base[(pc >> 2) & mask(cfg.logBase)];
+
+    for (int t = int(cfg.numTables) - 1; t >= 0; --t) {
+        const Entry &e = tables[t][tableIndex(pc, t)];
+        if (e.valid && e.tag == tableTag(pc, t)) {
+            providerTable = t;
+            if (e.conf >= 1 || lastPrediction == 0)
+                lastPrediction = e.target;
+            break;
+        }
+    }
+    return lastPrediction;
+}
+
+void
+Ittage::update(Addr pc, Addr target)
+{
+    lvp_assert(pc == lastPc, "update without matching predict");
+    const bool correct = lastPrediction == target;
+    if (!correct)
+        ++numMispredicts;
+
+    if (providerTable >= 0) {
+        Entry &e = tables[providerTable][tableIndex(pc, providerTable)];
+        if (e.target == target) {
+            if (e.conf < 3)
+                ++e.conf;
+            e.useful = correct ? 1 : e.useful;
+        } else if (e.conf > 0) {
+            --e.conf;
+        } else {
+            e.target = target;
+            e.conf = 0;
+        }
+    }
+    base[(pc >> 2) & mask(cfg.logBase)] = target;
+
+    if (!correct && providerTable < int(cfg.numTables) - 1) {
+        for (int t = providerTable + 1; t < int(cfg.numTables); ++t) {
+            Entry &e = tables[t][tableIndex(pc, t)];
+            if (!e.valid || e.useful == 0) {
+                e.valid = true;
+                e.tag = tableTag(pc, t);
+                e.target = target;
+                e.conf = 1;
+                e.useful = 0;
+                break;
+            }
+        }
+    }
+
+    // Advance history with two hashed target bits so that any pair of
+    // distinct targets perturbs the folded histories (raw low target
+    // bits are often identical across aligned handlers).
+    const std::uint64_t h = mix64(target);
+    ring.push(unsigned(h & 1));
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        foldIdx[t].update(ring);
+        foldTag[t].update(ring);
+    }
+    ring.push(unsigned((h >> 1) & 1));
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        foldIdx[t].update(ring);
+        foldTag[t].update(ring);
+    }
+}
+
+} // namespace branch
+} // namespace lvpsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ITTAGE indirect-target predictor (paper Table III baseline: "32KB
+ * ITTAGE"). Same TAGE skeleton, but entries hold a full target and a
+ * 2-bit hysteresis counter.
+ */
+
+#ifndef LVPSIM_BRANCH_ITTAGE_HH
+#define LVPSIM_BRANCH_ITTAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/history.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace branch
+{
+
+struct IttageConfig
+{
+    unsigned numTables = 4;
+    unsigned logBase = 9;      ///< direct-mapped base target cache
+    unsigned logTagged = 8;
+    unsigned tagBits = 11;
+    unsigned minHist = 4;
+    unsigned maxHist = 64;
+
+    std::uint64_t storageBits() const;
+};
+
+class Ittage
+{
+  public:
+    explicit Ittage(const IttageConfig &cfg = IttageConfig{},
+                    std::uint64_t seed = 0x177a9e);
+
+    /** Predict the target; returns 0 if no prediction available. */
+    Addr predict(Addr pc);
+
+    /** Train with the true target and advance history (trace order). */
+    void update(Addr pc, Addr target);
+
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t mispredicts() const { return numMispredicts; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        Addr target = 0;
+        std::uint8_t conf = 0;   ///< 2-bit
+        std::uint8_t useful = 0; ///< 1-bit
+    };
+
+    unsigned tableIndex(Addr pc, unsigned t) const;
+    std::uint16_t tableTag(Addr pc, unsigned t) const;
+
+    IttageConfig cfg;
+    std::vector<Addr> base;
+    std::vector<std::vector<Entry>> tables;
+    std::vector<unsigned> histLen;
+    std::vector<FoldedHistory> foldIdx;
+    std::vector<FoldedHistory> foldTag;
+    HistoryRing ring;
+    Xoshiro256 rng;
+
+    int providerTable = -1;
+    Addr lastPrediction = 0;
+    Addr lastPc = 0;
+
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMispredicts = 0;
+};
+
+} // namespace branch
+} // namespace lvpsim
+
+#endif // LVPSIM_BRANCH_ITTAGE_HH

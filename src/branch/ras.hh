@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Return address stack (paper Table III: 16 entries).
+ */
+
+#ifndef LVPSIM_BRANCH_RAS_HH
+#define LVPSIM_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace branch
+{
+
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16)
+        : entries(depth, 0), top(0), count(0)
+    {}
+
+    void
+    push(Addr return_addr)
+    {
+        top = (top + 1) % entries.size();
+        entries[top] = return_addr;
+        if (count < entries.size())
+            ++count;
+    }
+
+    /** Pop a predicted return address; 0 if empty. */
+    Addr
+    pop()
+    {
+        if (count == 0)
+            return 0;
+        const Addr a = entries[top];
+        top = (top + entries.size() - 1) % entries.size();
+        --count;
+        return a;
+    }
+
+    std::size_t depth() const { return count; }
+
+  private:
+    std::vector<Addr> entries;
+    std::size_t top;
+    std::size_t count;
+};
+
+} // namespace branch
+} // namespace lvpsim
+
+#endif // LVPSIM_BRANCH_RAS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TAGE conditional branch predictor (Seznec & Michaud), the baseline
+ * core's direction predictor (paper Table III: "state-of-art 32KB TAGE").
+ *
+ * Bimodal base + N partially tagged tables indexed with geometrically
+ * increasing history lengths. The simulator drives it trace-style:
+ * predict(pc) then update(pc, taken) in fetch order.
+ */
+
+#ifndef LVPSIM_BRANCH_TAGE_HH
+#define LVPSIM_BRANCH_TAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/history.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace branch
+{
+
+struct TageConfig
+{
+    unsigned numTables = 6;
+    unsigned logBase = 13;       ///< bimodal entries = 2^logBase
+    unsigned logTagged = 10;     ///< entries per tagged table
+    unsigned tagBits = 12;
+    unsigned minHist = 5;
+    unsigned maxHist = 130;
+    unsigned counterBits = 3;
+    unsigned usefulBits = 2;
+
+    /** Total storage in bits. */
+    std::uint64_t storageBits() const;
+};
+
+class Tage
+{
+  public:
+    explicit Tage(const TageConfig &cfg = TageConfig{},
+                  std::uint64_t seed = 0x7a9e);
+
+    /** Predict direction using the current global history. */
+    bool predict(Addr pc);
+
+    /**
+     * Train with the true outcome and advance the history. Must follow
+     * the matching predict() call (trace order).
+     */
+    void update(Addr pc, bool taken);
+
+    /** Advance history for a branch that was not predicted by TAGE. */
+    void updateHistoryOnly(Addr pc, bool taken);
+
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t mispredicts() const { return numMispredicts; }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;     ///< signed; taken if >= 0
+        std::uint8_t useful = 0;
+        bool valid = false;
+    };
+
+    unsigned tableIndex(Addr pc, unsigned t) const;
+    std::uint16_t tableTag(Addr pc, unsigned t) const;
+    void pushHistory(Addr pc, bool taken);
+
+    TageConfig cfg;
+    std::vector<std::int8_t> base; ///< 2-bit bimodal, taken if >= 0
+    std::vector<std::vector<TaggedEntry>> tables;
+    std::vector<unsigned> histLen;
+    std::vector<FoldedHistory> foldIdx;
+    std::vector<FoldedHistory> foldTag1;
+    std::vector<FoldedHistory> foldTag2;
+    HistoryRing ring;
+    std::uint64_t pathHist = 0;
+    Xoshiro256 rng;
+
+    // Prediction state carried from predict() to update().
+    int providerTable = -1;
+    int altTable = -1;
+    bool providerPred = false;
+    bool altPred = false;
+    bool lastPrediction = false;
+    Addr lastPc = 0;
+
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMispredicts = 0;
+};
+
+} // namespace branch
+} // namespace lvpsim
+
+#endif // LVPSIM_BRANCH_TAGE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * gem5-flavoured status/error reporting helpers.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug); aborts.
+ * fatal()  - the user asked for something unsupported; exits cleanly.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef LVPSIM_COMMON_LOGGING_HH
+#define LVPSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace lvpsim
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt,
+                                 ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace lvpsim
+
+#define lvp_panic(...) \
+    ::lvpsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define lvp_fatal(...) \
+    ::lvpsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define lvp_warn(...) ::lvpsim::warnImpl(__VA_ARGS__)
+#define lvp_inform(...) ::lvpsim::informImpl(__VA_ARGS__)
+
+/** panic() unless the given simulator invariant holds. */
+#define lvp_assert(cond, fmt, ...)                                      \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::lvpsim::assertFailImpl(__FILE__, __LINE__, #cond, fmt     \
+                                     __VA_OPT__(,) __VA_ARGS__);        \
+    } while (0)
+
+#endif // LVPSIM_COMMON_LOGGING_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aggregation helpers. Per the paper's methodology (Section II-A):
+ * arithmetic mean across workloads, geometric mean for IPC.
+ */
+
+#ifndef LVPSIM_COMMON_MATHUTILS_HH
+#define LVPSIM_COMMON_MATHUTILS_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+
+inline double
+arithMean(const std::vector<double> &xs)
+{
+    lvp_assert(!xs.empty(), "mean of empty vector");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+inline double
+geoMean(const std::vector<double> &xs)
+{
+    lvp_assert(!xs.empty(), "geomean of empty vector");
+    double s = 0.0;
+    for (double x : xs) {
+        lvp_assert(x > 0.0, "geomean needs positive values, got %f", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+/** Relative speedup of @p x over @p base, as a fraction (0.05 = +5%). */
+inline double
+speedup(double x, double base)
+{
+    lvp_assert(base > 0.0, "bad base %f", base);
+    return x / base - 1.0;
+}
+
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_MATHUTILS_HH

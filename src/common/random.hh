@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in lvpsim (FPC probabilistic increments, synthetic
+ * workload data, replacement tie-breaks) flows through seeded instances
+ * of Xoshiro256** so that every simulation is bit-for-bit reproducible.
+ */
+
+#ifndef LVPSIM_COMMON_RANDOM_HH
+#define LVPSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace lvpsim
+{
+
+/** SplitMix64: used to expand a single seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** 1.0 by Blackman and Vigna. Small, fast, and high quality;
+ * more than adequate for simulation randomness.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x1234567890abcdefull)
+    {
+        SplitMix64 sm(seed);
+        for (auto &w : s)
+            w = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    result_type
+    operator()()
+    {
+        return next();
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free multiply-shift is fine here; the
+        // tiny modulo bias of a plain multiply-high is irrelevant for
+        // simulation purposes, but we use 128-bit multiply anyway.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial that succeeds with probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        if (p >= 1.0)
+            return true;
+        if (p <= 0.0)
+            return false;
+        // 53-bit uniform double in [0, 1).
+        const double u = (next() >> 11) * 0x1.0p-53;
+        return u < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_RANDOM_HH

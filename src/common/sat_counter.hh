@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Saturating counters: the plain kind and the forward probabilistic kind
+ * (FPC) of Riley and Zilles [28], which the paper uses for every
+ * predictor confidence counter (Section III-B, Table IV).
+ */
+
+#ifndef LVPSIM_COMMON_SAT_COUNTER_HH
+#define LVPSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace lvpsim
+{
+
+/** An unsigned saturating counter over [0, maxVal]. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned num_bits = 2, unsigned initial = 0)
+        : maxVal((1u << num_bits) - 1), val(initial)
+    {
+        lvp_assert(num_bits >= 1 && num_bits <= 16,
+                   "unreasonable counter width %u", num_bits);
+        lvp_assert(initial <= maxVal, "initial %u > max %u",
+                   initial, maxVal);
+    }
+
+    unsigned value() const { return val; }
+    unsigned max() const { return maxVal; }
+    bool saturated() const { return val == maxVal; }
+
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    void reset() { val = 0; }
+    void set(unsigned v) { lvp_assert(v <= maxVal, "v too big"); val = v; }
+
+  private:
+    unsigned maxVal;
+    unsigned val;
+};
+
+/**
+ * Forward Probabilistic Counter.
+ *
+ * A confidence counter whose increment from level i to level i+1 only
+ * happens with probability vec[i]. The expected number of consecutive
+ * correct observations required to walk from 0 to level N is
+ * sum(1/vec[i]) — the paper's "effective confidence". This lets a 3-bit
+ * counter act like a 6-bit one.
+ *
+ * The FPC vector has one probability per upward transition; its length
+ * determines the counter's maximum value.
+ */
+class FpcVector
+{
+  public:
+    FpcVector(std::initializer_list<double> probs) : vec(probs)
+    {
+        lvp_assert(!vec.empty(), "empty FPC vector");
+        for (double p : vec)
+            lvp_assert(p > 0.0 && p <= 1.0, "bad FPC probability %f", p);
+    }
+
+    unsigned maxLevel() const { return static_cast<unsigned>(vec.size()); }
+
+    double
+    prob(unsigned level) const
+    {
+        lvp_assert(level < vec.size(), "level %u out of range", level);
+        return vec[level];
+    }
+
+    /** Expected observations to reach @p level from zero. */
+    double
+    effectiveConfidence(unsigned level) const
+    {
+        lvp_assert(level <= vec.size(), "level %u out of range", level);
+        double e = 0.0;
+        for (unsigned i = 0; i < level; ++i)
+            e += 1.0 / vec[i];
+        return e;
+    }
+
+  private:
+    std::vector<double> vec;
+};
+
+/**
+ * A counter driven by an FpcVector. The vector is shared (one per
+ * predictor type); the counter holds only its current level, which is
+ * what would exist in hardware.
+ */
+class FpcCounter
+{
+  public:
+    FpcCounter() : val(0) {}
+
+    unsigned value() const { return val; }
+
+    /** Probabilistically step toward saturation. */
+    void
+    increment(const FpcVector &vec, Xoshiro256 &rng)
+    {
+        if (val >= vec.maxLevel())
+            return;
+        if (rng.bernoulli(vec.prob(val)))
+            ++val;
+    }
+
+    /** Deterministically step (used by tests and by reset-to-mid states). */
+    void
+    forceIncrement(const FpcVector &vec)
+    {
+        if (val < vec.maxLevel())
+            ++val;
+    }
+
+    void reset() { val = 0; }
+
+    bool
+    atLeast(unsigned threshold) const
+    {
+        return val >= threshold;
+    }
+
+  private:
+    std::uint8_t val;
+};
+
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace lvpsim
+{
+namespace stats
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : statName(group.prefix().empty()
+                   ? std::move(name)
+                   : group.prefix() + "." + std::move(name)),
+      statDesc(std::move(desc))
+{
+    group.registerStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name()
+       << std::right << std::setw(16) << val
+       << "  # " << desc() << "\n";
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::uint64_t t = 0;
+    for (auto c : counts)
+        t += c;
+    return t;
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    os << name() << "  # " << desc() << "\n";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        os << "    [" << std::setw(3) << i << "] "
+           << std::setw(16) << counts[i] << "\n";
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const StatBase *s : statList)
+        s->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : statList)
+        s->reset();
+}
+
+} // namespace stats
+} // namespace lvpsim

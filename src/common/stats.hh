@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package:
+ * named scalar counters and histograms that register themselves with a
+ * StatGroup and can be dumped as aligned text.
+ */
+
+#ifndef LVPSIM_COMMON_STATS_HH
+#define LVPSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lvpsim
+{
+namespace stats
+{
+
+class StatGroup;
+
+/** Base class for anything dumpable. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    virtual void dump(std::ostream &os) const = 0;
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A monotonically increasing (or settable) 64-bit counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup &group, std::string name, std::string desc)
+        : StatBase(group, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t n) { val += n; return *this; }
+    void set(std::uint64_t v) { val = v; }
+
+    std::uint64_t value() const { return val; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** A fixed-bucket histogram over [0, buckets); last bucket is overflow. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              std::size_t num_buckets)
+        : StatBase(group, std::move(name), std::move(desc)),
+          counts(num_buckets, 0)
+    {}
+
+    void
+    sample(std::size_t v, std::uint64_t n = 1)
+    {
+        if (v >= counts.size())
+            v = counts.size() - 1;
+        counts[v] += n;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::size_t numBuckets() const { return counts.size(); }
+    std::uint64_t total() const;
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> counts;
+};
+
+/** A collection of stats that dump together under a prefix. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix = "") : groupPrefix(prefix) {}
+
+    // Stats hold references into the group; neither moves nor copies.
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void registerStat(StatBase *s) { statList.push_back(s); }
+    const std::string &prefix() const { return groupPrefix; }
+
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+  private:
+    std::string groupPrefix;
+    std::vector<StatBase *> statList;
+};
+
+} // namespace stats
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_STATS_HH

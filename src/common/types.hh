@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every lvpsim library.
+ */
+
+#ifndef LVPSIM_COMMON_TYPES_HH
+#define LVPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace lvpsim
+{
+
+/** Virtual byte address (the paper models 49-bit virtual addresses). */
+using Addr = std::uint64_t;
+
+/** A 64-bit architectural data value. */
+using Value = std::uint64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic instruction sequence number (1-based; 0 = invalid). */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural register identifier. */
+using RegId = std::uint16_t;
+
+/** Sentinel meaning "no register". */
+constexpr RegId invalidReg = 0xffff;
+
+/** Number of modeled architectural integer registers. */
+constexpr RegId numArchRegs = 64;
+
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_TYPES_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * CAP: Context Address Predictor (paper Section III-B.2), modeled on
+ * DLVP [3] ("load value prediction via PATH-based address
+ * prediction"). One tagged table indexed by a hash of the load PC and
+ * the load path history; entries are 67 bits (14-bit tag, 49-bit
+ * virtual address, 2-bit confidence, 2-bit size). The lowest
+ * threshold of all components: 4 consecutive observations of a given
+ * path/PC.
+ *
+ * The path here is the recent control-flow path (a bounded window of
+ * ~16 branches), which matches the paper's Table V example: inside a
+ * long inner loop the path stops changing after the window fills, so
+ * CAP can distinguish (and predict) only the first ~16 iterations.
+ */
+
+#ifndef LVPSIM_VP_CAP_HH
+#define LVPSIM_VP_CAP_HH
+
+#include <unordered_map>
+
+#include "common/bitutils.hh"
+#include "common/random.hh"
+#include "common/tagged_table.hh"
+#include "core/component.hh"
+#include "core/vp_params.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+class Cap : public ComponentPredictor
+{
+  public:
+    explicit Cap(std::size_t entries, std::uint64_t seed = 0xca9,
+                 unsigned conf_threshold = capConfThreshold)
+        : ComponentPredictor(pipe::ComponentId::CAP), rng(seed),
+          confThreshold(conf_threshold)
+    {
+        if (entries > 0)
+            table.configure(entries, 1);
+    }
+
+    ComponentPrediction
+    lookup(const pipe::LoadProbe &p) override
+    {
+        ComponentPrediction cp;
+        if (disabled())
+            return cp;
+        Snapshot snap{index(p.pc), tag(p.pc)};
+        const auto *way = table.lookup(snap.idx, snap.tag);
+        if (way && way->payload.conf.atLeast(confThreshold)) {
+            cp.confident = true;
+            cp.pred.kind = pipe::Prediction::Kind::Address;
+            cp.pred.addr = way->payload.addr;
+            cp.pred.component = id();
+        }
+        snapshots[p.token] = snap;
+        return cp;
+    }
+
+    void
+    train(const pipe::LoadOutcome &o) override
+    {
+        auto it = snapshots.find(o.token);
+        if (it == snapshots.end())
+            return;
+        const Snapshot snap = it->second;
+        snapshots.erase(it);
+        if (disabled())
+            return;
+        bool hit = false;
+        auto &way = table.allocate(snap.idx, snap.tag, &hit);
+        Entry &e = way.payload;
+        const Addr a = o.effAddr & mask(vaddrBits);
+        const std::uint8_t sz = std::uint8_t(log2i(o.size ? o.size : 1));
+        if (hit && e.addr == a && e.sizeLog2 == sz) {
+            e.conf.increment(capFpc(), rng);
+        } else {
+            e.addr = a;
+            e.sizeLog2 = sz;
+            e.conf.reset();
+        }
+    }
+
+    void abandon(std::uint64_t token) override { snapshots.erase(token); }
+
+    void
+    notifyBranch(Addr pc, bool taken, Addr target) override
+    {
+        (void)target;
+        // Control-flow path: a rolling window of ~16 branches (the
+        // 64-bit register shifts 4 bits per branch).
+        path = (path << 4) ^ ((pc >> 2) & 0x7fff) ^
+               (taken ? 0x9 : 0x0);
+    }
+
+    void donateTable() override { donor = true; table.flushAll(); }
+    void
+    receiveWays(unsigned donor_tables) override
+    {
+        if (!table.empty())
+            table.setWays(1 + donor_tables);
+    }
+    void
+    unfuse() override
+    {
+        if (donor) {
+            donor = false;
+            table.flushAll();
+        } else if (!table.empty()) {
+            table.setWays(1);
+        }
+    }
+    bool isDonor() const override { return donor; }
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return std::uint64_t(numEntries()) * capEntryBits;
+    }
+    std::size_t
+    numEntries() const override
+    {
+        return table.empty() ? 0 : table.numSets();
+    }
+    unsigned entryBits() const override { return capEntryBits; }
+
+  private:
+    struct Entry
+    {
+        Addr addr = 0;
+        std::uint8_t sizeLog2 = 0;
+        FpcCounter conf;
+    };
+
+    struct Snapshot
+    {
+        std::uint64_t idx = 0;
+        std::uint64_t tag = 0;
+    };
+
+    bool disabled() const { return donor || table.empty(); }
+
+    std::uint64_t
+    index(Addr pc) const
+    {
+        // Nonlinear mix: see Cvp::index for why a plain XOR of
+        // path-derived values can alias context families.
+        return mix64((pc >> 2) ^ path);
+    }
+
+    std::uint64_t
+    tag(Addr pc) const
+    {
+        return ((pc >> 2) ^ (pc >> 16) ^ (path >> 3)) & mask(tagBits);
+    }
+
+    TaggedTable<Entry> table;
+    std::unordered_map<std::uint64_t, Snapshot> snapshots;
+    Xoshiro256 rng;
+    unsigned confThreshold;
+    std::uint64_t path = 0;
+    bool donor = false;
+};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_CAP_HH

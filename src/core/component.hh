@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Internal interface shared by the four component load value
+ * predictors (LVP, SAP, CVP, CAP). The composite predictor drives
+ * components through this interface; a component can also run alone
+ * via makeSinglePredictor().
+ *
+ * Protocol: for every probed load, lookup() is called exactly once at
+ * fetch, and then exactly one of train() or abandon() is called with
+ * the same token (at retire or squash). Context-aware components keep
+ * per-token snapshots of their fetch-time indices/tags.
+ */
+
+#ifndef LVPSIM_VP_COMPONENT_HH
+#define LVPSIM_VP_COMPONENT_HH
+
+#include <cstdint>
+
+#include "pipeline/lvp_interface.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+/** What a component reports at fetch. */
+struct ComponentPrediction
+{
+    bool confident = false;
+    pipe::Prediction pred{};
+};
+
+class ComponentPredictor
+{
+  public:
+    explicit ComponentPredictor(pipe::ComponentId component_id)
+        : componentId(component_id)
+    {}
+
+    virtual ~ComponentPredictor() = default;
+
+    pipe::ComponentId id() const { return componentId; }
+
+    /** Probe at fetch (high-confidence prediction or nothing). */
+    virtual ComponentPrediction lookup(const pipe::LoadProbe &p) = 0;
+
+    /** Retirement-order training with the architectural outcome. */
+    virtual void train(const pipe::LoadOutcome &o) = 0;
+
+    /** Drop any per-token state without training. */
+    virtual void abandon(std::uint64_t token) { (void)token; }
+
+    /**
+     * Would this component's fetch-time prediction have been correct
+     * for this outcome? Used by the accuracy monitors and smart
+     * training; must be callable before train()/abandon().
+     */
+    virtual bool wouldBeCorrect(const ComponentPrediction &cp,
+                                const pipe::LoadOutcome &o) const
+    {
+        if (!cp.confident)
+            return false;
+        if (cp.pred.isValue())
+            return cp.pred.value == o.value;
+        return cp.pred.addr == o.effAddr;
+    }
+
+    /** Smart training: invalidate the entry for this PC (SAP only). */
+    virtual void invalidateEntry(Addr pc) { (void)pc; }
+
+    // History maintenance (context-aware components).
+    virtual void notifyBranch(Addr pc, bool taken, Addr target)
+    {
+        (void)pc; (void)taken; (void)target;
+    }
+    virtual void notifyLoad(Addr pc) { (void)pc; }
+
+    // ---- Table fusion hooks (Section V-E) ---------------------------
+    /** Become a donor: table flushed and repurposed; stop predicting. */
+    virtual void donateTable() {}
+    /** Receive @p donor_tables extra ways' worth of storage. */
+    virtual void receiveWays(unsigned donor_tables) { (void)donor_tables; }
+    /** Revert to the unfused configuration. */
+    virtual void unfuse() {}
+    virtual bool isDonor() const { return false; }
+
+    /** Bit-exact storage (excluding any donated/received ways; the
+     *  fusion design keeps total storage constant). */
+    virtual std::uint64_t storageBits() const = 0;
+    virtual std::size_t numEntries() const = 0;
+    virtual unsigned entryBits() const = 0;
+
+  private:
+    pipe::ComponentId componentId;
+};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_COMPONENT_HH

@@ -1,0 +1,60 @@
+#include "core/oracle.hh"
+
+#include <unordered_map>
+
+namespace lvpsim
+{
+namespace vp
+{
+
+PatternBreakdown
+classifyLoadPatterns(const std::vector<trace::MicroOp> &ops)
+{
+    struct PcState
+    {
+        bool seen = false;
+        Value lastValue = 0;
+        bool seenAddr = false;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        bool strideValid = false;
+    };
+
+    std::unordered_map<Addr, PcState> state;
+    PatternBreakdown out;
+
+    for (const auto &op : ops) {
+        if (!op.isPredictableLoad())
+            continue;
+        PcState &s = state[op.pc];
+
+        const bool p1 = s.seen && s.lastValue == op.memValue;
+        const bool p2 =
+            s.strideValid &&
+            Addr(std::int64_t(s.lastAddr) + s.stride) == op.effAddr;
+
+        // Ordered and exclusive: a Pattern-1 load is never considered
+        // for Pattern-2 or Pattern-3 (paper Section IV-A).
+        if (p1)
+            ++out.pattern1;
+        else if (p2)
+            ++out.pattern2;
+        else
+            ++out.pattern3;
+
+        // Infinite-resource bookkeeping.
+        s.lastValue = op.memValue;
+        s.seen = true;
+        if (s.seenAddr) {
+            s.stride =
+                std::int64_t(op.effAddr) - std::int64_t(s.lastAddr);
+            s.strideValid = true;
+        }
+        s.lastAddr = op.effAddr;
+        s.seenAddr = true;
+    }
+    return out;
+}
+
+} // namespace vp
+} // namespace lvpsim

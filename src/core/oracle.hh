@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Infinite-resource load pattern classification (paper Section IV-A,
+ * Figure 2). Each dynamic load is placed in exactly one of three
+ * ordered, exclusive patterns:
+ *
+ *   Pattern-1 (LVP proxy):     PC correlates with the load value
+ *   Pattern-2 (SAP proxy):     PC correlates with the load address
+ *   Pattern-3 (CVP/CAP proxy): all other loads
+ *
+ * "Infinite resources" means we perfectly remember the last
+ * value/address/stride per static load.
+ */
+
+#ifndef LVPSIM_VP_ORACLE_HH
+#define LVPSIM_VP_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+struct PatternBreakdown
+{
+    std::uint64_t pattern1 = 0;
+    std::uint64_t pattern2 = 0;
+    std::uint64_t pattern3 = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return pattern1 + pattern2 + pattern3;
+    }
+
+    double frac1() const { return ratio(pattern1); }
+    double frac2() const { return ratio(pattern2); }
+    double frac3() const { return ratio(pattern3); }
+
+  private:
+    double
+    ratio(std::uint64_t n) const
+    {
+        const std::uint64_t t = total();
+        return t ? double(n) / double(t) : 0.0;
+    }
+};
+
+/** Classify every predictable dynamic load in @p ops. */
+PatternBreakdown
+classifyLoadPatterns(const std::vector<trace::MicroOp> &ops);
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_ORACLE_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SAP: Stride Address Predictor (paper Section III-B.1).
+ *
+ * PC-indexed, tagged table; each entry is a 14-bit tag, 49-bit last
+ * virtual address, 2-bit FPC confidence, 10-bit stride and 2-bit load
+ * size (77 bits). Prediction requires confidence >= 3 (effective 9
+ * consecutive same-stride observations) and accounts for in-flight
+ * occurrences of the load, as in EVES's stride predictor.
+ */
+
+#ifndef LVPSIM_VP_SAP_HH
+#define LVPSIM_VP_SAP_HH
+
+#include "common/bitutils.hh"
+#include "common/random.hh"
+#include "common/tagged_table.hh"
+#include "core/component.hh"
+#include "core/vp_params.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+class Sap : public ComponentPredictor
+{
+  public:
+    explicit Sap(std::size_t entries, std::uint64_t seed = 0x5a9,
+                 unsigned conf_threshold = sapConfThreshold)
+        : ComponentPredictor(pipe::ComponentId::SAP), rng(seed),
+          confThreshold(conf_threshold)
+    {
+        if (entries > 0)
+            table.configure(entries, 1);
+    }
+
+    ComponentPrediction
+    lookup(const pipe::LoadProbe &p) override
+    {
+        ComponentPrediction cp;
+        if (disabled())
+            return cp;
+        const auto *way = table.lookup(index(p.pc), tag(p.pc));
+        if (way && way->payload.conf.atLeast(confThreshold)) {
+            const Entry &e = way->payload;
+            // The table holds the address of the last *retired*
+            // instance; step the stride once per in-flight instance
+            // plus once for this instance.
+            const std::int64_t steps =
+                std::int64_t(p.inflightSamePc) + 1;
+            const Addr predicted =
+                Addr(std::int64_t(e.lastAddr) + steps * e.stride) &
+                mask(vaddrBits);
+            cp.confident = true;
+            cp.pred.kind = pipe::Prediction::Kind::Address;
+            cp.pred.addr = predicted;
+            cp.pred.component = id();
+        }
+        return cp;
+    }
+
+    void
+    train(const pipe::LoadOutcome &o) override
+    {
+        if (disabled())
+            return;
+        bool hit = false;
+        auto &way = table.allocate(index(o.pc), tag(o.pc), &hit);
+        Entry &e = way.payload;
+        if (!hit) {
+            e.lastAddr = o.effAddr & mask(vaddrBits);
+            e.stride = 0;
+            e.sizeLog2 = sizeLog2Of(o.size);
+            e.conf.reset();
+            e.seenOnce = true;
+            return;
+        }
+        const std::int64_t delta =
+            std::int64_t(o.effAddr & mask(vaddrBits)) -
+            std::int64_t(e.lastAddr);
+        if (fitsSigned(delta, sapStrideBits)) {
+            if (e.seenOnce && delta == e.stride) {
+                e.conf.increment(sapFpc(), rng);
+            } else {
+                e.stride = delta;
+                e.conf.reset();
+            }
+        } else {
+            // Stride does not fit the 10-bit field: unpredictable.
+            e.stride = 0;
+            e.conf.reset();
+        }
+        e.lastAddr = o.effAddr & mask(vaddrBits);
+        e.sizeLog2 = sizeLog2Of(o.size);
+        e.seenOnce = true;
+    }
+
+    /** Smart training: a skipped SAP entry has a broken stride anyway
+     *  (paper Section V-D), so drop it. */
+    void
+    invalidateEntry(Addr pc) override
+    {
+        if (!disabled())
+            table.invalidate(index(pc), tag(pc));
+    }
+
+    void donateTable() override { donor = true; table.flushAll(); }
+    void
+    receiveWays(unsigned donor_tables) override
+    {
+        if (!table.empty())
+            table.setWays(1 + donor_tables);
+    }
+    void
+    unfuse() override
+    {
+        if (donor) {
+            donor = false;
+            table.flushAll();
+        } else if (!table.empty()) {
+            table.setWays(1);
+        }
+    }
+    bool isDonor() const override { return donor; }
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return std::uint64_t(numEntries()) * sapEntryBits;
+    }
+    std::size_t
+    numEntries() const override
+    {
+        return table.empty() ? 0 : table.numSets();
+    }
+    unsigned entryBits() const override { return sapEntryBits; }
+
+  private:
+    struct Entry
+    {
+        Addr lastAddr = 0;
+        std::int64_t stride = 0; ///< constrained to 10 signed bits
+        std::uint8_t sizeLog2 = 0;
+        bool seenOnce = false;
+        FpcCounter conf;
+    };
+
+    static std::uint8_t
+    sizeLog2Of(unsigned size)
+    {
+        return std::uint8_t(log2i(size ? size : 1));
+    }
+
+    bool disabled() const { return donor || table.empty(); }
+    static std::uint64_t index(Addr pc) { return pc >> 2; }
+    static std::uint64_t
+    tag(Addr pc)
+    {
+        return ((pc >> 2) ^ (pc >> 16)) & mask(tagBits);
+    }
+
+    TaggedTable<Entry> table;
+    Xoshiro256 rng;
+    unsigned confThreshold;
+    bool donor = false;
+};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_SAP_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Value storage strategies for the value predictors (LVP, CVP).
+ *
+ * The paper notes (end of Section III-B) that total storage "can be
+ * considerably reduced by employing optimizations similar to the ones
+ * described for the enhanced VTAGE implementation in [4] (e.g.,
+ * decoupling the value/address arrays and then sharing them among the
+ * predictors)". This header implements that option:
+ *
+ *  - InlineValueStore: each predictor entry embeds the full 64-bit
+ *    value (the paper's baseline layout, 81-bit entries).
+ *  - SharedValueStore: entries hold a small pointer into one shared,
+ *    deduplicated value pool. Pool slots are recycled clock-style; a
+ *    generation tag detects stale pointers (a real design would
+ *    either walk back-pointers or simply let validation catch the
+ *    stale value - the generation tag models the same outcome).
+ */
+
+#ifndef LVPSIM_VP_VALUE_STORE_HH
+#define LVPSIM_VP_VALUE_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+class ValueStore
+{
+  public:
+    /** What a predictor entry holds instead of a raw value. */
+    struct Ref
+    {
+        Value inlineValue = 0;  ///< inline strategy only
+        std::uint32_t idx = 0;  ///< shared strategy only
+        std::uint32_t gen = 0;  ///< shared strategy only
+    };
+
+    virtual ~ValueStore() = default;
+
+    /** Persist @p v; returns the reference an entry should keep. */
+    virtual Ref store(Value v) = 0;
+
+    /** Read a reference; nullopt if the slot was recycled. */
+    virtual std::optional<Value> load(const Ref &r) const = 0;
+
+    /** Bits a predictor entry spends on its value reference. */
+    virtual unsigned refBits() const = 0;
+
+    /** Bits of the (shared) backing pool, counted once. */
+    virtual std::uint64_t poolBits() const { return 0; }
+};
+
+/** The paper's baseline: the 64-bit value lives in the entry. */
+class InlineValueStore : public ValueStore
+{
+  public:
+    Ref
+    store(Value v) override
+    {
+        Ref r;
+        r.inlineValue = v;
+        return r;
+    }
+
+    std::optional<Value>
+    load(const Ref &r) const override
+    {
+        return r.inlineValue;
+    }
+
+    unsigned refBits() const override { return 64; }
+};
+
+/**
+ * A shared, deduplicated pool of 64-bit values. Predictor entries
+ * store log2(slots) pointer bits; identical values share one slot.
+ */
+class SharedValueStore : public ValueStore
+{
+  public:
+    explicit SharedValueStore(std::size_t slots = 512)
+        : pool(slots)
+    {
+        lvp_assert(isPowerOf2(slots), "pool slots must be pow2");
+    }
+
+    Ref
+    store(Value v) override
+    {
+        Ref r;
+        auto it = byValue.find(v);
+        if (it != byValue.end()) {
+            Slot &s = pool[it->second];
+            s.referenced = true;
+            r.idx = it->second;
+            r.gen = s.gen;
+            return r;
+        }
+        // Clock replacement over the pool. Fresh slots start
+        // unreferenced: only a re-store (dedup hit) marks a slot hot,
+        // so one-shot values are recycled before shared ones.
+        const std::uint32_t victim = advanceClock();
+        Slot &s = pool[victim];
+        if (s.valid)
+            byValue.erase(s.value);
+        ++s.gen; // stale pointers to this slot die here
+        s.value = v;
+        s.valid = true;
+        s.referenced = false;
+        byValue.emplace(v, victim);
+        r.idx = victim;
+        r.gen = s.gen;
+        ++numEvictions;
+        return r;
+    }
+
+    std::optional<Value>
+    load(const Ref &r) const override
+    {
+        const Slot &s = pool[r.idx];
+        if (!s.valid || s.gen != r.gen)
+            return std::nullopt;
+        return s.value;
+    }
+
+    unsigned
+    refBits() const override
+    {
+        // Pointer + a small generation tag (modeling artifact; a
+        // real design invalidates via back-pointers instead).
+        return log2i(pool.size()) + 2;
+    }
+
+    std::uint64_t
+    poolBits() const override
+    {
+        // 64-bit value + valid + referenced bit per slot.
+        return std::uint64_t(pool.size()) * (64 + 2);
+    }
+
+    std::size_t slots() const { return pool.size(); }
+    std::uint64_t evictions() const { return numEvictions; }
+    std::size_t liveValues() const { return byValue.size(); }
+
+  private:
+    struct Slot
+    {
+        Value value = 0;
+        std::uint32_t gen = 0;
+        bool valid = false;
+        bool referenced = false;
+    };
+
+    std::uint32_t
+    advanceClock()
+    {
+        for (;;) {
+            Slot &s = pool[clockHand];
+            const std::uint32_t h = clockHand;
+            clockHand = (clockHand + 1) % pool.size();
+            if (!s.valid)
+                return h;
+            if (!s.referenced)
+                return h;
+            s.referenced = false;
+        }
+    }
+
+    std::vector<Slot> pool;
+    std::unordered_map<Value, std::uint32_t> byValue;
+    std::uint32_t clockHand = 0;
+    std::uint64_t numEvictions = 0;
+};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_VALUE_STORE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Predictor parameters from the paper's Table IV.
+ *
+ * Every confidence counter is a forward probabilistic counter (FPC);
+ * the vectors below are chosen so that the *effective* confidence (the
+ * expected number of consecutive correct observations needed to reach
+ * the threshold) matches the paper:
+ *
+ *   LVP: 3-bit counter, threshold 7, effective 64 observations
+ *   SAP: 2-bit counter, threshold 3, effective  9 observations
+ *   CVP: 3-bit counter, threshold 4, effective 16 (15) observations
+ *   CAP: 2-bit counter, threshold 3, effective  4 observations
+ */
+
+#ifndef LVPSIM_VP_PARAMS_HH
+#define LVPSIM_VP_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/sat_counter.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+// ---- Per-entry field widths (bits), straight from the paper --------
+
+constexpr unsigned tagBits = 14;
+constexpr unsigned valueBits = 64;
+constexpr unsigned vaddrBits = 49;
+constexpr unsigned sizeBits = 2;
+
+constexpr unsigned lvpConfBits = 3;
+constexpr unsigned sapConfBits = 2;
+constexpr unsigned sapStrideBits = 10;
+constexpr unsigned cvpConfBits = 3;
+constexpr unsigned capConfBits = 2;
+
+/// 14 + 64 + 3 = 81 bits per LVP entry.
+constexpr unsigned lvpEntryBits = tagBits + valueBits + lvpConfBits;
+/// 14 + 49 + 2 + 10 + 2 = 77 bits per SAP entry.
+constexpr unsigned sapEntryBits =
+    tagBits + vaddrBits + sapConfBits + sapStrideBits + sizeBits;
+/// Same as LVP: 81 bits per CVP entry.
+constexpr unsigned cvpEntryBits = tagBits + valueBits + cvpConfBits;
+/// 14 + 49 + 2 + 2 = 67 bits per CAP entry.
+constexpr unsigned capEntryBits =
+    tagBits + vaddrBits + capConfBits + sizeBits;
+
+// ---- Confidence thresholds -----------------------------------------
+
+constexpr unsigned lvpConfThreshold = 7;
+constexpr unsigned sapConfThreshold = 3;
+constexpr unsigned cvpConfThreshold = 4;
+constexpr unsigned capConfThreshold = 3;
+
+// ---- FPC vectors ----------------------------------------------------
+
+/** LVP: 1+1+2+4+8+16+32 = 64 effective observations at threshold 7. */
+inline const FpcVector &
+lvpFpc()
+{
+    static const FpcVector v{1.0, 1.0, 0.5, 0.25, 0.125, 0.0625,
+                             0.03125};
+    return v;
+}
+
+/** SAP: 1+4+4 = 9 effective observations at threshold 3. */
+inline const FpcVector &
+sapFpc()
+{
+    static const FpcVector v{1.0, 0.25, 0.25};
+    return v;
+}
+
+/** CVP: 1+2+4+8 = 15 (~16) effective observations at threshold 4. */
+inline const FpcVector &
+cvpFpc()
+{
+    static const FpcVector v{1.0, 0.5, 0.25, 0.125};
+    return v;
+}
+
+/** CAP: 1+1+2 = 4 effective observations at threshold 3. */
+inline const FpcVector &
+capFpc()
+{
+    static const FpcVector v{1.0, 1.0, 0.5};
+    return v;
+}
+
+/** CVP geometric history lengths, in history *events* per table. */
+constexpr unsigned cvpHistLengths[3] = {5, 16, 64};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_PARAMS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A timing-model set-associative cache with LRU replacement and
+ * write-back/write-allocate policy. Tags only — data values live in
+ * the trace's memory image; the pipeline needs hit/miss and latency.
+ */
+
+#ifndef LVPSIM_MEM_CACHE_HH
+#define LVPSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace mem
+{
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned blockSize = 64;
+    Cycle accessLatency = 2;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Probe for a block; on hit, update LRU. Does NOT fill.
+     * @return true on hit.
+     */
+    bool probe(Addr addr);
+
+    /** Peek without LRU update (used by the PAQ bubble model). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Fill the block for @p addr, evicting LRU if needed.
+     * @param dirty mark the filled block dirty (write allocate)
+     * @param[out] writeback set true if a dirty block was evicted
+     * @return the evicted block address (valid only when *writeback)
+     */
+    Addr fill(Addr addr, bool dirty, bool *writeback);
+
+    /** Mark an existing block dirty (store hit). */
+    void setDirty(Addr addr);
+
+    /** Invalidate a block if present. */
+    void invalidate(Addr addr);
+
+    const CacheConfig &config() const { return cfg; }
+    Cycle latency() const { return cfg.accessLatency; }
+
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr blockAddr(Addr a) const { return a & ~Addr(cfg.blockSize - 1); }
+    std::size_t setOf(Addr a) const
+    {
+        return (a >> blockShift) & (numSets - 1);
+    }
+    Addr tagOf(Addr a) const { return a >> blockShift; }
+
+    CacheConfig cfg;
+    unsigned blockShift;
+    std::size_t numSets;
+    std::vector<Line> lines;
+    std::uint64_t useClock = 0;
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+};
+
+} // namespace mem
+} // namespace lvpsim
+
+#endif // LVPSIM_MEM_CACHE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory dependence predictor "similar to Alpha 21264" (paper Table
+ * III): a PC-indexed wait table. A load whose entry has the wait bit
+ * set is held until all older stores have computed their addresses;
+ * otherwise it speculates. A memory-order violation sets the bit; the
+ * whole table is cleared periodically so stale conservatism decays.
+ */
+
+#ifndef LVPSIM_MEM_MEMDEP_HH
+#define LVPSIM_MEM_MEMDEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace mem
+{
+
+class MemDepPredictor
+{
+  public:
+    explicit MemDepPredictor(std::size_t entries = 1024,
+                             std::uint64_t clear_interval = 32768)
+        : waitBits(entries, false), clearInterval(clear_interval)
+    {}
+
+    /** Should this load wait for older stores? */
+    bool
+    shouldWait(Addr pc)
+    {
+        if (++accesses % clearInterval == 0)
+            std::fill(waitBits.begin(), waitBits.end(), false);
+        return waitBits[index(pc)];
+    }
+
+    /** A speculating load was hit by an older store: train to wait. */
+    void
+    recordViolation(Addr pc)
+    {
+        waitBits[index(pc)] = true;
+        ++numViolations;
+    }
+
+    std::uint64_t violations() const { return numViolations; }
+
+  private:
+    std::size_t index(Addr pc) const { return (pc >> 2) % waitBits.size(); }
+
+    std::vector<bool> waitBits;
+    std::uint64_t clearInterval;
+    std::uint64_t accesses = 0;
+    std::uint64_t numViolations = 0;
+};
+
+} // namespace mem
+} // namespace lvpsim
+
+#endif // LVPSIM_MEM_MEMDEP_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (paper Table III: "stride-based
+ * prefetchers"). Watches the demand stream and suggests block
+ * addresses to prefetch into the cache it is attached to.
+ */
+
+#ifndef LVPSIM_MEM_PREFETCHER_HH
+#define LVPSIM_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace mem
+{
+
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(std::size_t entries = 64,
+                              unsigned degree = 2)
+        : table(entries), prefetchDegree(degree)
+    {}
+
+    /**
+     * Observe a demand access; fills @p out with up to degree
+     * prefetch addresses (may be empty).
+     */
+    void
+    observe(Addr pc, Addr addr, std::vector<Addr> &out)
+    {
+        out.clear();
+        Entry &e = table[(pc >> 2) % table.size()];
+        const std::uint16_t tag = std::uint16_t((pc >> 2) & 0x3ff);
+        if (!e.valid || e.tag != tag) {
+            e.valid = true;
+            e.tag = tag;
+            e.lastAddr = addr;
+            e.stride = 0;
+            e.conf = 0;
+            return;
+        }
+        const std::int64_t stride =
+            std::int64_t(addr) - std::int64_t(e.lastAddr);
+        if (stride == e.stride && stride != 0) {
+            if (e.conf < 3)
+                ++e.conf;
+        } else {
+            e.conf = (stride == e.stride) ? e.conf : 0;
+            e.stride = stride;
+        }
+        e.lastAddr = addr;
+        if (e.conf >= 2 && e.stride != 0) {
+            for (unsigned d = 1; d <= prefetchDegree; ++d)
+                out.push_back(Addr(std::int64_t(addr) +
+                                   std::int64_t(d) * e.stride));
+        }
+    }
+
+    std::uint64_t issued() const { return numIssued; }
+    void countIssued(std::uint64_t n) { numIssued += n; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t conf = 0;
+    };
+
+    std::vector<Entry> table;
+    unsigned prefetchDegree;
+    std::uint64_t numIssued = 0;
+};
+
+} // namespace mem
+} // namespace lvpsim
+
+#endif // LVPSIM_MEM_PREFETCHER_HH

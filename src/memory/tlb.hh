@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Data TLB (paper Table III: 512-entry, 8-way set-associative). A miss
+ * costs a fixed page-walk latency.
+ */
+
+#ifndef LVPSIM_MEM_TLB_HH
+#define LVPSIM_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace mem
+{
+
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t entries = 512, unsigned assoc = 8,
+                 unsigned page_shift = 12, Cycle walk_latency = 20)
+        : numSets(entries / assoc), numWays(assoc),
+          pageShift(page_shift), walkLat(walk_latency),
+          sets(entries)
+    {}
+
+    /** Touch the page of @p addr; returns extra latency (0 on hit). */
+    Cycle
+    access(Addr addr)
+    {
+        const Addr vpn = addr >> pageShift;
+        const std::size_t s = vpn & (numSets - 1);
+        for (unsigned w = 0; w < numWays; ++w) {
+            Way &e = sets[s * numWays + w];
+            if (e.valid && e.vpn == vpn) {
+                e.lastUse = ++useClock;
+                ++numHits;
+                return 0;
+            }
+        }
+        ++numMisses;
+        Way *victim = &sets[s * numWays];
+        for (unsigned w = 0; w < numWays; ++w) {
+            Way &e = sets[s * numWays + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->lastUse = ++useClock;
+        return walkLat;
+    }
+
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr vpn = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t numSets;
+    unsigned numWays;
+    unsigned pageShift;
+    Cycle walkLat;
+    std::vector<Way> sets;
+    std::uint64_t useClock = 0;
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+};
+
+} // namespace mem
+} // namespace lvpsim
+
+#endif // LVPSIM_MEM_TLB_HH

@@ -1,0 +1,723 @@
+#include "pipeline/core.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+namespace pipe
+{
+
+using trace::MicroOp;
+using trace::OpClass;
+
+Core::Core(const CoreConfig &config,
+           const std::vector<trace::MicroOp> &trace_code,
+           LoadValuePredictor *predictor)
+    : cfg(config), code(trace_code),
+      vp(predictor ? predictor : &nullVp), memory(cfg.memory),
+      tage(cfg.tage, cfg.seed ^ 0x7a9e),
+      ittage(cfg.ittage, cfg.seed ^ 0x177a9e), ras(cfg.rasDepth)
+{
+}
+
+Core::Inflight *
+Core::findBySeq(InstSeqNum seq)
+{
+    auto it = std::lower_bound(
+        rob.begin(), rob.end(), seq,
+        [](const Inflight &f, InstSeqNum s) { return f.seq < s; });
+    if (it == rob.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+const Core::Inflight *
+Core::findBySeqConst(InstSeqNum seq) const
+{
+    auto it = std::lower_bound(
+        rob.begin(), rob.end(), seq,
+        [](const Inflight &f, InstSeqNum s) { return f.seq < s; });
+    if (it == rob.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+bool
+Core::depsReady(Inflight &f) const
+{
+    // On failure, leave a wake-up hint in f.sleepUntil so the issue
+    // scan can skip this op without repeating the producer lookups.
+    // now+1 means "cannot bound: recheck next cycle".
+    Cycle wake = 0;
+    for (InstSeqNum d : f.depSeq) {
+        if (d == 0)
+            continue;
+        const Inflight *p = findBySeqConst(d);
+        if (!p)
+            continue; // producer committed (or squashed): ready
+        // A value-predicted load's result is available through the
+        // VPE from vpReadyCycle, even before the load executes.
+        if (p->vpDelivered && p->vpReadyCycle <= now)
+            continue;
+        if (p->done && p->doneCycle <= now)
+            continue;
+        Cycle cand;
+        if (p->vpDelivered) {
+            cand = p->vpReadyCycle;
+            if (p->issued)
+                cand = std::min(cand, p->doneCycle);
+        } else if (p->paqPending) {
+            cand = now + 1; // a PAQ probe may deliver any cycle
+        } else if (p->issued) {
+            cand = p->doneCycle;
+        } else {
+            cand = now + 1; // producer not yet issued: unknown
+        }
+        wake = std::max(wake, cand);
+    }
+    if (wake == 0)
+        return true;
+    f.sleepUntil = wake;
+    return false;
+}
+
+Cycle
+Core::execLatency(const Inflight &f)
+{
+    const MicroOp &op = opOf(f);
+    switch (op.cls) {
+      case OpClass::IntAlu: return cfg.intAluLat;
+      case OpClass::IntMul: return cfg.intMulLat;
+      case OpClass::IntDiv: return cfg.intDivLat;
+      case OpClass::FpAlu: return cfg.fpLat;
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Ret:
+      case OpClass::IndirBr: return cfg.branchLat;
+      case OpClass::Store: return cfg.storeLat;
+      case OpClass::Barrier:
+      case OpClass::Nop: return 1;
+      case OpClass::Load: return 0; // resolved in issueStage
+    }
+    return 1;
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+bool
+Core::commitStage()
+{
+    unsigned n = 0;
+    while (!rob.empty() && n < cfg.retireWidth) {
+        Inflight &f = rob.front();
+        if (!f.done || f.doneCycle > now)
+            break;
+        const MicroOp &op = opOf(f);
+
+        ++stats.instructions;
+        if (op.isLoad()) {
+            ++stats.loads;
+            lvp_assert(!ldq.empty() && ldq.front().seq == f.seq,
+                       "LDQ out of sync");
+            ldq.pop_front();
+            auto it = inflightLoadPcs.find(op.pc);
+            if (it != inflightLoadPcs.end() && --it->second == 0)
+                inflightLoadPcs.erase(it);
+            if (op.isPredictableLoad()) {
+                ++stats.eligibleLoads;
+                const bool used =
+                    f.vpDelivered && f.vpReadyCycle <= f.doneCycle;
+                if (used) {
+                    ++stats.predictionsUsed;
+                    const auto c = std::size_t(f.pred.component);
+                    if (f.vpWrong) {
+                        ++stats.predictionsWrong;
+                        if (c < stats.wrongByComponent.size())
+                            ++stats.wrongByComponent[c];
+                    } else {
+                        ++stats.predictionsCorrect;
+                    }
+                    if (c < stats.usedByComponent.size())
+                        ++stats.usedByComponent[c];
+                }
+                LoadOutcome out;
+                out.pc = op.pc;
+                out.token = f.token;
+                out.effAddr = op.effAddr;
+                out.size = op.memSize;
+                out.value = op.memValue;
+                out.predictionUsed = used;
+                out.predictionCorrect = used && !f.vpWrong;
+                vp->train(out);
+            } else if (f.token != 0) {
+                vp->abandon(f.token);
+            }
+        } else if (op.isStore()) {
+            ++stats.stores;
+            lvp_assert(!stq.empty() && stq.front().seq == f.seq,
+                       "STQ out of sync");
+            stq.pop_front();
+        } else if (op.isBranch()) {
+            ++stats.branches;
+        }
+        rob.pop_front();
+        ++committed;
+        ++n;
+    }
+    if (n > 0)
+        vp->onRetire(n);
+    return n > 0;
+}
+
+// --------------------------------------------------------------------
+// Completion (execution results become visible)
+// --------------------------------------------------------------------
+
+void
+Core::validateLoad(Inflight &f)
+{
+    // Validation happens when the load executes (paper Section III-A).
+    // Only predictions that were delivered in time can have poisoned
+    // consumers; late or dropped predictions are harmless.
+    if (!f.vpDelivered || f.vpReadyCycle > f.doneCycle)
+        return;
+    if (!f.vpWrong)
+        return;
+    ++stats.vpFlushes;
+    // Flush everything younger; refetch from the next instruction.
+    squashYoungerThan(f.seq + 1, f.traceIdx + 1);
+    fetchResumeCycle = std::max(fetchResumeCycle, f.doneCycle + 1);
+}
+
+bool
+Core::completeStage()
+{
+    if (issuedNotDone == 0)
+        return false;
+    bool any = false;
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        Inflight &f = rob[i];
+        if (!f.issued || f.done || f.doneCycle > now)
+            continue;
+        f.done = true;
+        --issuedNotDone;
+        any = true;
+        const MicroOp &op = opOf(f);
+
+        if (f.branchMispredicted) {
+            // The front end may resume along the correct path.
+            fetchHalted = false;
+            fetchResumeCycle = std::max(fetchResumeCycle, now + 1);
+        }
+        if (op.isLoad()) {
+            f.paqPending = false; // probe is useless after execute
+            validateLoad(f); // may squash ops younger than f
+        }
+    }
+    return any;
+}
+
+// --------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------
+
+bool
+Core::issueStage(unsigned &ls_used)
+{
+    unsigned issued_count = 0;
+    unsigned alu_used = 0;
+    ls_used = 0;
+    if (iqCount == 0)
+        return false;
+
+    const unsigned alu_lanes = cfg.issueWidth - cfg.lsLanes;
+
+    for (std::size_t i = 0;
+         i < rob.size() && issued_count < cfg.issueWidth; ++i) {
+        Inflight &f = rob[i];
+        if (!f.inIQ || now < f.minIssueCycle ||
+            now < f.sleepUntil)
+            continue;
+        const MicroOp &op = opOf(f);
+        const bool is_ls = op.isLoad() || op.isStore();
+        if (is_ls && ls_used >= cfg.lsLanes)
+            continue;
+        if (!is_ls && alu_used >= alu_lanes)
+            continue;
+        if (!depsReady(f))
+            continue;
+        if (op.cls == OpClass::Barrier && f.seq != rob.front().seq)
+            continue; // barriers issue only when oldest
+
+        Cycle lat = execLatency(f);
+
+        if (op.isLoad()) {
+            // Check the store queue for an older overlapping store
+            // (addresses are perfectly known; the *policy* is governed
+            // by the memory dependence predictor).
+            const MemQEntry *conflict = nullptr;
+            for (auto it = stq.rbegin(); it != stq.rend(); ++it) {
+                if (it->seq >= f.seq)
+                    continue;
+                if (rangesOverlap(op.effAddr, op.memSize, it->addr,
+                                  it->size)) {
+                    conflict = &*it;
+                    break;
+                }
+            }
+            if (conflict) {
+                const Inflight *st = findBySeqConst(conflict->seq);
+                const bool resolved = st && st->issued;
+                if (!resolved) {
+                    if (memdep.shouldWait(op.pc))
+                        continue; // hold the load in the IQ
+                    f.speculativeLoad = true;
+                    const auto res =
+                        memory.dataAccess(op.pc, op.effAddr, false);
+                    lat = 1 + res.latency;
+                } else {
+                    lat = 1 + cfg.stlfLat; // store-to-load forwarding
+                }
+            } else {
+                const auto res =
+                    memory.dataAccess(op.pc, op.effAddr, false);
+                lat = 1 + res.latency;
+            }
+        } else if (op.isStore()) {
+            memory.dataAccess(op.pc, op.effAddr, true);
+        }
+
+        f.inIQ = false;
+        f.issued = true;
+        f.doneCycle = now + std::max<Cycle>(1, lat);
+        --iqCount;
+        ++issuedNotDone;
+        ++issued_count;
+        if (is_ls)
+            ++ls_used;
+        else
+            ++alu_used;
+
+        if (op.isStore())
+            checkStoreOrderViolation(f); // may squash younger ops
+    }
+    return issued_count > 0;
+}
+
+void
+Core::checkStoreOrderViolation(const Inflight &store)
+{
+    const MicroOp &sop = opOf(store);
+    // A younger load that already executed speculatively past this
+    // then-unresolved store read stale data: memory-order flush,
+    // replaying from the load itself.
+    for (const MemQEntry &e : ldq) {
+        if (e.seq <= store.seq)
+            continue;
+        if (!rangesOverlap(e.addr, e.size, sop.effAddr, sop.memSize))
+            continue;
+        Inflight *ld = findBySeq(e.seq);
+        if (!ld || !ld->issued || !ld->speculativeLoad)
+            continue;
+        ++stats.memOrderFlushes;
+        memdep.recordViolation(opOf(*ld).pc);
+        const std::uint64_t replay_idx = ld->traceIdx;
+        squashYoungerThan(ld->seq, replay_idx);
+        fetchResumeCycle = std::max(fetchResumeCycle, now + 1);
+        return;
+    }
+}
+
+// --------------------------------------------------------------------
+// PAQ: probe the D-cache with predicted addresses on LS bubbles
+// --------------------------------------------------------------------
+
+bool
+Core::paqStage(unsigned ls_used)
+{
+    bool any = false;
+    unsigned slots =
+        cfg.lsLanes > ls_used ? cfg.lsLanes - ls_used : 0;
+    while (slots > 0 && !paq.empty()) {
+        const PaqEntry e = paq.front();
+        paq.pop_front();
+        --slots;
+        Inflight *f = findBySeq(e.seq);
+        if (!f || !f->paqPending || f->done)
+            continue;
+        f->paqPending = false;
+        ++stats.paqProbes;
+        any = true;
+        const auto res = memory.paqProbe(e.addr);
+        if (!res.l1Hit) {
+            // Paper Figure 1 step 5 (prefetch on miss) is disabled:
+            // the prediction is simply dropped.
+            ++stats.paqMisses;
+            continue;
+        }
+        const MicroOp &op = opOf(*f);
+        // Conflicting-store avoidance (DLVP [3]): if an older
+        // in-flight store to the probed bytes has not yet written the
+        // cache, the probe would return stale data - drop the
+        // prediction rather than poison consumers.
+        bool conflict = false;
+        for (auto it = stq.rbegin(); it != stq.rend(); ++it) {
+            if (it->seq >= f->seq)
+                continue;
+            if (!rangesOverlap(e.addr, op.memSize, it->addr,
+                               it->size))
+                continue;
+            const Inflight *st = findBySeqConst(it->seq);
+            conflict = st && !st->issued;
+            break;
+        }
+        if (conflict) {
+            ++stats.paqConflictDrops;
+            continue;
+        }
+        f->vpDelivered = true;
+        f->vpReadyCycle = now + res.latency;
+        // The delivered value is wrong iff the predicted address was
+        // wrong (validated when the load executes).
+        f->vpWrong = e.addr != op.effAddr;
+    }
+    return any;
+}
+
+// --------------------------------------------------------------------
+// Dispatch (rename + queue allocation)
+// --------------------------------------------------------------------
+
+bool
+Core::dispatchStage()
+{
+    unsigned n = 0;
+    while (!fetchBuf.empty() && n < cfg.fetchWidth) {
+        Inflight &f = fetchBuf.front();
+        if (f.fetchCycle >= now)
+            break; // fetched this cycle; dispatch next cycle
+        if (rob.size() >= cfg.robSize || iqCount >= cfg.iqSize)
+            break;
+        const MicroOp &op = opOf(f);
+        if (op.isLoad() && ldq.size() >= cfg.ldqSize)
+            break;
+        if (op.isStore() && stq.size() >= cfg.stqSize)
+            break;
+
+        // Rename: resolve sources against the last writers.
+        for (unsigned s = 0; s < f.depSeq.size(); ++s) {
+            const RegId r = op.src[s];
+            f.depSeq[s] = (r == invalidReg) ? 0 : lastWriter[r];
+        }
+        if (op.dst != invalidReg)
+            lastWriter[op.dst] = f.seq;
+
+        f.inIQ = true;
+        ++iqCount;
+        if (op.isLoad())
+            ldq.push_back({f.seq, op.effAddr, op.memSize});
+        if (op.isStore())
+            stq.push_back({f.seq, op.effAddr, op.memSize});
+
+        // Address predictions enter the PAQ here (paper step 2).
+        if (f.pred.isAddress()) {
+            if (paq.size() < cfg.paqSize) {
+                f.paqPending = true;
+                paq.push_back({f.seq, f.pred.addr});
+            } else {
+                ++stats.paqDropsFull;
+                f.pred = Prediction{};
+            }
+        }
+
+        rob.push_back(f);
+        fetchBuf.pop_front();
+        ++n;
+    }
+    return n > 0;
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetchOne()
+{
+    const MicroOp &op = code[fetchIdx];
+    Inflight f;
+    f.traceIdx = std::uint32_t(fetchIdx);
+    f.seq = nextSeq++;
+    f.fetchCycle = now;
+    f.minIssueCycle = now + cfg.fetchToExecute - 1;
+    const bool first_fetch = fetchIdx >= contextIdx;
+
+    if (op.isBranch()) {
+        bool mispredict = false;
+        if (first_fetch) {
+            switch (op.cls) {
+              case OpClass::Branch: {
+                const bool pred = tage.predict(op.pc);
+                mispredict = pred != op.taken;
+                tage.update(op.pc, op.taken);
+                break;
+              }
+              case OpClass::Call:
+                // Direct call: target known at decode; push the RAS.
+                ras.push(op.pc + 4);
+                tage.updateHistoryOnly(op.pc, true);
+                break;
+              case OpClass::Ret: {
+                const Addr pred = ras.pop();
+                mispredict = pred != op.target;
+                tage.updateHistoryOnly(op.pc, true);
+                break;
+              }
+              case OpClass::IndirBr: {
+                const Addr pred = ittage.predict(op.pc);
+                mispredict = pred != op.target;
+                ittage.update(op.pc, op.target);
+                tage.updateHistoryOnly(op.pc, true);
+                break;
+              }
+              default:
+                break;
+            }
+            vp->notifyBranch(op.pc, op.taken, op.target);
+            if (mispredict)
+                ++stats.branchMispredicts;
+        }
+        f.branchMispredicted = mispredict;
+        if (mispredict)
+            fetchHalted = true;
+    } else if (op.isPredictableLoad()) {
+        auto stash = refetchStash.find(fetchIdx);
+        if (stash != refetchStash.end()) {
+            // Re-fetch after a flush: restore the first-fetch
+            // prediction (history-checkpoint semantics).
+            f.token = stash->second.token;
+            f.pred = stash->second.pred;
+            refetchStash.erase(stash);
+        } else {
+            LoadProbe probe;
+            probe.pc = op.pc;
+            probe.token = nextToken++;
+            const auto it = inflightLoadPcs.find(op.pc);
+            probe.inflightSamePc =
+                it == inflightLoadPcs.end() ? 0 : it->second;
+            f.token = probe.token;
+            f.pred = vp->predict(probe);
+            if (f.pred.valid())
+                ++stats.predictionsMade;
+        }
+        if (f.pred.isValue()) {
+            f.vpDelivered = true;
+            f.vpReadyCycle = now; // available from rename onward
+            f.vpWrong = f.pred.value != op.memValue;
+        }
+        if (first_fetch)
+            vp->notifyLoad(op.pc);
+    }
+    if (op.isLoad())
+        ++inflightLoadPcs[op.pc];
+
+    if (first_fetch)
+        contextIdx = fetchIdx + 1;
+    ++fetchIdx;
+    fetchBuf.push_back(f);
+}
+
+bool
+Core::fetchStage()
+{
+    if (now < fetchResumeCycle || fetchHalted)
+        return false;
+    unsigned n = 0;
+    while (n < cfg.fetchWidth && fetchIdx < code.size() &&
+           fetchBuf.size() < 2 * cfg.fetchWidth && !fetchHalted) {
+        fetchOne();
+        ++n;
+    }
+    return n > 0;
+}
+
+// --------------------------------------------------------------------
+// Squash / flush
+// --------------------------------------------------------------------
+
+void
+Core::squashYoungerThan(InstSeqNum oldest_squashed,
+                        std::uint64_t new_fetch_idx)
+{
+    auto drop_load_bookkeeping = [&](const Inflight &f) {
+        const MicroOp &op = opOf(f);
+        if (op.isLoad()) {
+            auto it = inflightLoadPcs.find(op.pc);
+            if (it != inflightLoadPcs.end() && --it->second == 0)
+                inflightLoadPcs.erase(it);
+            if (f.token != 0) {
+                // Keep the predictor's per-token state alive when the
+                // re-fetched load would predict the same thing: real
+                // hardware restores the history checkpoint and probes
+                // the *current* tables. A correct prediction would
+                // recur; a wrong one would not (the triggering
+                // mispredict resets its entry before the re-probe),
+                // so wrong predictions are dropped and re-probed.
+                const bool wrong =
+                    (f.pred.isValue() &&
+                     f.pred.value != op.memValue) ||
+                    (f.pred.isAddress() &&
+                     f.pred.addr != op.effAddr);
+                refetchStash[f.traceIdx] = {
+                    f.token, wrong ? Prediction{} : f.pred};
+            }
+        }
+    };
+
+    while (!rob.empty() && rob.back().seq >= oldest_squashed) {
+        Inflight &f = rob.back();
+        if (f.inIQ)
+            --iqCount;
+        if (f.issued && !f.done)
+            --issuedNotDone;
+        drop_load_bookkeeping(f);
+        ++stats.squashedOps;
+        rob.pop_back();
+    }
+    while (!ldq.empty() && ldq.back().seq >= oldest_squashed)
+        ldq.pop_back();
+    while (!stq.empty() && stq.back().seq >= oldest_squashed)
+        stq.pop_back();
+    while (!fetchBuf.empty() &&
+           fetchBuf.back().seq >= oldest_squashed) {
+        drop_load_bookkeeping(fetchBuf.back());
+        ++stats.squashedOps;
+        fetchBuf.pop_back();
+    }
+    paq.erase(std::remove_if(paq.begin(), paq.end(),
+                             [&](const PaqEntry &e) {
+                                 return e.seq >= oldest_squashed;
+                             }),
+              paq.end());
+
+    rebuildRenameMap();
+    fetchIdx = new_fetch_idx;
+
+    // If the mispredicted branch that halted fetch was squashed,
+    // fetch may resume; recompute from the surviving window.
+    fetchHalted = false;
+    for (const Inflight &f : rob) {
+        if (f.branchMispredicted && !f.done) {
+            fetchHalted = true;
+            break;
+        }
+    }
+}
+
+void
+Core::rebuildRenameMap()
+{
+    lastWriter.fill(0);
+    for (const Inflight &f : rob) {
+        const MicroOp &op = opOf(f);
+        if (op.dst != invalidReg)
+            lastWriter[op.dst] = f.seq;
+    }
+}
+
+// --------------------------------------------------------------------
+// Main loop
+// --------------------------------------------------------------------
+
+Cycle
+Core::nextEventCycle() const
+{
+    Cycle next = std::numeric_limits<Cycle>::max();
+    for (const Inflight &f : rob) {
+        if (f.issued && !f.done)
+            next = std::min(next, f.doneCycle);
+        else if (f.inIQ)
+            next = std::min(next, f.minIssueCycle);
+    }
+    if (fetchResumeCycle > now &&
+        (fetchIdx < code.size() || !fetchBuf.empty()))
+        next = std::min(next, fetchResumeCycle);
+    for (const Inflight &f : fetchBuf)
+        next = std::min(next, f.fetchCycle + 1);
+    return next;
+}
+
+SimStats
+Core::run(std::uint64_t max_instrs)
+{
+    stats = SimStats{};
+    const std::uint64_t l1d_miss0 = memory.l1d().misses();
+    const std::uint64_t l2_miss0 = memory.l2().misses();
+
+    while (fetchIdx < code.size() || !rob.empty() ||
+           !fetchBuf.empty()) {
+        if (max_instrs && committed >= max_instrs)
+            break;
+        ++now;
+        bool any = false;
+        any |= commitStage();
+        any |= completeStage();
+        unsigned ls_used = 0;
+        any |= issueStage(ls_used);
+        any |= paqStage(ls_used);
+        any |= dispatchStage();
+        any |= fetchStage();
+
+        if (!any) {
+            const Cycle next = nextEventCycle();
+            lvp_assert(next != std::numeric_limits<Cycle>::max(),
+                       "pipeline deadlock at cycle %llu",
+                       static_cast<unsigned long long>(now));
+            if (next > now + 1)
+                now = next - 1; // the loop header will ++now
+        }
+    }
+
+    stats.cycles = now;
+    stats.l1dMisses = memory.l1d().misses() - l1d_miss0;
+    stats.l2Misses = memory.l2().misses() - l2_miss0;
+    return stats;
+}
+
+void
+Core::dumpSubstrateStats(std::ostream &os) const
+{
+    auto rate = [](std::uint64_t part, std::uint64_t whole) {
+        return whole ? 100.0 * double(part) / double(whole) : 0.0;
+    };
+    const auto &l1d = memory.l1dConst();
+    const auto &l2 = memory.l2Const();
+    const auto &l3 = memory.l3Const();
+    const auto &tlb = memory.tlbConst();
+    os << "  l1d: " << l1d.hits() << " hits, " << l1d.misses()
+       << " misses (" << rate(l1d.misses(),
+                              l1d.hits() + l1d.misses())
+       << "% miss)\n"
+       << "  l2:  " << l2.hits() << " hits, " << l2.misses()
+       << " misses\n"
+       << "  l3:  " << l3.hits() << " hits, " << l3.misses()
+       << " misses\n"
+       << "  dtlb: " << tlb.hits() << " hits, " << tlb.misses()
+       << " misses\n"
+       << "  prefetches issued: " << memory.prefetchesIssued()
+       << "\n"
+       << "  tage: " << tage.lookups() << " lookups, "
+       << tage.mispredicts() << " mispredicts ("
+       << rate(tage.mispredicts(), tage.lookups()) << "%)\n"
+       << "  ittage: " << ittage.lookups() << " lookups, "
+       << ittage.mispredicts() << " mispredicts\n"
+       << "  memdep violations: " << memdep.violations() << "\n";
+}
+
+} // namespace pipe
+} // namespace lvpsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cycle-level, trace-driven out-of-order core model (paper Table III).
+ *
+ * The model is execute-at-fetch: architectural values come from the
+ * trace; the core models timing only. It implements the value
+ * prediction microarchitecture of the paper's Figure 1 - predictor
+ * probe at fetch, VPE delivery to consumers, PAQ probes of the D-cache
+ * on load-pipe bubbles for address predictions, validation when the
+ * load executes, and flush-based misprediction recovery.
+ *
+ * Modeling notes (see DESIGN.md):
+ *  - Fetch follows the correct path; a branch mispredict stalls fetch
+ *    until the branch executes (wrong-path effects not modeled).
+ *  - Branch predictors and global histories advance at first fetch of
+ *    a trace index only, so re-fetched instructions after a value
+ *    misprediction see a consistent (not rewound) history.
+ *  - Stores write the cache model at execute; loads check the store
+ *    queue for forwarding; a load that speculates past an unresolved
+ *    older store to the same address triggers a memory-order flush,
+ *    governed by the 21264-style wait-table predictor.
+ */
+
+#ifndef LVPSIM_PIPE_CORE_HH
+#define LVPSIM_PIPE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/ittage.hh"
+#include "branch/ras.hh"
+#include "branch/tage.hh"
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+#include "memory/memdep.hh"
+#include "pipeline/core_config.hh"
+#include "pipeline/lvp_interface.hh"
+#include "pipeline/sim_stats.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace pipe
+{
+
+class Core
+{
+  public:
+    /**
+     * @param cfg core configuration
+     * @param code the dynamic trace to run (must outlive the core)
+     * @param vp the load value predictor (not owned; may be nullptr
+     *        for the no-VP baseline)
+     */
+    Core(const CoreConfig &cfg,
+         const std::vector<trace::MicroOp> &code,
+         LoadValuePredictor *vp);
+
+    /**
+     * Simulate until the trace is exhausted (or @p max_instrs have
+     * committed) and return the run statistics.
+     */
+    SimStats run(std::uint64_t max_instrs = 0);
+
+    /** Substrate statistics (caches, TLB, branch predictors). */
+    void dumpSubstrateStats(std::ostream &os) const;
+
+  private:
+    struct Inflight
+    {
+        std::uint32_t traceIdx = 0;
+        InstSeqNum seq = 0;
+        Cycle fetchCycle = 0;
+        Cycle minIssueCycle = 0;
+        Cycle doneCycle = 0;
+        Cycle sleepUntil = 0; ///< dependency wake-up hint (issue scan)
+        bool inIQ = false;
+        bool issued = false;
+        bool done = false;
+
+        std::array<InstSeqNum, 3> depSeq{0, 0, 0};
+
+        bool branchMispredicted = false;
+
+        Prediction pred{};
+        std::uint64_t token = 0;
+        bool vpDelivered = false; ///< value reached the VPE
+        Cycle vpReadyCycle = 0;
+        bool vpWrong = false;
+        bool paqPending = false;
+
+        bool speculativeLoad = false; ///< issued past unresolved store
+    };
+
+    struct PaqEntry
+    {
+        InstSeqNum seq = 0;
+        Addr addr = 0;
+    };
+
+    /** LDQ/STQ bookkeeping record (addresses known from the trace). */
+    struct MemQEntry
+    {
+        InstSeqNum seq = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+    };
+
+    const trace::MicroOp &opOf(const Inflight &f) const
+    {
+        return code[f.traceIdx];
+    }
+
+    // Pipeline stages (called once per cycle, oldest work first).
+    bool commitStage();
+    bool completeStage();
+    bool issueStage(unsigned &ls_used);
+    bool paqStage(unsigned ls_used);
+    bool dispatchStage();
+    bool fetchStage();
+
+    // Helpers.
+    Inflight *findBySeq(InstSeqNum seq);
+    const Inflight *findBySeqConst(InstSeqNum seq) const;
+    bool depsReady(Inflight &f) const;
+    Cycle execLatency(const Inflight &f);
+    void fetchOne();
+    void squashYoungerThan(InstSeqNum oldest_squashed,
+                           std::uint64_t new_fetch_idx);
+    void rebuildRenameMap();
+    void validateLoad(Inflight &f);
+    void checkStoreOrderViolation(const Inflight &store);
+    Cycle nextEventCycle() const;
+    bool rangesOverlap(Addr a, unsigned asz, Addr b, unsigned bsz) const
+    {
+        return a < b + bsz && b < a + asz;
+    }
+
+    CoreConfig cfg;
+    const std::vector<trace::MicroOp> &code;
+    LoadValuePredictor *vp;
+    NullPredictor nullVp;
+
+    mem::MemoryHierarchy memory;
+    mem::MemDepPredictor memdep;
+    branch::Tage tage;
+    branch::Ittage ittage;
+    branch::ReturnAddressStack ras;
+
+    Cycle now = 0;
+    std::uint64_t fetchIdx = 0;
+    std::uint64_t contextIdx = 0; ///< history advanced for idx < this
+    Cycle fetchResumeCycle = 0;
+    bool fetchHalted = false; ///< mispredicted branch in flight
+    InstSeqNum nextSeq = 1;
+    std::uint64_t nextToken = 1;
+    std::uint64_t committed = 0;
+    std::uint64_t issuedNotDone = 0;
+
+    std::deque<Inflight> rob;
+    std::deque<Inflight> fetchBuf;
+    std::deque<PaqEntry> paq;
+    std::deque<MemQEntry> ldq;
+    std::deque<MemQEntry> stq;
+    unsigned iqCount = 0;
+    std::array<InstSeqNum, numArchRegs> lastWriter{};
+    std::unordered_map<Addr, unsigned> inflightLoadPcs;
+
+    /**
+     * Predictions of squashed loads, keyed by trace index. Real
+     * hardware checkpoints and restores the branch/path histories on
+     * a flush, so a re-fetched load sees the same context and gets
+     * the same prediction; we model that by reusing the first-fetch
+     * prediction (and its live predictor token) instead of re-probing
+     * with a polluted history.
+     */
+    struct StashedPrediction
+    {
+        std::uint64_t token = 0;
+        Prediction pred{};
+    };
+    std::unordered_map<std::uint64_t, StashedPrediction> refetchStash;
+
+    SimStats stats;
+};
+
+} // namespace pipe
+} // namespace lvpsim
+
+#endif // LVPSIM_PIPE_CORE_HH

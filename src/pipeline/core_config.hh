@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline core configuration, copied from the paper's Table III
+ * (Skylake-like).
+ */
+
+#ifndef LVPSIM_PIPE_CORE_CONFIG_HH
+#define LVPSIM_PIPE_CORE_CONFIG_HH
+
+#include "branch/ittage.hh"
+#include "branch/tage.hh"
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+
+namespace lvpsim
+{
+namespace pipe
+{
+
+struct CoreConfig
+{
+    /// Fetch through Rename width (Table III).
+    unsigned fetchWidth = 4;
+    /// Issue through Commit width; 2 of the 8 lanes are load/store.
+    unsigned issueWidth = 8;
+    unsigned lsLanes = 2;
+    unsigned retireWidth = 8;
+
+    unsigned robSize = 224;
+    unsigned iqSize = 97;
+    unsigned ldqSize = 72;
+    unsigned stqSize = 56;
+
+    /// Minimum cycles between fetch and execute (Table III: 13).
+    Cycle fetchToExecute = 13;
+
+    /// Predicted Address Queue capacity (Figure 1).
+    unsigned paqSize = 16;
+
+    /// Execution latencies by class.
+    Cycle intAluLat = 1;
+    Cycle intMulLat = 3;
+    Cycle intDivLat = 12;
+    Cycle fpLat = 4;
+    Cycle branchLat = 1;
+    Cycle storeLat = 1;
+    Cycle stlfLat = 1; ///< store-to-load forwarding
+
+    mem::HierarchyConfig memory{};
+    branch::TageConfig tage{};
+    branch::IttageConfig ittage{};
+    unsigned rasDepth = 16;
+
+    std::uint64_t seed = 0xc0de;
+};
+
+} // namespace pipe
+} // namespace lvpsim
+
+#endif // LVPSIM_PIPE_CORE_CONFIG_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The boundary between the core model and any load value predictor.
+ *
+ * The pipeline probes the predictor when a load is fetched (paper
+ * Figure 1, step 1), notifies it of branches/loads so it can maintain
+ * path histories, and trains it in retirement order with the
+ * architectural outcome. Tokens tie a probe to its eventual train or
+ * abandon (squash) so stateful predictors can keep per-instance
+ * snapshots.
+ */
+
+#ifndef LVPSIM_PIPE_LVP_INTERFACE_HH
+#define LVPSIM_PIPE_LVP_INTERFACE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace pipe
+{
+
+/** Identifier for the predictor component behind a prediction. */
+enum class ComponentId : std::int8_t
+{
+    None = -1,
+    LVP = 0,
+    SAP = 1,
+    CVP = 2,
+    CAP = 3,
+    Other = 4, ///< e.g. EVES sub-predictors
+};
+
+constexpr const char *
+componentName(ComponentId id)
+{
+    switch (id) {
+      case ComponentId::LVP: return "LVP";
+      case ComponentId::SAP: return "SAP";
+      case ComponentId::CVP: return "CVP";
+      case ComponentId::CAP: return "CAP";
+      case ComponentId::Other: return "OTHER";
+      default: return "NONE";
+    }
+}
+
+/** A prediction handed to the pipeline at fetch. */
+struct Prediction
+{
+    enum class Kind : std::uint8_t { None, Value, Address };
+
+    Kind kind = Kind::None;
+    Value value = 0;     ///< Kind::Value: the predicted load value
+    Addr addr = 0;       ///< Kind::Address: goes to the PAQ
+    ComponentId component = ComponentId::None;
+
+    bool isValue() const { return kind == Kind::Value; }
+    bool isAddress() const { return kind == Kind::Address; }
+    bool valid() const { return kind != Kind::None; }
+};
+
+/** What the pipeline knows about a load when probing at fetch. */
+struct LoadProbe
+{
+    Addr pc = 0;
+    std::uint64_t token = 0;     ///< unique per dynamic probe
+    unsigned inflightSamePc = 0; ///< older in-flight instances of pc
+};
+
+/** Architectural outcome delivered at retirement, in program order. */
+struct LoadOutcome
+{
+    Addr pc = 0;
+    std::uint64_t token = 0;
+    Addr effAddr = 0;
+    unsigned size = 0;
+    Value value = 0;
+    bool predictionUsed = false;    ///< a predicted value reached the VPE
+    bool predictionCorrect = false; ///< ... and it was correct
+};
+
+class LoadValuePredictor
+{
+  public:
+    virtual ~LoadValuePredictor() = default;
+
+    /** Probe at fetch; return a prediction (or Kind::None). */
+    virtual Prediction predict(const LoadProbe &probe) = 0;
+
+    /** Retirement-order training with the architectural outcome. */
+    virtual void train(const LoadOutcome &outcome) = 0;
+
+    /** The probe with this token was squashed and will never train. */
+    virtual void abandon(std::uint64_t token) { (void)token; }
+
+    /** A (conditional or indirect) branch was fetched. */
+    virtual void
+    notifyBranch(Addr pc, bool taken, Addr target)
+    {
+        (void)pc; (void)taken; (void)target;
+    }
+
+    /** A load was fetched (after its own predict() call). */
+    virtual void notifyLoad(Addr pc) { (void)pc; }
+
+    /** @p n more instructions retired (drives epoch machinery). */
+    virtual void onRetire(std::uint64_t n) { (void)n; }
+
+    /** Bit-exact storage cost of all prediction state. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    virtual const char *name() const = 0;
+
+    /** Human-readable internal statistics. */
+    virtual void dumpStats(std::ostream &os) const { (void)os; }
+};
+
+/** The no-prediction baseline. */
+class NullPredictor : public LoadValuePredictor
+{
+  public:
+    Prediction predict(const LoadProbe &) override { return {}; }
+    void train(const LoadOutcome &) override {}
+    std::uint64_t storageBits() const override { return 0; }
+    const char *name() const override { return "none"; }
+};
+
+} // namespace pipe
+} // namespace lvpsim
+
+#endif // LVPSIM_PIPE_LVP_INTERFACE_HH

@@ -1,0 +1,56 @@
+#include "pipeline/sim_stats.hh"
+
+#include <iomanip>
+
+#include "pipeline/lvp_interface.hh"
+
+namespace lvpsim
+{
+namespace pipe
+{
+
+void
+SimStats::dump(std::ostream &os) const
+{
+    auto row = [&os](const char *name, std::uint64_t v) {
+        os << "  " << std::left << std::setw(26) << name << std::right
+           << std::setw(14) << v << "\n";
+    };
+    os << std::fixed << std::setprecision(4);
+    row("cycles", cycles);
+    row("instructions", instructions);
+    os << "  " << std::left << std::setw(26) << "ipc" << std::right
+       << std::setw(14) << ipc() << "\n";
+    row("loads", loads);
+    row("eligible_loads", eligibleLoads);
+    row("stores", stores);
+    row("branches", branches);
+    row("branch_mispredicts", branchMispredicts);
+    row("predictions_made", predictionsMade);
+    row("predictions_used", predictionsUsed);
+    row("predictions_correct", predictionsCorrect);
+    row("predictions_wrong", predictionsWrong);
+    os << "  " << std::left << std::setw(26) << "coverage"
+       << std::right << std::setw(14) << coverage() << "\n";
+    os << "  " << std::left << std::setw(26) << "accuracy"
+       << std::right << std::setw(14) << accuracy() << "\n";
+    row("paq_probes", paqProbes);
+    row("paq_misses", paqMisses);
+    row("paq_drops_full", paqDropsFull);
+    row("paq_conflict_drops", paqConflictDrops);
+    row("vp_flushes", vpFlushes);
+    row("mem_order_flushes", memOrderFlushes);
+    row("squashed_ops", squashedOps);
+    row("l1d_misses", l1dMisses);
+    row("l2_misses", l2Misses);
+    for (std::size_t c = 0; c < usedByComponent.size(); ++c) {
+        if (usedByComponent[c] == 0)
+            continue;
+        os << "  used_by[" << componentName(ComponentId(c))
+           << "]" << std::setw(24) << usedByComponent[c]
+           << "  wrong " << wrongByComponent[c] << "\n";
+    }
+}
+
+} // namespace pipe
+} // namespace lvpsim

@@ -1,0 +1,78 @@
+#include "sim/experiment.hh"
+
+#include "common/mathutils.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+double
+SuiteResult::geomeanSpeedup() const
+{
+    std::vector<double> base_ipc, vp_ipc;
+    for (const auto &r : rows) {
+        base_ipc.push_back(r.base.ipc());
+        vp_ipc.push_back(r.withVp.ipc());
+    }
+    return geoMean(vp_ipc) / geoMean(base_ipc) - 1.0;
+}
+
+double
+SuiteResult::meanCoverage() const
+{
+    std::vector<double> xs;
+    for (const auto &r : rows)
+        xs.push_back(r.coverage());
+    return arithMean(xs);
+}
+
+double
+SuiteResult::meanAccuracy() const
+{
+    std::vector<double> xs;
+    for (const auto &r : rows)
+        xs.push_back(r.accuracy());
+    return arithMean(xs);
+}
+
+SuiteRunner::SuiteRunner(std::vector<std::string> workload_names,
+                         const RunConfig &run_config)
+    : workloadNames(std::move(workload_names)), rc(run_config)
+{
+}
+
+const pipe::SimStats &
+SuiteRunner::baseline(const std::string &workload)
+{
+    auto it = baselines.find(workload);
+    if (it == baselines.end()) {
+        pipe::NullPredictor none;
+        it = baselines
+                 .emplace(workload, runWorkload(workload, &none, rc))
+                 .first;
+    }
+    return it->second;
+}
+
+SuiteResult
+SuiteRunner::run(const std::string &label,
+                 const PredictorFactory &make_vp)
+{
+    SuiteResult out;
+    out.label = label;
+    for (const auto &w : workloadNames) {
+        WorkloadResult r;
+        r.workload = w;
+        r.base = baseline(w);
+        auto vp = make_vp();
+        r.withVp = runWorkload(w, vp.get(), rc);
+        r.storageBits = vp->storageBits();
+        out.storageBits = r.storageBits;
+        out.rows.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace lvpsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Suite-level experiment harness: runs a predictor configuration over
+ * a list of workloads, caches the no-VP baseline per workload, and
+ * aggregates exactly as the paper does (Section II-A): arithmetic
+ * average across workloads, geometric mean for IPC.
+ */
+
+#ifndef LVPSIM_SIM_EXPERIMENT_HH
+#define LVPSIM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/lvp_interface.hh"
+#include "pipeline/sim_stats.hh"
+#include "sim/simulator.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+struct WorkloadResult
+{
+    std::string workload;
+    pipe::SimStats base;
+    pipe::SimStats withVp;
+    std::uint64_t storageBits = 0;
+
+    double speedup() const { return withVp.ipc() / base.ipc() - 1.0; }
+    double coverage() const { return withVp.coverage(); }
+    double accuracy() const { return withVp.accuracy(); }
+};
+
+struct SuiteResult
+{
+    std::string label;
+    std::vector<WorkloadResult> rows;
+    std::uint64_t storageBits = 0;
+
+    double storageKB() const { return double(storageBits) / 8192.0; }
+
+    /** Speedup of geomean IPC over the geomean baseline IPC. */
+    double geomeanSpeedup() const;
+    /** Arithmetic mean coverage across workloads (paper style). */
+    double meanCoverage() const;
+    double meanAccuracy() const;
+};
+
+/** Factory producing one fresh predictor per workload. */
+using PredictorFactory =
+    std::function<std::unique_ptr<pipe::LoadValuePredictor>()>;
+
+class SuiteRunner
+{
+  public:
+    SuiteRunner(std::vector<std::string> workload_names,
+                const RunConfig &rc);
+
+    /** Run a configuration; baselines are computed once and reused. */
+    SuiteResult run(const std::string &label,
+                    const PredictorFactory &make_vp);
+
+    const std::vector<std::string> &workloads() const
+    {
+        return workloadNames;
+    }
+    const RunConfig &runConfig() const { return rc; }
+
+    /** The cached no-VP baseline for one workload. */
+    const pipe::SimStats &baseline(const std::string &workload);
+
+  private:
+    std::vector<std::string> workloadNames;
+    RunConfig rc;
+    std::unordered_map<std::string, pipe::SimStats> baselines;
+};
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_EXPERIMENT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Environment-variable run scaling shared by tests, benches and
+ * examples:
+ *
+ *   LVPSIM_INSTRS=<n>       dynamic instructions per workload
+ *   LVPSIM_SUITE=smoke|full which workload list the benches sweep
+ */
+
+#ifndef LVPSIM_SIM_OPTIONS_HH
+#define LVPSIM_SIM_OPTIONS_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+inline std::size_t
+instrsFromEnv(std::size_t fallback = 400000)
+{
+    if (const char *s = std::getenv("LVPSIM_INSTRS")) {
+        const long long v = std::atoll(s);
+        if (v > 0)
+            return std::size_t(v);
+    }
+    return fallback;
+}
+
+inline std::vector<std::string>
+suiteFromEnv()
+{
+    if (const char *s = std::getenv("LVPSIM_SUITE")) {
+        if (std::string(s) == "smoke")
+            return trace::smokeWorkloadNames();
+    }
+    return trace::allWorkloadNames();
+}
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_OPTIONS_HH

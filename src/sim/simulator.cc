@@ -1,0 +1,51 @@
+#include "sim/simulator.hh"
+
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+pipe::SimStats
+runTrace(const std::vector<trace::MicroOp> &ops,
+         pipe::LoadValuePredictor *vp, const RunConfig &rc)
+{
+    pipe::Core core(rc.core, ops, vp);
+    return core.run();
+}
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache c;
+    return c;
+}
+
+TraceCache::TracePtr
+TraceCache::get(const std::string &workload, std::size_t max_ops,
+                std::uint64_t seed)
+{
+    const std::string key = workload + "#" +
+                            std::to_string(max_ops) + "#" +
+                            std::to_string(seed);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto ptr = std::make_shared<const std::vector<trace::MicroOp>>(
+        trace::generateWorkload(workload, max_ops, seed));
+    cache.emplace(key, ptr);
+    return ptr;
+}
+
+pipe::SimStats
+runWorkload(const std::string &workload, pipe::LoadValuePredictor *vp,
+            const RunConfig &rc)
+{
+    auto ops = TraceCache::instance().get(workload, rc.maxInstrs,
+                                          rc.traceSeed);
+    return runTrace(*ops, vp, rc);
+}
+
+} // namespace sim
+} // namespace lvpsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Convenience layer that wires workload traces to the core model and
+ * caches generated traces (the expensive part) across runs.
+ */
+
+#ifndef LVPSIM_SIM_SIMULATOR_HH
+#define LVPSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/core.hh"
+#include "pipeline/core_config.hh"
+#include "pipeline/lvp_interface.hh"
+#include "pipeline/sim_stats.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+struct RunConfig
+{
+    std::size_t maxInstrs = 400000;
+    std::uint64_t traceSeed = 1;
+    pipe::CoreConfig core{};
+};
+
+/** Run one already-generated trace through a fresh core. */
+pipe::SimStats runTrace(const std::vector<trace::MicroOp> &ops,
+                        pipe::LoadValuePredictor *vp,
+                        const RunConfig &rc);
+
+/** Generate (or fetch from cache) a workload's trace. */
+class TraceCache
+{
+  public:
+    using TracePtr = std::shared_ptr<const std::vector<trace::MicroOp>>;
+
+    TracePtr get(const std::string &workload, std::size_t max_ops,
+                 std::uint64_t seed);
+
+    /** The process-wide cache used by benches. */
+    static TraceCache &instance();
+
+  private:
+    std::unordered_map<std::string, TracePtr> cache;
+};
+
+/** Generate the workload trace and run it. */
+pipe::SimStats runWorkload(const std::string &workload,
+                           pipe::LoadValuePredictor *vp,
+                           const RunConfig &rc);
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_SIMULATOR_HH

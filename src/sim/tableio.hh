@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Small helpers for printing experiment results as aligned text
+ * tables plus machine-readable CSV (every bench emits both).
+ */
+
+#ifndef LVPSIM_SIM_TABLEIO_HH
+#define LVPSIM_SIM_TABLEIO_HH
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lvpsim
+{
+namespace sim
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : cols(std::move(headers))
+    {}
+
+    TextTable &
+    addRow(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+        return *this;
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> width(cols.size());
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            width[c] = cols[c].size();
+        for (const auto &r : rows)
+            for (std::size_t c = 0; c < r.size() && c < width.size();
+                 ++c)
+                width[c] = std::max(width[c], r[c].size());
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cols.size(); ++c) {
+                os << std::left
+                   << std::setw(int(width[c]) + 2)
+                   << (c < cells.size() ? cells[c] : "");
+            }
+            os << "\n";
+        };
+        line(cols);
+        std::string rule;
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            rule += std::string(width[c], '-') + "  ";
+        os << rule << "\n";
+        for (const auto &r : rows)
+            line(r);
+    }
+
+    /** CSV block (prefixed lines so it is greppable in bench logs). */
+    void
+    printCsv(std::ostream &os, const std::string &tag) const
+    {
+        auto csvline = [&](const std::vector<std::string> &cells) {
+            os << "CSV," << tag;
+            for (const auto &c : cells)
+                os << "," << c;
+            os << "\n";
+        };
+        csvline(cols);
+        for (const auto &r : rows)
+            csvline(r);
+    }
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmtPct(double frac, int prec = 2)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << 100.0 * frac
+       << "%";
+    return ss.str();
+}
+
+inline std::string
+fmtF(double v, int prec = 3)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << v;
+    return ss.str();
+}
+
+inline std::string
+fmtKB(double kb, int prec = 2)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << kb << "KB";
+    return ss.str();
+}
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_TABLEIO_HH

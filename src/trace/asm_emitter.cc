@@ -1,0 +1,285 @@
+#include "trace/asm_emitter.hh"
+
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+Asm::Asm(std::vector<MicroOp> &out, std::size_t max_ops,
+         std::uint64_t seed)
+    : buf(out), maxOps(max_ops), rngState(seed)
+{
+    buf.reserve(max_ops);
+}
+
+Addr
+Asm::pcOf(const std::string &site)
+{
+    auto [it, inserted] = sites.try_emplace(site,
+                                            unsigned(sites.size()));
+    (void)inserted;
+    return codeBase + Addr(it->second) * 4;
+}
+
+void
+Asm::push(MicroOp op)
+{
+    if (buf.size() < maxOps)
+        buf.push_back(op);
+}
+
+MicroOp
+Asm::make(const std::string &site, OpClass cls)
+{
+    MicroOp op;
+    op.pc = pcOf(site);
+    op.cls = cls;
+    return op;
+}
+
+void
+Asm::imm(const std::string &site, RegId dst, Value v)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    regs[dst] = v;
+    push(op);
+}
+
+void
+Asm::add(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] + regs[b];
+    push(op);
+}
+
+void
+Asm::addi(const std::string &site, RegId dst, RegId a, std::int64_t val)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, invalidReg, invalidReg};
+    regs[dst] = regs[a] + static_cast<Value>(val);
+    push(op);
+}
+
+void
+Asm::sub(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] - regs[b];
+    push(op);
+}
+
+void
+Asm::mul(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntMul);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] * regs[b];
+    push(op);
+}
+
+void
+Asm::div(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntDiv);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[b] ? regs[a] / regs[b] : 0;
+    push(op);
+}
+
+void
+Asm::andOp(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] & regs[b];
+    push(op);
+}
+
+void
+Asm::xorOp(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] ^ regs[b];
+    push(op);
+}
+
+void
+Asm::shl(const std::string &site, RegId dst, RegId a, unsigned sh)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, invalidReg, invalidReg};
+    regs[dst] = sh >= 64 ? 0 : (regs[a] << sh);
+    push(op);
+}
+
+void
+Asm::shr(const std::string &site, RegId dst, RegId a, unsigned sh)
+{
+    MicroOp op = make(site, OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {a, invalidReg, invalidReg};
+    regs[dst] = sh >= 64 ? 0 : (regs[a] >> sh);
+    push(op);
+}
+
+void
+Asm::fadd(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::FpAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] + regs[b];
+    push(op);
+}
+
+void
+Asm::fmul(const std::string &site, RegId dst, RegId a, RegId b)
+{
+    MicroOp op = make(site, OpClass::FpAlu);
+    op.dst = dst;
+    op.src = {a, b, invalidReg};
+    regs[dst] = regs[a] * regs[b];
+    push(op);
+}
+
+void
+Asm::nop(const std::string &site)
+{
+    push(make(site, OpClass::Nop));
+}
+
+Value
+Asm::load(const std::string &site, RegId dst, RegId addr_reg,
+          std::int64_t offset, unsigned size, RegId index_reg)
+{
+    MicroOp op = make(site, OpClass::Load);
+    op.dst = dst;
+    op.src = {addr_reg, index_reg, invalidReg};
+    Addr ea = regs[addr_reg] + static_cast<Addr>(offset);
+    if (index_reg != invalidReg)
+        ea += regs[index_reg];
+    op.effAddr = ea;
+    op.memSize = static_cast<std::uint8_t>(size);
+    op.memValue = image.read(ea, size);
+    regs[dst] = op.memValue;
+    push(op);
+    return op.memValue;
+}
+
+void
+Asm::store(const std::string &site, RegId data_reg, RegId addr_reg,
+           std::int64_t offset, unsigned size, RegId index_reg)
+{
+    MicroOp op = make(site, OpClass::Store);
+    op.src = {addr_reg, data_reg, index_reg};
+    Addr ea = regs[addr_reg] + static_cast<Addr>(offset);
+    if (index_reg != invalidReg)
+        ea += regs[index_reg];
+    op.effAddr = ea;
+    op.memSize = static_cast<std::uint8_t>(size);
+    op.memValue = regs[data_reg];
+    image.write(ea, op.memValue, size);
+    push(op);
+}
+
+Value
+Asm::loadExclusive(const std::string &site, RegId dst, RegId addr_reg,
+                   std::int64_t offset, unsigned size)
+{
+    MicroOp op = make(site, OpClass::Load);
+    op.dst = dst;
+    op.src = {addr_reg, invalidReg, invalidReg};
+    op.exclusiveMem = true;
+    Addr ea = regs[addr_reg] + static_cast<Addr>(offset);
+    op.effAddr = ea;
+    op.memSize = static_cast<std::uint8_t>(size);
+    op.memValue = image.read(ea, size);
+    regs[dst] = op.memValue;
+    push(op);
+    return op.memValue;
+}
+
+void
+Asm::storeExclusive(const std::string &site, RegId data_reg,
+                    RegId addr_reg, std::int64_t offset, unsigned size)
+{
+    MicroOp op = make(site, OpClass::Store);
+    op.src = {addr_reg, data_reg, invalidReg};
+    op.exclusiveMem = true;
+    Addr ea = regs[addr_reg] + static_cast<Addr>(offset);
+    op.effAddr = ea;
+    op.memSize = static_cast<std::uint8_t>(size);
+    op.memValue = regs[data_reg];
+    image.write(ea, op.memValue, size);
+    push(op);
+}
+
+void
+Asm::barrier(const std::string &site)
+{
+    push(make(site, OpClass::Barrier));
+}
+
+void
+Asm::branch(const std::string &site, bool taken,
+            const std::string &target_site, RegId cond_reg)
+{
+    MicroOp op = make(site, OpClass::Branch);
+    op.src = {cond_reg, invalidReg, invalidReg};
+    op.taken = taken;
+    op.target = taken ? pcOf(target_site) : op.pc + 4;
+    push(op);
+}
+
+void
+Asm::call(const std::string &site, const std::string &target_site)
+{
+    MicroOp op = make(site, OpClass::Call);
+    op.taken = true;
+    op.target = pcOf(target_site);
+    callStack.push_back(op.pc + 4);
+    push(op);
+}
+
+void
+Asm::ret(const std::string &site)
+{
+    MicroOp op = make(site, OpClass::Ret);
+    op.taken = true;
+    if (!callStack.empty()) {
+        op.target = callStack.back();
+        callStack.pop_back();
+    } else {
+        op.target = codeBase;
+    }
+    push(op);
+}
+
+void
+Asm::indirect(const std::string &site, Addr target, RegId target_reg)
+{
+    MicroOp op = make(site, OpClass::IndirBr);
+    op.src = {target_reg, invalidReg, invalidReg};
+    op.taken = true;
+    op.target = target;
+    push(op);
+}
+
+} // namespace trace
+} // namespace lvpsim

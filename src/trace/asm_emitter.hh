@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The kernel "assembler": a small DSL synthetic kernels use to emit a
+ * dynamic MicroOp stream while executing functionally.
+ *
+ * Each emit call names a static *site* (a stable string); all dynamic
+ * instances emitted from the same site share a PC, exactly like dynamic
+ * instances of one static instruction. Register values and memory are
+ * tracked functionally, so the emitted trace is dataflow- and
+ * memory-consistent: every load's memValue is what the program actually
+ * stored there.
+ */
+
+#ifndef LVPSIM_TRACE_ASM_EMITTER_HH
+#define LVPSIM_TRACE_ASM_EMITTER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/instruction.hh"
+#include "trace/memory_image.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+class Asm
+{
+  public:
+    /** Default code base for synthetic kernels. */
+    static constexpr Addr codeBase = 0x400000;
+
+    Asm(std::vector<MicroOp> &out, std::size_t max_ops,
+        std::uint64_t seed);
+
+    /** True once max_ops have been emitted; kernels poll this in loops. */
+    bool done() const { return buf.size() >= maxOps; }
+    std::size_t emitted() const { return buf.size(); }
+
+    /** The PC assigned to a static site (stable per unique name). */
+    Addr pcOf(const std::string &site);
+
+    // ------------------------------------------------------------------
+    // Integer / FP computation. Values are computed from the tracked
+    // register file so downstream dataflow is genuine.
+    // ------------------------------------------------------------------
+    void imm(const std::string &site, RegId dst, Value v);
+    void add(const std::string &site, RegId dst, RegId a, RegId b);
+    void addi(const std::string &site, RegId dst, RegId a,
+              std::int64_t val);
+    void sub(const std::string &site, RegId dst, RegId a, RegId b);
+    void mul(const std::string &site, RegId dst, RegId a, RegId b);
+    void div(const std::string &site, RegId dst, RegId a, RegId b);
+    void andOp(const std::string &site, RegId dst, RegId a, RegId b);
+    void xorOp(const std::string &site, RegId dst, RegId a, RegId b);
+    void shl(const std::string &site, RegId dst, RegId a, unsigned sh);
+    void shr(const std::string &site, RegId dst, RegId a, unsigned sh);
+    /** FP-latency op; integer add semantics (values are opaque here). */
+    void fadd(const std::string &site, RegId dst, RegId a, RegId b);
+    void fmul(const std::string &site, RegId dst, RegId a, RegId b);
+    void nop(const std::string &site);
+
+    // ------------------------------------------------------------------
+    // Memory. effAddr = regs[addr_reg] + offset (+ regs[index_reg]).
+    // ------------------------------------------------------------------
+    /** Emit a load; returns (and writes to dst) the loaded value. */
+    Value load(const std::string &site, RegId dst, RegId addr_reg,
+               std::int64_t offset, unsigned size,
+               RegId index_reg = invalidReg);
+    void store(const std::string &site, RegId data_reg, RegId addr_reg,
+               std::int64_t offset, unsigned size,
+               RegId index_reg = invalidReg);
+    /** Exclusive/atomic load: never value-predicted (Section III-A). */
+    Value loadExclusive(const std::string &site, RegId dst,
+                        RegId addr_reg, std::int64_t offset,
+                        unsigned size);
+    void storeExclusive(const std::string &site, RegId data_reg,
+                        RegId addr_reg, std::int64_t offset,
+                        unsigned size);
+    void barrier(const std::string &site);
+
+    // ------------------------------------------------------------------
+    // Control flow. Directions/targets are recorded for the branch
+    // predictors; the trace follows the actual outcome.
+    // ------------------------------------------------------------------
+    void branch(const std::string &site, bool taken,
+                const std::string &target_site,
+                RegId cond_reg = invalidReg);
+    void call(const std::string &site, const std::string &target_site);
+    void ret(const std::string &site);
+    /** Indirect branch whose target varies (drives ITTAGE). */
+    void indirect(const std::string &site, Addr target,
+                  RegId target_reg = invalidReg);
+
+    // ------------------------------------------------------------------
+    // Kernel-side helpers.
+    // ------------------------------------------------------------------
+    Value reg(RegId r) const { return regs.at(r); }
+    MemoryImage &mem() { return image; }
+    Xoshiro256 &rng() { return rngState; }
+
+  private:
+    void push(MicroOp op);
+    MicroOp make(const std::string &site, OpClass cls);
+
+    std::vector<MicroOp> &buf;
+    std::size_t maxOps;
+    MemoryImage image;
+    Xoshiro256 rngState;
+    std::array<Value, numArchRegs> regs{};
+    std::unordered_map<std::string, unsigned> sites;
+    std::vector<Addr> callStack;
+};
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_ASM_EMITTER_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Large-code-footprint kernels: hundreds of distinct static load
+ * sites (gcc/perl-like). These put genuine capacity pressure on the
+ * predictor tables, which is the regime where the paper's smart
+ * training and heterogeneous sizing pay off (Sections V-C, V-D).
+ */
+
+#include <memory>
+#include <string>
+
+#include "common/bitutils.hh"
+#include "trace/kernels/register.hh"
+#include "trace/synth_kernel.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6;
+
+/**
+ * 64 small "functions" called in random order. Each has three
+ * distinct static loads:
+ *   - a constant global (Pattern-1, LVP),
+ *   - its private walk cursor (a stride-1 *value* sequence - EVES's
+ *     E-Stride territory, opaque to the composite's components), and
+ *   - the data word at the cursor (strided address, SAP).
+ * With 64 x 3 load sites plus call/return traffic, small predictor
+ * tables are oversubscribed several times over.
+ */
+class BigCodeKernel : public SynthKernel
+{
+  public:
+    BigCodeKernel() : SynthKernel("big_code") {}
+
+  protected:
+    static constexpr unsigned numFuncs = 64;
+    static constexpr Addr globalsBase = 0x80000000;
+    static constexpr Addr cursorsBase = 0x80010000;
+    static constexpr Addr arraysBase = 0x80100000;
+    static constexpr std::size_t arrayLen = 4096; ///< 8B elements
+
+    void
+    init(Asm &a) const override
+    {
+        for (unsigned f = 0; f < numFuncs; ++f) {
+            a.mem().write(globalsBase + f * 8, 0x60a1 + f * 0x11,
+                          8);
+            const Addr arr = arraysBase + Addr(f) * arrayLen * 8;
+            a.mem().write(cursorsBase + f * 8, arr, 8);
+            for (std::size_t i = 0; i < arrayLen; ++i)
+                a.mem().write(arr + i * 8, mix64(arr + i * 8) | 1,
+                              8);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("acc", r5, 0);
+        while (!a.done()) {
+            const unsigned f = unsigned(a.rng().below(numFuncs));
+            const std::string fs = std::to_string(f);
+            a.call("call_" + fs, "fn_" + fs);
+            a.nop("fn_" + fs);
+            // Constant global (P1).
+            a.imm("gb_" + fs, r1, globalsBase + f * 8);
+            a.load("ldc_" + fs, r2, r1, 0, 8);
+            // Private cursor: value strides by 8 every visit.
+            a.imm("cb_" + fs, r3, cursorsBase + f * 8);
+            Value cur = a.load("ldu_" + fs, r4, r3, 0, 8);
+            // Data at the cursor (strided address per site).
+            a.load("ldd_" + fs, r6, r4, 0, 8);
+            a.add("sum_" + fs, r5, r5, r6);
+            a.add("mix_" + fs, r5, r5, r2);
+            // Advance (wrap at the array end).
+            const Addr arr =
+                arraysBase + Addr(f) * arrayLen * 8;
+            if (cur + 8 >= arr + arrayLen * 8)
+                a.imm("wrap_" + fs, r4, arr);
+            else
+                a.addi("adv_" + fs, r4, r4, 8);
+            a.store("stu_" + fs, r4, r3, 0, 8);
+            a.ret("ret_" + fs);
+        }
+    }
+};
+
+/**
+ * A deep call tree over 32 distinct leaf routines, each reloading its
+ * own spilled state (perlbench-like). Exercises the RAS and adds
+ * another ~100 static loads of mostly Pattern-1/Pattern-3 flavour.
+ */
+class CallTreeKernel : public SynthKernel
+{
+  public:
+    CallTreeKernel() : SynthKernel("call_tree") {}
+
+  protected:
+    static constexpr unsigned numLeaves = 32;
+    static constexpr Addr stateBase = 0x81000000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (unsigned l = 0; l < numLeaves; ++l) {
+            a.mem().write(stateBase + l * 32, 0x5a11 + l * 7, 8);
+            a.mem().write(stateBase + l * 32 + 8, l, 8);
+            a.mem().write(stateBase + l * 32 + 16,
+                          (l * 37) % 100, 8);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("acc", r5, 0);
+        while (!a.done()) {
+            // A biased random walk picks 4 leaves per round.
+            for (int hop = 0; hop < 4 && !a.done(); ++hop) {
+                const unsigned l = unsigned(
+                    a.rng().bernoulli(0.6)
+                        ? a.rng().below(4)      // hot leaves
+                        : a.rng().below(numLeaves));
+                const std::string ls = std::to_string(l);
+                a.call("call_" + ls, "leaf_" + ls);
+                a.nop("leaf_" + ls);
+                a.imm("sb_" + ls, r1, stateBase + l * 32);
+                a.load("ld_a_" + ls, r2, r1, 0, 8);
+                a.load("ld_b_" + ls, r3, r1, 8, 8);
+                a.load("ld_c_" + ls, r4, r1, 16, 8);
+                a.add("s1_" + ls, r5, r5, r2);
+                a.add("s2_" + ls, r5, r5, r3);
+                a.add("s3_" + ls, r5, r5, r4);
+                a.ret("ret_" + ls);
+            }
+            a.branch("round", true, "acc", r5);
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+registerBigCodeKernels(WorkloadRegistry &reg)
+{
+    reg.add("big_code",
+            "64 functions x 3 load sites, random calls (capacity)",
+            [] { return std::make_unique<BigCodeKernel>(); });
+    reg.add("call_tree",
+            "32 leaves x 3 state loads, biased call walk (P1/RAS)",
+            [] { return std::make_unique<CallTreeKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Irregular kernels: data-dependent addresses and values that are hard
+ * or impossible to predict. These populate the unpredictable tail of
+ * the paper's Figure 2 breakdown and exercise the accuracy monitors
+ * (a predictor that guesses here pays the flush cost).
+ */
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/bitutils.hh"
+
+#include "trace/kernels/register.hh"
+#include "trace/synth_kernel.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6, r7 = 7,
+                r8 = 8;
+
+/**
+ * Circular linked-list traversal (mcf-like). The list is static, so
+ * node pointers/payloads repeat every lap; short per-node flag branches
+ * put node identity into the path history, making a slice of the loads
+ * context-predictable (Pattern-3).
+ */
+class PointerChaseKernel : public SynthKernel
+{
+  public:
+    PointerChaseKernel() : SynthKernel("pointer_chase") {}
+
+  protected:
+    static constexpr Addr base = 0x40000000;
+    static constexpr std::size_t numNodes = 48;
+    static constexpr unsigned nodeSize = 32; ///< next, payload, flag
+
+    void
+    init(Asm &a) const override
+    {
+        // Shuffled circular order so addresses are stride-free.
+        std::vector<std::size_t> order(numNodes);
+        for (std::size_t i = 0; i < numNodes; ++i)
+            order[i] = i;
+        for (std::size_t i = numNodes - 1; i > 0; --i)
+            std::swap(order[i], order[a.rng().below(i + 1)]);
+        for (std::size_t i = 0; i < numNodes; ++i) {
+            const Addr node = base + order[i] * nodeSize;
+            const Addr next =
+                base + order[(i + 1) % numNodes] * nodeSize;
+            a.mem().write(node + 0, next, 8);
+            a.mem().write(node + 8, 0x900d + order[i] * 13, 8);
+            a.mem().write(node + 16, order[i] % 3 == 0 ? 1 : 0, 8);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("head", r1, base);
+        a.imm("acc", r2, 0);
+        while (!a.done()) {
+            Value next = a.load("ld_next", r1, r1, 0, 8);
+            a.load("ld_pay", r3, r1, 8, 8);
+            Value flag = a.load("ld_flag", r4, r1, 16, 8);
+            a.add("sum", r2, r2, r3);
+            a.branch("br_flag", flag != 0, "hot", r4);
+            if (flag != 0) {
+                a.nop("hot");
+                a.addi("hot2", r2, r2, 7);
+            }
+            a.branch("br", true, "ld_next", r1);
+            (void)next;
+        }
+    }
+};
+
+/** Binary search tree lookups with random keys (unpredictable). */
+class BinaryTreeKernel : public SynthKernel
+{
+  public:
+    BinaryTreeKernel() : SynthKernel("binary_tree") {}
+
+  protected:
+    static constexpr Addr base = 0x41000000;
+    static constexpr std::size_t numNodes = 1023; ///< perfect depth 10
+    static constexpr unsigned nodeSize = 32; ///< key, left, right, val
+
+    Addr nodeAddr(std::size_t idx) const { return base + idx * nodeSize; }
+
+    void
+    init(Asm &a) const override
+    {
+        // Heap-indexed balanced BST over keys 1..numNodes: node i holds
+        // the key that keeps in-order = sorted.
+        buildKeys(a, 0, 1, numNodes);
+        for (std::size_t i = 0; i < numNodes; ++i) {
+            const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+            a.mem().write(nodeAddr(i) + 8,
+                          l < numNodes ? nodeAddr(l) : 0, 8);
+            a.mem().write(nodeAddr(i) + 16,
+                          r < numNodes ? nodeAddr(r) : 0, 8);
+            a.mem().write(nodeAddr(i) + 24, a.rng().next() & 0xffff, 8);
+        }
+    }
+
+    void
+    buildKeys(Asm &a, std::size_t idx, std::uint64_t lo,
+              std::uint64_t hi) const
+    {
+        if (idx >= numNodes || lo > hi)
+            return;
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        a.mem().write(nodeAddr(idx) + 0, mid, 8);
+        if (mid > lo)
+            buildKeys(a, 2 * idx + 1, lo, mid - 1);
+        if (mid < hi)
+            buildKeys(a, 2 * idx + 2, mid + 1, hi);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        while (!a.done()) {
+            const std::uint64_t key = 1 + a.rng().below(numNodes);
+            a.imm("key", r2, key);
+            a.imm("cur", r1, base);
+            while (a.reg(r1) != 0) {
+                Value nk = a.load("ld_key", r3, r1, 0, 8);
+                if (nk == key) {
+                    a.load("ld_val", r4, r1, 24, 8);
+                    a.branch("br_hit", true, "key", r3);
+                    break;
+                }
+                const bool go_left = key < nk;
+                a.branch("br_cmp", go_left, "go_l", r3);
+                if (go_left)
+                    a.load("ld_l", r1, r1, 8, 8);
+                else
+                    a.load("ld_r", r1, r1, 16, 8);
+                a.branch("br_null", a.reg(r1) == 0, "key", r1);
+            }
+        }
+    }
+};
+
+/** Open-addressing hash probes with random keys (unpredictable). */
+class HashProbeKernel : public SynthKernel
+{
+  public:
+    HashProbeKernel() : SynthKernel("hash_probe") {}
+
+  protected:
+    static constexpr Addr base = 0x42000000;
+    static constexpr std::size_t numSlots = 1 << 14;
+    static constexpr unsigned slotSize = 16; ///< key, value
+
+    void
+    init(Asm &a) const override
+    {
+        // ~60% load factor; same double-hash probing as lookups.
+        for (std::size_t i = 0; i < (numSlots * 3) / 5; ++i) {
+            const std::uint64_t key = 1 + (a.rng().next() >> 16);
+            std::size_t slot = key % numSlots;
+            const std::size_t step = 1 + key % 5;
+            while (a.mem().read(base + slot * slotSize, 8) != 0)
+                slot = (slot + step) % numSlots;
+            a.mem().write(base + slot * slotSize, key, 8);
+            a.mem().write(base + slot * slotSize + 8, key * 3, 8);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("tb", r1, base);
+        while (!a.done()) {
+            const std::uint64_t key = 1 + (a.rng().next() >> 16);
+            a.imm("key", r2, key);
+            std::size_t slot = key % numSlots;
+            const std::size_t step = 1 + key % 5; // double hashing
+            for (unsigned probe = 0; probe < 32; ++probe) {
+                a.imm("soff", r3, slot * slotSize);
+                Value sk = a.load("ld_key", r4, r1, 0, 8, r3);
+                if (sk == 0) {
+                    a.branch("br_empty", true, "key", r4);
+                    break;
+                }
+                if (sk == key) {
+                    a.load("ld_val", r5, r1, 8, 8, r3);
+                    a.branch("br_hit", true, "key", r4);
+                    break;
+                }
+                a.branch("br_next", true, "soff", r4);
+                slot = (slot + step) % numSlots;
+            }
+        }
+    }
+};
+
+/** Byte histogram with a skewed input distribution. */
+class HistogramKernel : public SynthKernel
+{
+  public:
+    HistogramKernel() : SynthKernel("histogram") {}
+
+  protected:
+    static constexpr Addr inBase = 0x43000000;
+    static constexpr Addr binBase = 0x43100000;
+    static constexpr std::size_t inLen = 64 * 1024;
+
+    void
+    init(Asm &a) const override
+    {
+        // Zipf-ish skew: half the bytes come from 8 hot values.
+        for (std::size_t i = 0; i < inLen; ++i) {
+            const bool hot = a.rng().bernoulli(0.5);
+            const std::uint8_t b =
+                hot ? std::uint8_t(a.rng().below(8) * 31)
+                    : std::uint8_t(a.rng().below(256));
+            a.mem().write(inBase + i, b, 1);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("pi", r1, inBase);
+        a.imm("pb", r2, binBase);
+        for (std::size_t i = 0; i < inLen && !a.done(); ++i) {
+            a.load("ld_byte", r3, r1, 0, 1);
+            a.shl("boff", r4, r3, 3);
+            a.load("ld_bin", r5, r2, 0, 8, r4);
+            a.addi("binc", r5, r5, 1);
+            a.store("st_bin", r5, r2, 0, 8, r4);
+            a.addi("pinc", r1, r1, 1);
+            a.branch("br", i + 1 < inLen, "ld_byte", r1);
+        }
+    }
+};
+
+/** Repeated quicksorts of freshly shuffled 1K-element arrays. */
+class SortQsortKernel : public SynthKernel
+{
+  public:
+    SortQsortKernel() : SynthKernel("sort_qsort") {}
+
+  protected:
+    static constexpr Addr base = 0x44000000;
+    static constexpr std::size_t numElems = 1024;
+
+    void
+    body(Asm &a) const override
+    {
+        // Refill with random data (emitted stores).
+        a.imm("pf", r1, base);
+        for (std::size_t i = 0; i < numElems && !a.done(); ++i) {
+            a.imm("rv", r2, a.rng().below(1 << 16));
+            a.store("st_fill", r2, r1, 0, 8);
+            a.addi("pfi", r1, r1, 8);
+            a.branch("brf", i + 1 < numElems, "rv", r1);
+        }
+        // Iterative quicksort (explicit stack in kernel C++).
+        std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+        stack.emplace_back(0, std::int64_t(numElems) - 1);
+        while (!stack.empty() && !a.done()) {
+            auto [lo, hi] = stack.back();
+            stack.pop_back();
+            if (lo >= hi)
+                continue;
+            a.imm("plo", r1, base + lo * 8);
+            Value pivot = a.load("ld_pivot", r2, r1, 0, 8);
+            std::int64_t i = lo, j = hi;
+            while (i <= j && !a.done()) {
+                Value vi;
+                do {
+                    a.imm("pi2", r3, base + i * 8);
+                    vi = a.load("ld_i", r4, r3, 0, 8);
+                    a.branch("br_i", vi < pivot, "pi2", r4);
+                    if (vi < pivot)
+                        ++i;
+                } while (vi < pivot && !a.done());
+                Value vj;
+                do {
+                    a.imm("pj2", r5, base + j * 8);
+                    vj = a.load("ld_j", r6, r5, 0, 8);
+                    a.branch("br_j", vj > pivot, "pj2", r6);
+                    if (vj > pivot)
+                        --j;
+                } while (vj > pivot && !a.done());
+                a.branch("br_sw", i <= j, "pi2", r4);
+                if (i <= j) {
+                    a.store("st_i", r6, r3, 0, 8);
+                    a.store("st_j", r4, r5, 0, 8);
+                    ++i;
+                    --j;
+                }
+            }
+            stack.emplace_back(lo, j);
+            stack.emplace_back(i, hi);
+        }
+    }
+};
+
+/** Table-driven CRC over a text-like stream (zlib-like). */
+class CrcStreamKernel : public SynthKernel
+{
+  public:
+    CrcStreamKernel() : SynthKernel("crc_stream") {}
+
+  protected:
+    static constexpr Addr tabBase = 0x45000000;
+    static constexpr Addr inBase = 0x45100000;
+    static constexpr std::size_t inLen = 32 * 1024;
+
+    void
+    init(Asm &a) const override
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+            a.mem().write(tabBase + i * 4, c, 4);
+        }
+        // ASCII-ish input: mostly lowercase letters and spaces.
+        for (std::size_t i = 0; i < inLen; ++i) {
+            const std::uint8_t b =
+                a.rng().bernoulli(0.15)
+                    ? 0x20
+                    : std::uint8_t(0x61 + a.rng().below(26));
+            a.mem().write(inBase + i, b, 1);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("pt", r1, tabBase);
+        a.imm("pi", r2, inBase);
+        a.imm("crc", r3, 0xffffffff);
+        for (std::size_t i = 0; i < inLen && !a.done(); ++i) {
+            a.load("ld_byte", r4, r2, 0, 1);
+            a.xorOp("x1", r5, r3, r4);
+            a.imm("m255", r6, 0xff);
+            a.andOp("x2", r5, r5, r6);
+            a.shl("toff", r5, r5, 2);
+            a.load("ld_tab", r7, r1, 0, 4, r5);
+            a.shr("c8", r3, r3, 8);
+            a.xorOp("cx", r3, r3, r7);
+            a.addi("pinc", r2, r2, 1);
+            a.branch("br", i + 1 < inLen, "ld_byte", r2);
+        }
+    }
+};
+
+/** Random reads over a 64MB footprint: cache-miss heavy. */
+class ColdMissesKernel : public SynthKernel
+{
+  public:
+    ColdMissesKernel() : SynthKernel("cold_misses") {}
+
+  protected:
+    static constexpr Addr base = 0x50000000;
+    static constexpr std::size_t span = 64ull << 20;
+
+    /** Lazily materialize data so reads see address-dependent (and
+     *  thus unpredictable) values instead of zero-fill. */
+    static void
+    materialize(Asm &a, Addr addr)
+    {
+        if (a.mem().read(addr, 8) == 0)
+            a.mem().write(addr, mix64(addr) | 1, 8);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("acc", r2, 0);
+        while (!a.done()) {
+            // A short strided burst (predictable addresses that miss).
+            const Addr burst =
+                base + (a.rng().below(span / 4096)) * 4096;
+            a.imm("bp", r1, burst);
+            for (unsigned i = 0; i < 8; ++i) {
+                materialize(a, a.reg(r1));
+                a.load("ld_burst", r3, r1, 0, 8);
+                a.add("acc1", r2, r2, r3);
+                a.addi("bpi", r1, r1, 256);
+                a.branch("brb", i + 1 < 8, "ld_burst", r1);
+            }
+            // Then pure random pointer dives.
+            for (unsigned i = 0; i < 4; ++i) {
+                a.imm("rp", r4, base + (a.rng().below(span / 8)) * 8);
+                materialize(a, a.reg(r4));
+                a.load("ld_rand", r5, r4, 0, 8);
+                a.add("acc2", r2, r2, r5);
+                a.branch("brr", i + 1 < 4, "rp", r4);
+            }
+        }
+    }
+};
+
+/** Branch-heavy control with moderate, mostly-predictable loads. */
+class BranchyMixKernel : public SynthKernel
+{
+  public:
+    BranchyMixKernel() : SynthKernel("branchy_mix") {}
+
+  protected:
+    static constexpr Addr base = 0x46000000;
+    static constexpr std::size_t numElems = 16 * 1024;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < numElems; ++i)
+            a.mem().write(base + i * 4, a.rng().below(100), 4);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("pb", r1, base);
+        a.imm("acc", r2, 0);
+        for (std::size_t i = 0; i < numElems && !a.done(); ++i) {
+            Value v = a.load("ld", r3, r1, 0, 4);
+            // 50/50 data-dependent branch: hard for TAGE.
+            a.branch("br_odd", (v & 1) != 0, "odd", r3);
+            if (v & 1) {
+                a.nop("odd");
+                a.addi("inc3", r2, r2, 3);
+            } else {
+                a.addi("inc1", r2, r2, 1);
+            }
+            // Biased branch: easy for TAGE.
+            a.branch("br_bias", v < 90, "cont", r3);
+            if (v >= 90)
+                a.mul("rare", r2, r2, r3);
+            a.nop("cont");
+            a.addi("pi", r1, r1, 4);
+            a.branch("br", i + 1 < numElems, "ld", r1);
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+registerIrregularKernels(WorkloadRegistry &reg)
+{
+    reg.add("pointer_chase", "shuffled circular list chase (P3/U)",
+            [] { return std::make_unique<PointerChaseKernel>(); });
+    reg.add("binary_tree", "balanced BST random lookups (U)",
+            [] { return std::make_unique<BinaryTreeKernel>(); });
+    reg.add("hash_probe", "open-addressing probes, random keys (U)",
+            [] { return std::make_unique<HashProbeKernel>(); });
+    reg.add("histogram", "byte histogram, skewed input (P2+U)",
+            [] { return std::make_unique<HistogramKernel>(); });
+    reg.add("sort_qsort", "repeated quicksort of random arrays (U)",
+            [] { return std::make_unique<SortQsortKernel>(); });
+    reg.add("crc_stream", "table-driven CRC over text (P2+U)",
+            [] { return std::make_unique<CrcStreamKernel>(); });
+    reg.add("cold_misses", "64MB random footprint, miss heavy (U)",
+            [] { return std::make_unique<ColdMissesKernel>(); });
+    reg.add("branchy_mix", "branch-heavy control, easy loads (P2)",
+            [] { return std::make_unique<BranchyMixKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Regular / numeric kernels: dominated by strided address patterns
+ * (the paper's Pattern-2, SAP territory), with context-correlated
+ * accents in short inner loops.
+ */
+
+#include <memory>
+
+#include "trace/kernels/register.hh"
+#include "trace/synth_kernel.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6, r7 = 7,
+                r8 = 8, r9 = 9, r10 = 10, r11 = 11;
+
+/** Streaming 8-byte reduction over a 256KB array (libquantum-like). */
+class StreamSumKernel : public SynthKernel
+{
+  public:
+    StreamSumKernel() : SynthKernel("stream_sum") {}
+
+  protected:
+    static constexpr Addr base = 0x20000000;
+    static constexpr std::size_t numElems = 32 * 1024;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < numElems; ++i)
+            a.mem().write(base + i * 8, a.rng().next(), 8);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("ptr", r1, base);
+        a.imm("sum", r2, 0);
+        for (std::size_t i = 0; i < numElems && !a.done(); ++i) {
+            a.load("ld", r3, r1, 0, 8);
+            a.fadd("acc", r2, r2, r3);
+            a.addi("inc", r1, r1, 8);
+            a.branch("br", i + 1 < numElems, "ld", r1);
+        }
+    }
+};
+
+/** Struct-field walk with a 64-byte stride (AoS traversal). */
+class StrideGatherKernel : public SynthKernel
+{
+  public:
+    StrideGatherKernel() : SynthKernel("stride_gather") {}
+
+  protected:
+    static constexpr Addr base = 0x21000000;
+    static constexpr std::size_t numRecs = 4096;
+    static constexpr unsigned stride = 64;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < numRecs; ++i) {
+            a.mem().write(base + i * stride + 16,
+                          a.rng().below(1000), 4);
+            a.mem().write(base + i * stride + 24,
+                          a.rng().below(7) == 0 ? 1 : 0, 4);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("ptr", r1, base);
+        a.imm("sum", r2, 0);
+        for (std::size_t i = 0; i < numRecs && !a.done(); ++i) {
+            Value v = a.load("ld_val", r3, r1, 16, 4);
+            Value flag = a.load("ld_flag", r4, r1, 24, 4);
+            a.add("acc", r2, r2, r3);
+            // Data-dependent branch so record identity enters history;
+            // taken = skip the bonus add.
+            a.branch("br_flag", flag == 0, "inc", r4);
+            if (flag != 0)
+                a.addi("bonus", r2, r2, static_cast<std::int64_t>(v));
+            a.addi("inc", r1, r1, stride);
+            a.branch("br", i + 1 < numRecs, "ld_val", r1);
+        }
+    }
+};
+
+/** 32x32 double matrix multiply (linpack-like). */
+class MatrixTileKernel : public SynthKernel
+{
+  public:
+    MatrixTileKernel() : SynthKernel("matrix_tile") {}
+
+  protected:
+    static constexpr std::size_t n = 32;
+    static constexpr Addr aBase = 0x22000000;
+    static constexpr Addr bBase = 0x22100000;
+    static constexpr Addr cBase = 0x22200000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < n * n; ++i) {
+            a.mem().write(aBase + i * 8, a.rng().below(1 << 20), 8);
+            a.mem().write(bBase + i * 8, a.rng().below(1 << 20), 8);
+        }
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < n && !a.done(); ++i) {
+            for (std::size_t j = 0; j < n && !a.done(); ++j) {
+                a.imm("acc0", r5, 0);
+                a.imm("pa", r1, aBase + i * n * 8);
+                a.imm("pb", r2, bBase + j * 8);
+                for (std::size_t k = 0; k < n; ++k) {
+                    a.load("ld_a", r3, r1, 0, 8);
+                    a.load("ld_b", r4, r2, 0, 8);
+                    a.fmul("mul", r6, r3, r4);
+                    a.fadd("acc", r5, r5, r6);
+                    a.addi("ia", r1, r1, 8);
+                    a.addi("ib", r2, r2, 8 * n);
+                    a.branch("brk", k + 1 < n, "ld_a", r1);
+                }
+                a.imm("pc", r7, cBase + (i * n + j) * 8);
+                a.store("st_c", r5, r7, 0, 8);
+                a.branch("brj", j + 1 < n, "acc0", r7);
+            }
+            a.branch("bri", i + 1 < n, "acc0");
+        }
+    }
+};
+
+/** 5-point stencil over a 128x128 grid (equake-like). */
+class Stencil2dKernel : public SynthKernel
+{
+  public:
+    Stencil2dKernel() : SynthKernel("stencil2d") {}
+
+  protected:
+    static constexpr std::size_t dim = 128;
+    static constexpr Addr inBase = 0x23000000;
+    static constexpr Addr outBase = 0x23400000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t i = 0; i < dim * dim; ++i)
+            a.mem().write(inBase + i * 4, a.rng().below(1 << 16), 4);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        for (std::size_t y = 1; y + 1 < dim && !a.done(); ++y) {
+            a.imm("row", r1, inBase + y * dim * 4 + 4);
+            a.imm("orow", r2, outBase + y * dim * 4 + 4);
+            for (std::size_t x = 1; x + 1 < dim; ++x) {
+                a.load("ld_c", r3, r1, 0, 4);
+                a.load("ld_w", r4, r1, -4, 4);
+                a.load("ld_e", r5, r1, 4, 4);
+                a.load("ld_n", r6, r1,
+                       -static_cast<std::int64_t>(dim * 4), 4);
+                a.load("ld_s", r7, r1,
+                       static_cast<std::int64_t>(dim * 4), 4);
+                a.add("s1", r8, r3, r4);
+                a.add("s2", r8, r8, r5);
+                a.add("s3", r8, r8, r6);
+                a.add("s4", r8, r8, r7);
+                a.shr("avg", r8, r8, 2);
+                a.store("st", r8, r2, 0, 4);
+                a.addi("ix", r1, r1, 4);
+                a.addi("ox", r2, r2, 4);
+                a.branch("brx", x + 2 < dim, "ld_c", r1);
+            }
+            a.branch("bry", y + 2 < dim, "row");
+        }
+    }
+};
+
+/** CSR sparse matrix-vector multiply. */
+class SparseSpmvKernel : public SynthKernel
+{
+  public:
+    SparseSpmvKernel() : SynthKernel("sparse_spmv") {}
+
+  protected:
+    static constexpr std::size_t rows = 512;
+    static constexpr std::size_t xDim = 2048;
+    static constexpr Addr rpBase = 0x24000000;  ///< rowPtr, 4B each
+    static constexpr Addr ciBase = 0x24100000;  ///< colIdx, 4B each
+    static constexpr Addr vaBase = 0x24200000;  ///< values, 8B each
+    static constexpr Addr xBase = 0x24400000;   ///< x vector, 8B each
+    static constexpr Addr yBase = 0x24500000;   ///< y vector, 8B each
+
+    void
+    init(Asm &a) const override
+    {
+        std::size_t nnz = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            a.mem().write(rpBase + r * 4, nnz, 4);
+            const std::size_t row_nnz = 8 + a.rng().below(17);
+            for (std::size_t k = 0; k < row_nnz; ++k) {
+                a.mem().write(ciBase + nnz * 4, a.rng().below(xDim), 4);
+                a.mem().write(vaBase + nnz * 8,
+                              a.rng().below(1 << 20), 8);
+                ++nnz;
+            }
+        }
+        a.mem().write(rpBase + rows * 4, nnz, 4);
+        for (std::size_t i = 0; i < xDim; ++i)
+            a.mem().write(xBase + i * 8, a.rng().below(1 << 20), 8);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("rp", r1, rpBase);
+        for (std::size_t r = 0; r < rows && !a.done(); ++r) {
+            Value k0 = a.load("ld_rp0", r2, r1, 0, 4);
+            Value k1 = a.load("ld_rp1", r3, r1, 4, 4);
+            a.imm("acc0", r4, 0);
+            for (Value k = k0; k < k1; ++k) {
+                a.imm("pk", r5, ciBase + k * 4);
+                Value col = a.load("ld_ci", r6, r5, 0, 4);
+                a.imm("pv", r7, vaBase + k * 8);
+                a.load("ld_va", r8, r7, 0, 8);
+                a.shl("coff", r9, r6, 3);
+                a.imm("xb", r10, xBase);
+                a.load("ld_x", r11, r10, 0, 8, r9);
+                a.fmul("mul", r8, r8, r11);
+                a.fadd("acc", r4, r4, r8);
+                a.branch("brk", k + 1 < k1, "pk", r5);
+                (void)col;
+            }
+            a.imm("py", r5, yBase + r * 8);
+            a.store("st_y", r4, r5, 0, 8);
+            a.addi("irp", r1, r1, 4);
+            a.branch("brr", r + 1 < rows, "ld_rp0", r1);
+        }
+    }
+};
+
+/**
+ * Transposed-form 8-tap FIR (EEMBC-like DSP): the outer loop walks
+ * taps, the inner loop streams samples, so every load has long stride
+ * runs (SAP territory) and the coefficient load is a loop constant
+ * (LVP territory).
+ */
+class LutDspKernel : public SynthKernel
+{
+  public:
+    LutDspKernel() : SynthKernel("lut_dsp") {}
+
+  protected:
+    static constexpr std::size_t taps = 8;
+    static constexpr std::size_t samples = 4096;
+    static constexpr Addr coefBase = 0x25000000;
+    static constexpr Addr sampBase = 0x25001000;
+    static constexpr Addr outBase = 0x25100000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (std::size_t k = 0; k < taps; ++k)
+            a.mem().write(coefBase + k * 4, 3 + k * 7, 4);
+        for (std::size_t i = 0; i < samples; ++i)
+            a.mem().write(sampBase + i * 4, a.rng().below(1 << 12), 4);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        for (std::size_t k = 0; k < taps && !a.done(); ++k) {
+            a.imm("pc", r1, coefBase + k * 4);
+            a.imm("ps", r2, sampBase + (taps - k) * 4);
+            a.imm("po", r3, outBase + taps * 4);
+            for (std::size_t i = taps; i < samples && !a.done();
+                 ++i) {
+                a.load("ld_coef", r5, r1, 0, 4);
+                a.load("ld_samp", r6, r2, 0, 4);
+                a.mul("mac", r7, r5, r6);
+                a.load("ld_acc", r8, r3, 0, 4);
+                a.add("acc", r8, r8, r7);
+                a.store("st_acc", r8, r3, 0, 4);
+                a.addi("ips", r2, r2, 4);
+                a.addi("ipo", r3, r3, 4);
+                a.branch("bri", i + 1 < samples, "ld_coef", r2);
+            }
+            a.branch("brk", k + 1 < taps, "pc", r1);
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+registerRegularKernels(WorkloadRegistry &reg)
+{
+    reg.add("stream_sum", "streaming 8B reduction, 256KB array (P2)",
+            [] { return std::make_unique<StreamSumKernel>(); });
+    reg.add("stride_gather", "64B-stride struct field walk (P2)",
+            [] { return std::make_unique<StrideGatherKernel>(); });
+    reg.add("matrix_tile", "32x32 double matmul (P2)",
+            [] { return std::make_unique<MatrixTileKernel>(); });
+    reg.add("stencil2d", "5-point stencil on 128x128 grid (P2)",
+            [] { return std::make_unique<Stencil2dKernel>(); });
+    reg.add("sparse_spmv", "CSR SpMV with x-vector gather (P2+U)",
+            [] { return std::make_unique<SparseSpmvKernel>(); });
+    reg.add("lut_dsp", "8-tap FIR with coefficient table (P2+P3)",
+            [] { return std::make_unique<LutDspKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

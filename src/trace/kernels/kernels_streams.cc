@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fresh-data streaming kernels: strided addresses over data that is
+ * *new every pass* (network/IO-style). Address predictors (SAP/CAP)
+ * can cover these loads; no value predictor can - the sharpest
+ * separation between the paper's composite and value-only designs
+ * like EVES.
+ */
+
+#include <memory>
+
+#include "common/bitutils.hh"
+#include "trace/kernels/register.hh"
+#include "trace/synth_kernel.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6, r7 = 7;
+
+/**
+ * Packet processing: a producer deposits fresh packets into a ring
+ * (simulating a NIC), then a consumer walks each packet's header and
+ * payload with fixed offsets. Consumer loads have perfectly strided
+ * addresses but never-repeating values.
+ */
+class PacketProcKernel : public SynthKernel
+{
+  public:
+    PacketProcKernel() : SynthKernel("packet_proc") {}
+
+  protected:
+    static constexpr Addr ringBase = 0x90000000;
+    static constexpr unsigned pktSize = 128;
+    static constexpr unsigned ringPkts = 64;
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("acc", r5, 0);
+        std::uint64_t seq = 1;
+        while (!a.done()) {
+            // "NIC" fills the ring with fresh packets (silent writes:
+            // DMA traffic is not core instructions).
+            for (unsigned p = 0; p < ringPkts; ++p) {
+                const Addr pkt = ringBase + p * pktSize;
+                a.mem().write(pkt + 0, seq, 8);           // seqno
+                a.mem().write(pkt + 8, a.rng().next(), 8); // flow id
+                a.mem().write(pkt + 16, 64 + a.rng().below(64),
+                              4); // length
+                for (unsigned w = 0; w < 8; ++w)
+                    a.mem().write(pkt + 32 + w * 8,
+                                  a.rng().next(), 8);
+                ++seq;
+            }
+            // Consumer: strided walk, fixed header offsets.
+            a.imm("pp", r1, ringBase);
+            for (unsigned p = 0; p < ringPkts && !a.done(); ++p) {
+                a.load("ld_seq", r2, r1, 0, 8);
+                a.load("ld_flow", r3, r1, 8, 8);
+                a.load("ld_len", r4, r1, 16, 4);
+                a.add("a1", r5, r5, r2);
+                a.xorOp("a2", r5, r5, r3);
+                // Checksum the first two payload words.
+                a.load("ld_pay0", r6, r1, 32, 8);
+                a.load("ld_pay1", r7, r1, 40, 8);
+                a.add("a3", r5, r5, r6);
+                a.xorOp("a4", r5, r5, r7);
+                a.addi("next", r1, r1, pktSize);
+                a.branch("brp", p + 1 < ringPkts, "ld_seq", r1);
+            }
+        }
+    }
+};
+
+/**
+ * Log scanning (grep/awk-like): a byte-level state machine over text
+ * that is regenerated each pass. Byte loads are stride-1 with fresh
+ * values; a small keyword table is constant (Pattern-1).
+ */
+class LogScanKernel : public SynthKernel
+{
+  public:
+    LogScanKernel() : SynthKernel("log_scan") {}
+
+  protected:
+    static constexpr Addr bufBase = 0xa0000000;
+    static constexpr Addr kwBase = 0xa0100000;
+    static constexpr std::size_t bufLen = 16 * 1024;
+
+    void
+    init(Asm &a) const override
+    {
+        static const char kw[] = "ERROR";
+        for (unsigned i = 0; i < 5; ++i)
+            a.mem().write(kwBase + i, std::uint8_t(kw[i]), 1);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        // Fresh "log text" each pass (silent writes: the producer is
+        // another process).
+        for (std::size_t i = 0; i < bufLen; ++i) {
+            std::uint8_t b;
+            const auto roll = a.rng().below(100);
+            if (roll < 2)
+                b = '\n';
+            else if (roll < 12)
+                b = ' ';
+            else if (roll < 15)
+                b = 'E'; // keyword candidates
+            else
+                b = std::uint8_t('a' + a.rng().below(26));
+            a.mem().write(bufBase + i, b, 1);
+        }
+        // Plant some real keyword hits.
+        static const char kw[] = "ERROR";
+        for (int hit = 0; hit < 32; ++hit) {
+            const std::size_t pos = a.rng().below(bufLen - 6);
+            for (unsigned k = 0; k < 5; ++k)
+                a.mem().write(bufBase + pos + k,
+                              std::uint8_t(kw[k]), 1);
+        }
+        a.imm("pb", r1, bufBase);
+        a.imm("hits", r5, 0);
+        for (std::size_t i = 0; i < bufLen && !a.done(); ++i) {
+            Value c = a.load("ld_c", r2, r1, 0, 1);
+            // Newline handling branch (rare, history-visible).
+            a.branch("br_nl", c == '\n', "nl", r2);
+            if (c == '\n') {
+                a.nop("nl");
+                a.addi("line", r5, r5, 1);
+            } else if (c == 'E') {
+                // Candidate: compare against the keyword table.
+                bool match = true;
+                for (unsigned k = 1; k < 5 && match; ++k) {
+                    // Keyword table read (constant values, P1).
+                    a.imm("kwp", r4, kwBase + k);
+                    Value kv = a.load("ld_kwt", r3, r4, 0, 1);
+                    Value tv = a.load("ld_tx", r6, r1,
+                                      std::int64_t(k), 1);
+                    match = kv == tv;
+                    a.branch("br_k", match && k + 1 < 5, "kwp", r6);
+                }
+                if (match)
+                    a.addi("hit", r5, r5, 1);
+            }
+            a.addi("pi", r1, r1, 1);
+            a.branch("br", true, "ld_c", r1);
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+registerStreamKernels(WorkloadRegistry &reg)
+{
+    reg.add("packet_proc",
+            "ring of fresh packets, header walks (P2, fresh values)",
+            [] { return std::make_unique<PacketProcKernel>(); });
+    reg.add("log_scan",
+            "byte state machine over fresh text (P2 + P1 keyword)",
+            [] { return std::make_unique<LogScanKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

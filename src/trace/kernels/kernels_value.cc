@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Value-locality kernels: dominated by PC-correlated load values
+ * (the paper's Pattern-1, LVP territory), plus stride-*value* and
+ * call-stack patterns.
+ */
+
+#include <memory>
+
+#include "trace/kernels/register.hh"
+#include "trace/synth_kernel.hh"
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6, r7 = 7,
+                r8 = 8, r9 = 9;
+
+/**
+ * Repeated loads of a small set of constants through distinct static
+ * loads (PC-relative constant pools, crafty-like).
+ */
+class ConstTableKernel : public SynthKernel
+{
+  public:
+    ConstTableKernel() : SynthKernel("const_table") {}
+
+  protected:
+    static constexpr Addr base = 0x30000000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            a.mem().write(base + i * 8, 0x1000 + i * 0x111, 8);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("pb", r1, base);
+        a.imm("acc", r2, 0);
+        while (!a.done()) {
+            // Eight distinct static loads, each always returning the
+            // same value: textbook Pattern-1.
+            a.load("ld_c0", r3, r1, 0, 8);
+            a.add("a0", r2, r2, r3);
+            a.load("ld_c1", r3, r1, 8, 8);
+            a.xorOp("a1", r2, r2, r3);
+            a.load("ld_c2", r3, r1, 16, 8);
+            a.add("a2", r2, r2, r3);
+            a.load("ld_c3", r3, r1, 24, 8);
+            a.xorOp("a3", r2, r2, r3);
+            a.load("ld_c4", r3, r1, 32, 8);
+            a.add("a4", r2, r2, r3);
+            a.load("ld_c5", r3, r1, 40, 8);
+            a.xorOp("a5", r2, r2, r3);
+            a.load("ld_c6", r3, r1, 48, 8);
+            a.add("a6", r2, r2, r3);
+            a.load("ld_c7", r3, r1, 56, 8);
+            a.add("a7", r2, r2, r3);
+            a.branch("br", true, "ld_c0");
+        }
+    }
+};
+
+/**
+ * Hot loads of rarely-changing globals: Pattern-1 with periodic value
+ * changes that force confidence rebuilds.
+ */
+class GlobalFlagsKernel : public SynthKernel
+{
+  public:
+    GlobalFlagsKernel() : SynthKernel("global_flags") {}
+
+  protected:
+    static constexpr Addr base = 0x31000000;
+
+    void
+    init(Asm &a) const override
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            a.mem().write(base + i * 8, i + 1, 8);
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("pb", r1, base);
+        a.imm("acc", r2, 0);
+        std::uint64_t iter = 0;
+        while (!a.done()) {
+            Value mode = a.load("ld_mode", r3, r1, 0, 8);
+            Value limit = a.load("ld_limit", r4, r1, 8, 8);
+            Value scale = a.load("ld_scale", r5, r1, 16, 8);
+            a.add("acc1", r2, r2, r3);
+            a.add("acc2", r2, r2, r4);
+            a.add("acc3", r2, r2, r5);
+            (void)mode; (void)limit; (void)scale;
+            ++iter;
+            if (iter % 1500 == 0) {
+                // Rare reconfiguration: the globals change value.
+                a.imm("newv", r6, a.rng().below(100));
+                a.store("st_mode", r6, r1, 0, 8);
+                a.addi("newv2", r6, r6, 17);
+                a.store("st_limit", r6, r1, 8, 8);
+            }
+            a.branch("br", true, "ld_mode");
+        }
+    }
+};
+
+/**
+ * Ring-buffer producer/consumer: the consumed payloads form a stride-1
+ * *value* sequence (which LVP cannot predict but EVES's stride value
+ * predictor can), while head/tail index loads are near-constant.
+ */
+class ProducerConsumerKernel : public SynthKernel
+{
+  public:
+    ProducerConsumerKernel() : SynthKernel("producer_consumer") {}
+
+  protected:
+    static constexpr Addr ringBase = 0x32000000;
+    static constexpr Addr ctrlBase = 0x32100000; ///< head/tail slots
+    static constexpr std::size_t slots = 256;
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("rb", r1, ringBase);
+        a.imm("cb", r2, ctrlBase);
+        std::uint64_t seq = 0;
+        while (!a.done()) {
+            // Producer: 16 sequenced messages.
+            for (unsigned i = 0; i < 16; ++i) {
+                Value head = a.load("ld_head", r3, r2, 0, 8);
+                a.shl("hoff", r4, r3, 3);
+                a.andOp("hmask", r4, r4, r4); // keep dependency chain
+                a.imm("msg", r5, seq++);
+                a.store("st_msg", r5, r1, 0, 8, r4);
+                a.addi("hinc", r3, r3, 1);
+                if (head + 1 >= slots)
+                    a.imm("hwrap", r3, 0);
+                a.store("st_head", r3, r2, 0, 8);
+                a.branch("brp", i + 1 < 16, "ld_head", r3);
+            }
+            // Consumer: drain the 16 messages.
+            for (unsigned i = 0; i < 16; ++i) {
+                Value tail = a.load("ld_tail", r6, r2, 8, 8);
+                a.shl("toff", r7, r6, 3);
+                a.load("ld_msg", r8, r1, 0, 8, r7);
+                a.addi("tinc", r6, r6, 1);
+                if (tail + 1 >= slots)
+                    a.imm("twrap", r6, 0);
+                a.store("st_tail", r6, r2, 8, 8);
+                a.branch("brc", i + 1 < 16, "ld_tail", r6);
+            }
+        }
+    }
+};
+
+/**
+ * Call-heavy code with stack spills/reloads (eon-like): reload values
+ * match the spilled ones, predictable per call path.
+ */
+class StackSpillKernel : public SynthKernel
+{
+  public:
+    StackSpillKernel() : SynthKernel("stack_spill") {}
+
+  protected:
+    static constexpr Addr stackBase = 0x7ff00000;
+
+    void
+    leaf(Asm &a, unsigned depth) const
+    {
+        const std::int64_t frame =
+            -static_cast<std::int64_t>(depth) * 64;
+        // Prologue: spill three registers.
+        a.store("sp_a", r2, r1, frame + 0, 8);
+        a.store("sp_b", r3, r1, frame + 8, 8);
+        a.store("sp_c", r4, r1, frame + 16, 8);
+        a.addi("work1", r2, r2, 3);
+        a.mul("work2", r3, r3, r2);
+        if (depth < 4) {
+            a.call("call_dn", "fn_entry");
+            leaf(a, depth + 1);
+        }
+        // Epilogue: reload. Values equal what this path spilled.
+        a.load("rl_a", r2, r1, frame + 0, 8);
+        a.load("rl_b", r3, r1, frame + 8, 8);
+        a.load("rl_c", r4, r1, frame + 16, 8);
+        a.ret("ret_up");
+    }
+
+    void
+    body(Asm &a) const override
+    {
+        a.imm("sp", r1, stackBase);
+        a.imm("va", r2, 0x1111);
+        a.imm("vb", r3, 0x2222);
+        a.imm("vc", r4, 0x3333);
+        while (!a.done()) {
+            a.nop("fn_entry");
+            a.call("call_top", "fn_entry");
+            leaf(a, 1);
+            a.addi("bump", r2, r2, 1);
+            a.branch("br", true, "call_top");
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+registerValueKernels(WorkloadRegistry &reg)
+{
+    reg.add("const_table", "eight constant-pool loads per loop (P1)",
+            [] { return std::make_unique<ConstTableKernel>(); });
+    reg.add("global_flags", "hot globals, rare reconfiguration (P1)",
+            [] { return std::make_unique<GlobalFlagsKernel>(); });
+    reg.add("producer_consumer",
+            "ring buffer with sequenced payloads (P1+stride values)",
+            [] { return std::make_unique<ProducerConsumerKernel>(); });
+    reg.add("stack_spill", "call-heavy spill/reload (P1/P3, RAS)",
+            [] { return std::make_unique<StackSpillKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

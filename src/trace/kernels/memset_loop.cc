@@ -1,0 +1,69 @@
+#include "trace/kernels/memset_loop.hh"
+
+#include <memory>
+
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+// Architectural register assignments for this kernel.
+constexpr RegId rBase = 1;  ///< &A[0]
+constexpr RegId rPtr = 2;   ///< memset cursor
+constexpr RegId rZero = 3;  ///< constant 0
+constexpr RegId rIdx = 4;   ///< i * sizeof(*A)
+constexpr RegId rSum = 5;   ///< running sum
+constexpr RegId rVal = 6;   ///< loaded A[i]
+constexpr RegId rOut = 7;   ///< outer counter
+
+constexpr Addr arrayBase = 0x10000000;
+constexpr unsigned elemSize = 4;
+
+} // anonymous namespace
+
+void
+MemsetLoopKernel::body(Asm &a) const
+{
+    a.imm("init_base", rBase, arrayBase);
+    a.imm("init_zero", rZero, 0);
+    a.imm("init_sum", rSum, 0);
+    a.imm("init_out", rOut, 0);
+
+    for (std::size_t o = 0; (outerM == 0 || o < outerM) && !a.done();
+         ++o) {
+        // memset(A, 0, N * sizeof(*A)) - a store loop.
+        a.imm("ms_ptr", rPtr, arrayBase);
+        for (std::size_t i = 0; i < innerN; ++i) {
+            a.store("ms_st", rZero, rPtr, 0, elemSize);
+            a.addi("ms_inc", rPtr, rPtr, elemSize);
+            a.branch("ms_br", i + 1 < innerN, "ms_st", rPtr);
+        }
+        // for (i = 0; i < N; i++) sum += A[i];
+        a.imm("in_idx", rIdx, 0);
+        for (std::size_t i = 0; i < innerN; ++i) {
+            a.load("ld_a", rVal, rBase, 0, elemSize, rIdx);
+            a.add("in_sum", rSum, rSum, rVal);
+            a.addi("in_inc", rIdx, rIdx, elemSize);
+            a.branch("in_br", i + 1 < innerN, "ld_a", rIdx);
+        }
+        a.addi("out_inc", rOut, rOut, 1);
+        a.branch("out_br", outerM == 0 || o + 1 < outerM, "ms_ptr",
+                 rOut);
+    }
+}
+
+void
+registerListing1Kernels(WorkloadRegistry &reg)
+{
+    reg.add("memset_loop",
+            "paper Listing 1: outer memset + inner sum (Table V)",
+            [] { return std::make_unique<MemsetLoopKernel>(); });
+}
+
+} // namespace trace
+} // namespace lvpsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's Listing 1 kernel, exported with tunable loop bounds so the
+ * Table V experiment can reproduce the worked example exactly:
+ *
+ *   for (o = 0; o < M; o++) {
+ *       memset(A, 0, N * sizeof(*A));
+ *       for (i = 0; i < N; i++)
+ *           sum += A[i];           // the studied load (site "ld_a")
+ *   }
+ */
+
+#ifndef LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH
+#define LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH
+
+#include <cstddef>
+
+#include "trace/synth_kernel.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+class MemsetLoopKernel : public SynthKernel
+{
+  public:
+    /**
+     * @param n inner-loop trip count (paper example: 16)
+     * @param m outer-loop trip count per body() pass (0 = until done)
+     */
+    explicit MemsetLoopKernel(std::size_t n = 64, std::size_t m = 0)
+        : SynthKernel("memset_loop"), innerN(n), outerM(m)
+    {}
+
+    /** PC of the studied inner-loop load, for per-site analysis. */
+    static Addr studiedLoadPc(Asm &a) { return a.pcOf("ld_a"); }
+
+  protected:
+    void body(Asm &a) const override;
+
+  private:
+    std::size_t innerN;
+    std::size_t outerM;
+};
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH

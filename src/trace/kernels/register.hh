@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal: per-translation-unit kernel registration hooks, called from
+ * WorkloadRegistry::instance(). Explicit calls (rather than static
+ * initializers) keep registration reliable inside a static library.
+ */
+
+#ifndef LVPSIM_TRACE_KERNELS_REGISTER_HH
+#define LVPSIM_TRACE_KERNELS_REGISTER_HH
+
+namespace lvpsim
+{
+namespace trace
+{
+
+class WorkloadRegistry;
+
+void registerListing1Kernels(WorkloadRegistry &reg);
+void registerRegularKernels(WorkloadRegistry &reg);
+void registerValueKernels(WorkloadRegistry &reg);
+void registerIrregularKernels(WorkloadRegistry &reg);
+void registerContextKernels(WorkloadRegistry &reg);
+void registerBigCodeKernels(WorkloadRegistry &reg);
+void registerStreamKernels(WorkloadRegistry &reg);
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_KERNELS_REGISTER_HH

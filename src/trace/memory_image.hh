@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sparse byte-addressable memory for functional kernel execution.
+ *
+ * Loads in the synthetic traces return genuinely stored values: kernels
+ * write through this image and read back from it, so value locality in
+ * the traces arises from program behaviour, not from scripted answers.
+ */
+
+#ifndef LVPSIM_TRACE_MEMORY_IMAGE_HH
+#define LVPSIM_TRACE_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+class MemoryImage
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr std::size_t pageSize = std::size_t(1) << pageShift;
+
+    /** Read @p size bytes (little endian); untouched bytes read as 0. */
+    Value
+    read(Addr addr, unsigned size) const
+    {
+        lvp_assert(size >= 1 && size <= 8, "bad access size %u", size);
+        Value v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<Value>(readByte(addr + i)) << (8 * i);
+        return v;
+    }
+
+    /** Write the low @p size bytes of @p v (little endian). */
+    void
+    write(Addr addr, Value v, unsigned size)
+    {
+        lvp_assert(size >= 1 && size <= 8, "bad access size %u", size);
+        for (unsigned i = 0; i < size; ++i)
+            writeByte(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** Zero [addr, addr+len): the memset in the paper's Listing 1. */
+    void
+    zeroRange(Addr addr, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            writeByte(addr + i, 0);
+    }
+
+    std::size_t numPages() const { return pages.size(); }
+
+  private:
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        auto it = pages.find(addr >> pageShift);
+        if (it == pages.end())
+            return 0;
+        return it->second[addr & (pageSize - 1)];
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t b)
+    {
+        auto &page = pages[addr >> pageShift];
+        if (!page)
+            page = std::make_unique<std::uint8_t[]>(pageSize);
+        page[addr & (pageSize - 1)] = b;
+    }
+
+    // make_unique<T[]>(n) value-initializes, so fresh pages read as 0.
+    std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages;
+};
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_MEMORY_IMAGE_HH

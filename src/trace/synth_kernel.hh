@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Base class for synthetic workload kernels.
+ *
+ * A kernel's body() runs the emulated program against an Asm emitter;
+ * generate() keeps re-entering body() until the requested number of
+ * dynamic instructions has been produced, so kernels with a finite
+ * natural length simply run again over the same (warm) memory image.
+ */
+
+#ifndef LVPSIM_TRACE_SYNTH_KERNEL_HH
+#define LVPSIM_TRACE_SYNTH_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/asm_emitter.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+class SynthKernel
+{
+  public:
+    explicit SynthKernel(std::string kernel_name)
+        : kernelName(std::move(kernel_name))
+    {}
+
+    virtual ~SynthKernel() = default;
+
+    const std::string &name() const { return kernelName; }
+
+    /**
+     * Produce a deterministic dynamic trace of (up to) @p max_ops
+     * micro-ops. The same (kernel, max_ops, seed) triple always yields
+     * the identical trace.
+     */
+    std::vector<MicroOp>
+    generate(std::size_t max_ops, std::uint64_t seed = 1) const
+    {
+        std::vector<MicroOp> out;
+        Asm a(out, max_ops, seed);
+        init(a);
+        while (!a.done()) {
+            const std::size_t before = a.emitted();
+            body(a);
+            if (a.emitted() == before)
+                break; // kernel emitted nothing; avoid spinning
+        }
+        return out;
+    }
+
+  protected:
+    /**
+     * One-time setup before the first body() pass: typically
+     * pre-populating the memory image with the program's initial data
+     * (silently, without emitting instructions — like data that was
+     * already resident when the simulated region begins).
+     */
+    virtual void init(Asm &a) const { (void)a; }
+
+    /** Emit one full pass of the emulated program (or until a.done()). */
+    virtual void body(Asm &a) const = 0;
+
+  private:
+    std::string kernelName;
+};
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_SYNTH_KERNEL_HH

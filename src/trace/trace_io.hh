@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Traces are regenerable from (kernel, seed), but a file format lets
+ * users archive runs, diff traces across versions, and feed externally
+ * produced traces (e.g. converted CVP-1 traces) into the pipeline.
+ *
+ * Format: a 16-byte header (magic "LVPT", version, count) followed by
+ * fixed-size little-endian records, one per MicroOp.
+ */
+
+#ifndef LVPSIM_TRACE_TRACE_IO_HH
+#define LVPSIM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+/** Current trace file format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Serialize @p ops to @p os. Returns false on I/O error. */
+bool writeTrace(std::ostream &os, const std::vector<MicroOp> &ops);
+
+/**
+ * Deserialize a trace from @p is.
+ * @param[out] ops replaced with the file contents
+ * @param[out] error human-readable reason on failure
+ */
+bool readTrace(std::istream &is, std::vector<MicroOp> &ops,
+               std::string *error = nullptr);
+
+/** Convenience file wrappers (fatal-free; return false on error). */
+bool saveTraceFile(const std::string &path,
+                   const std::vector<MicroOp> &ops);
+bool loadTraceFile(const std::string &path,
+                   std::vector<MicroOp> &ops,
+                   std::string *error = nullptr);
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Registry of the synthetic workload suite (the paper's benchmark pool
+ * stand-in; see DESIGN.md for the kernel-to-benchmark mapping).
+ */
+
+#ifndef LVPSIM_TRACE_WORKLOADS_HH
+#define LVPSIM_TRACE_WORKLOADS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synth_kernel.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    std::function<std::unique_ptr<SynthKernel>()> make;
+};
+
+class WorkloadRegistry
+{
+  public:
+    /** The process-wide registry, fully populated on first use. */
+    static const WorkloadRegistry &instance();
+
+    const std::vector<WorkloadInfo> &all() const { return entries; }
+
+    /** Find by name; fatal() if unknown. */
+    const WorkloadInfo &find(const std::string &name) const;
+    bool contains(const std::string &name) const;
+
+    /** Registration (used by the kernel translation units). */
+    void
+    add(std::string name, std::string description,
+        std::function<std::unique_ptr<SynthKernel>()> make)
+    {
+        entries.push_back({std::move(name), std::move(description),
+                           std::move(make)});
+    }
+
+  private:
+    std::vector<WorkloadInfo> entries;
+};
+
+/** Every workload name, in registration order. */
+std::vector<std::string> allWorkloadNames();
+
+/** A small subset used by fast tests ("smoke" suite). */
+std::vector<std::string> smokeWorkloadNames();
+
+/** Generate a workload's trace by name. */
+std::vector<MicroOp> generateWorkload(const std::string &name,
+                                      std::size_t max_ops,
+                                      std::uint64_t seed = 1);
+
+} // namespace trace
+} // namespace lvpsim
+
+#endif // LVPSIM_TRACE_WORKLOADS_HH

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/accuracy_monitor.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::vp;
+
+namespace
+{
+
+ComponentCorrectness
+cc(int lvp, int sap, int cvp, int cap)
+{
+    return {lvp, sap, cvp, cap};
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// M-AM
+// ---------------------------------------------------------------------
+
+TEST(MAm, StartsUnsilenced)
+{
+    MAm am(1000);
+    for (unsigned c = 0; c < numComponents; ++c)
+        EXPECT_FALSE(am.silenced(c, 0x100));
+}
+
+TEST(MAm, SilencesComponentAboveThreshold)
+{
+    // Component 0 mispredicts 10% of the time (100 MPKP >> 3 MPKP).
+    MAm am(1000, 3.0);
+    for (int i = 0; i < 100; ++i)
+        am.recordOutcome(0x100, cc(i % 10 == 0 ? 0 : 1, -1, -1, -1));
+    am.onRetire(1000); // epoch boundary
+    EXPECT_TRUE(am.silenced(0, 0x100));
+    EXPECT_FALSE(am.silenced(1, 0x100));
+}
+
+TEST(MAm, AccurateComponentStaysOn)
+{
+    // 1 mispredict per 1000 predictions = 1 MPKP < 3.
+    MAm am(1000, 3.0);
+    for (int i = 0; i < 2000; ++i)
+        am.recordOutcome(0x100, cc(i == 0 ? 0 : 1, -1, -1, -1));
+    am.onRetire(1000);
+    EXPECT_FALSE(am.silenced(0, 0x100));
+}
+
+TEST(MAm, RecoversNextEpoch)
+{
+    MAm am(1000, 3.0);
+    for (int i = 0; i < 10; ++i)
+        am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    am.onRetire(1000);
+    ASSERT_TRUE(am.silenced(0, 0x100));
+    // Next epoch: all correct -> unsilenced afterwards.
+    for (int i = 0; i < 100; ++i)
+        am.recordOutcome(0x100, cc(1, -1, -1, -1));
+    am.onRetire(1000);
+    EXPECT_FALSE(am.silenced(0, 0x100));
+}
+
+TEST(MAm, EpochBoundaryRequiresRetirement)
+{
+    MAm am(1000, 3.0);
+    for (int i = 0; i < 10; ++i)
+        am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    am.onRetire(500); // not yet an epoch
+    EXPECT_FALSE(am.silenced(0, 0x100));
+    am.onRetire(500);
+    EXPECT_TRUE(am.silenced(0, 0x100));
+}
+
+TEST(MAm, ComponentsTrackedIndependently)
+{
+    MAm am(1000, 3.0);
+    for (int i = 0; i < 50; ++i)
+        am.recordOutcome(0x100, cc(0, 1, 0, -1));
+    am.onRetire(1000);
+    EXPECT_TRUE(am.silenced(0, 0x100));
+    EXPECT_FALSE(am.silenced(1, 0x100));
+    EXPECT_TRUE(am.silenced(2, 0x100));
+    EXPECT_FALSE(am.silenced(3, 0x100)); // never predicted
+}
+
+// ---------------------------------------------------------------------
+// PC-AM
+// ---------------------------------------------------------------------
+
+TEST(PcAm, NoEntryMeansNoSilencing)
+{
+    PcAm am(64);
+    EXPECT_FALSE(am.silenced(0, 0x100));
+    // Outcomes without a prior flush are ignored (no entry).
+    am.recordOutcome(0x100, cc(0, 0, 0, 0));
+    EXPECT_FALSE(am.silenced(0, 0x100));
+}
+
+TEST(PcAm, FlushAllocatesAndTracks)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    // Below 95% accuracy: 1 correct, 1 incorrect = 50%.
+    am.recordOutcome(0x100, cc(1, -1, -1, -1));
+    am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    EXPECT_TRUE(am.silenced(0, 0x100));
+    EXPECT_FALSE(am.silenced(1, 0x100)); // no data for SAP
+}
+
+TEST(PcAm, HighAccuracyStaysOn)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    for (int i = 0; i < 99; ++i)
+        am.recordOutcome(0x100, cc(1, -1, -1, -1));
+    am.recordOutcome(0x100, cc(0, -1, -1, -1)); // 99% >= 95%
+    EXPECT_FALSE(am.silenced(0, 0x100));
+}
+
+TEST(PcAm, SilencingIsPerPc)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    EXPECT_TRUE(am.silenced(0, 0x100));
+    EXPECT_FALSE(am.silenced(0, 0x200)); // other PC untouched
+}
+
+TEST(PcAm, CountersHalveOnOverflow)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    // 127 corrects then one incorrect triggers the shift; the ratio
+    // (and thus the verdict) is preserved.
+    for (int i = 0; i < 127; ++i)
+        am.recordOutcome(0x100, cc(1, -1, -1, -1));
+    EXPECT_FALSE(am.silenced(0, 0x100));
+    am.recordOutcome(0x100, cc(1, -1, -1, -1)); // 128 -> halves
+    EXPECT_FALSE(am.silenced(0, 0x100));
+    // Still functional afterwards.
+    for (int i = 0; i < 30; ++i)
+        am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    EXPECT_TRUE(am.silenced(0, 0x100));
+}
+
+TEST(PcAm, ReplacementEvictsConflictingPc)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    am.recordOutcome(0x100, cc(0, -1, -1, -1));
+    ASSERT_TRUE(am.silenced(0, 0x100));
+    // Find a PC that maps to the same 64-entry slot with a different
+    // tag; a flush from it replaces the entry.
+    auto index_of = [](Addr pc) {
+        return ((pc >> 2) ^ (pc >> 8)) % 64;
+    };
+    auto tag_of = [](Addr pc) {
+        return ((pc >> 2) ^ (pc >> 12)) & 0x3ff;
+    };
+    Addr same_set = 0;
+    for (Addr pc = 0x104; pc < 0x400000; pc += 4) {
+        if (index_of(pc) == index_of(0x100) &&
+            tag_of(pc) != tag_of(0x100)) {
+            same_set = pc;
+            break;
+        }
+    }
+    ASSERT_NE(same_set, 0u);
+    am.recordFlush(same_set);
+    EXPECT_FALSE(am.silenced(0, 0x100));
+}
+
+TEST(PcAm, InfiniteVariantHasNoConflicts)
+{
+    PcAm am(0, 0.95); // infinite
+    for (Addr pc = 0x100; pc < 0x100 + 4096; pc += 4) {
+        am.recordFlush(pc);
+        am.recordOutcome(pc, cc(0, -1, -1, -1));
+    }
+    for (Addr pc = 0x100; pc < 0x100 + 4096; pc += 4)
+        EXPECT_TRUE(am.silenced(0, pc));
+}
+
+TEST(PcAm, StorageScalesWithEntries)
+{
+    PcAm small(64);
+    // 64 x (10-bit tag + valid + 8x8-bit counters).
+    EXPECT_EQ(small.storageBits(), 64ull * (10 + 1 + 64));
+}
+
+TEST(PcAm, PerComponentVerdicts)
+{
+    PcAm am(64, 0.95);
+    am.recordFlush(0x100);
+    for (int i = 0; i < 20; ++i)
+        am.recordOutcome(0x100, cc(1, 0, -1, -1));
+    EXPECT_FALSE(am.silenced(0, 0x100)); // LVP perfect
+    EXPECT_TRUE(am.silenced(1, 0x100));  // SAP always wrong
+}

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "trace/asm_emitter.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::trace;
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3;
+
+} // anonymous namespace
+
+TEST(AsmEmitter, SiteAssignsStablePcs)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    const Addr pc1 = a.pcOf("alpha");
+    const Addr pc2 = a.pcOf("beta");
+    EXPECT_NE(pc1, pc2);
+    EXPECT_EQ(a.pcOf("alpha"), pc1);
+    EXPECT_EQ(pc1 % 4, 0u);
+}
+
+TEST(AsmEmitter, SamePcAcrossDynamicInstances)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("x", r1, 1);
+    a.imm("x", r1, 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].pc, out[1].pc);
+}
+
+TEST(AsmEmitter, AluComputesValues)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("a", r1, 10);
+    a.imm("b", r2, 32);
+    a.add("c", r3, r1, r2);
+    EXPECT_EQ(a.reg(r3), 42u);
+    a.sub("d", r3, r2, r1);
+    EXPECT_EQ(a.reg(r3), 22u);
+    a.mul("e", r3, r1, r2);
+    EXPECT_EQ(a.reg(r3), 320u);
+    a.div("f", r3, r2, r1);
+    EXPECT_EQ(a.reg(r3), 3u);
+    a.xorOp("g", r3, r1, r1);
+    EXPECT_EQ(a.reg(r3), 0u);
+    a.shl("h", r3, r1, 2);
+    EXPECT_EQ(a.reg(r3), 40u);
+    a.shr("i", r3, r1, 1);
+    EXPECT_EQ(a.reg(r3), 5u);
+}
+
+TEST(AsmEmitter, DivideByZeroYieldsZero)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("a", r1, 10);
+    a.imm("z", r2, 0);
+    a.div("d", r3, r1, r2);
+    EXPECT_EQ(a.reg(r3), 0u);
+}
+
+TEST(AsmEmitter, LoadReturnsStoredValue)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("base", r1, 0x10000);
+    a.imm("val", r2, 0xabcd);
+    a.store("st", r2, r1, 8, 8);
+    const Value v = a.load("ld", r3, r1, 8, 8);
+    EXPECT_EQ(v, 0xabcdull);
+    EXPECT_EQ(a.reg(r3), 0xabcdull);
+    // The emitted load op carries the same value and address.
+    const MicroOp &ld = out.back();
+    EXPECT_EQ(ld.cls, OpClass::Load);
+    EXPECT_EQ(ld.memValue, 0xabcdull);
+    EXPECT_EQ(ld.effAddr, 0x10008ull);
+    EXPECT_EQ(ld.memSize, 8);
+}
+
+TEST(AsmEmitter, IndexedAddressing)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("base", r1, 0x20000);
+    a.imm("idx", r2, 0x30);
+    a.load("ld", r3, r1, 8, 4, r2);
+    EXPECT_EQ(out.back().effAddr, 0x20038ull);
+    // Both registers are recorded as sources.
+    EXPECT_EQ(out.back().src[0], r1);
+    EXPECT_EQ(out.back().src[1], r2);
+}
+
+TEST(AsmEmitter, ExclusiveLoadsFlagged)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.imm("base", r1, 0x30000);
+    a.loadExclusive("ldx", r2, r1, 0, 8);
+    EXPECT_TRUE(out.back().exclusiveMem);
+    EXPECT_FALSE(out.back().isPredictableLoad());
+    a.load("ld", r2, r1, 0, 8);
+    EXPECT_TRUE(out.back().isPredictableLoad());
+}
+
+TEST(AsmEmitter, BranchDirectionsAndTargets)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    const Addr target = a.pcOf("top");
+    a.branch("br", true, "top");
+    EXPECT_TRUE(out.back().taken);
+    EXPECT_EQ(out.back().target, target);
+    a.branch("br", false, "top");
+    EXPECT_FALSE(out.back().taken);
+    EXPECT_EQ(out.back().target, out.back().pc + 4);
+}
+
+TEST(AsmEmitter, CallRetPairing)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.call("c1", "fn");
+    const Addr ret_target = out.back().pc + 4;
+    a.nop("fn");
+    a.ret("r1s");
+    EXPECT_EQ(out.back().cls, OpClass::Ret);
+    EXPECT_EQ(out.back().target, ret_target);
+}
+
+TEST(AsmEmitter, NestedCallsUnwindInOrder)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 100, 1);
+    a.call("c1", "f1");
+    const Addr ret1 = out.back().pc + 4;
+    a.call("c2", "f2");
+    const Addr ret2 = out.back().pc + 4;
+    a.ret("ra");
+    EXPECT_EQ(out.back().target, ret2);
+    a.ret("rb");
+    EXPECT_EQ(out.back().target, ret1);
+}
+
+TEST(AsmEmitter, StopsAtMaxOps)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 5, 1);
+    for (int i = 0; i < 20; ++i)
+        a.nop("n");
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_TRUE(a.done());
+}
+
+TEST(AsmEmitter, DeterministicRngFromSeed)
+{
+    std::vector<MicroOp> o1, o2;
+    Asm a1(o1, 10, 99), a2(o2, 10, 99);
+    EXPECT_EQ(a1.rng().next(), a2.rng().next());
+}
+
+TEST(AsmEmitter, IndirectBranchRecordsTarget)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 10, 1);
+    const Addr h = a.pcOf("handler3");
+    a.indirect("dispatch", h, r1);
+    EXPECT_EQ(out.back().cls, OpClass::IndirBr);
+    EXPECT_EQ(out.back().target, h);
+    EXPECT_TRUE(out.back().taken);
+}
+
+TEST(AsmEmitter, StoreRecordsDataAndAddressDeps)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 10, 1);
+    a.imm("b", r1, 0x40000);
+    a.imm("v", r2, 7);
+    a.store("st", r2, r1, 0, 4);
+    const MicroOp &st = out.back();
+    EXPECT_EQ(st.cls, OpClass::Store);
+    EXPECT_EQ(st.src[0], r1);
+    EXPECT_EQ(st.src[1], r2);
+    EXPECT_EQ(st.memValue, 7u);
+}

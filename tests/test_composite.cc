@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "core/composite.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::vp;
+using pipe::ComponentId;
+using pipe::LoadOutcome;
+using pipe::LoadProbe;
+using pipe::Prediction;
+
+namespace
+{
+
+std::uint64_t nextToken = 1;
+
+/** Probe + train one load with a constant value and address. */
+Prediction
+oneLoad(CompositePredictor &p, Addr pc, Value v, Addr ea,
+        bool used = false, bool correct = false)
+{
+    LoadProbe probe;
+    probe.pc = pc;
+    probe.token = nextToken++;
+    const Prediction pred = p.predict(probe);
+    LoadOutcome o;
+    o.pc = pc;
+    o.token = probe.token;
+    o.effAddr = ea;
+    o.size = 8;
+    o.value = v;
+    o.predictionUsed = used;
+    o.predictionCorrect = correct;
+    p.train(o);
+    return pred;
+}
+
+/** Warm a constant-value, constant-address load until predicted. */
+void
+warm(CompositePredictor &p, Addr pc, Value v, Addr ea, int n = 400)
+{
+    for (int i = 0; i < n; ++i)
+        oneLoad(p, pc, v, ea, true, true);
+}
+
+CompositeConfig
+plain(std::size_t per_component = 256)
+{
+    CompositeConfig cfg;
+    cfg.lvpEntries = per_component;
+    cfg.sapEntries = per_component;
+    cfg.cvpEntries = per_component;
+    cfg.capEntries = per_component;
+    cfg.seed = 42;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Composite, ColdPredictsNothing)
+{
+    CompositePredictor p(plain());
+    LoadProbe probe;
+    probe.pc = 0x100;
+    probe.token = nextToken++;
+    EXPECT_FALSE(p.predict(probe).valid());
+    p.abandon(probe.token);
+}
+
+TEST(Composite, LearnsConstantLoad)
+{
+    CompositePredictor p(plain());
+    warm(p, 0x100, 42, 0x8000);
+    const auto pred = oneLoad(p, 0x100, 42, 0x8000);
+    ASSERT_TRUE(pred.valid());
+}
+
+TEST(Composite, SelectionPrefersValueOverAddress)
+{
+    // A constant load becomes confident in LVP/CVP (value) and
+    // SAP/CAP (address); the value prediction must win (Section V-A:
+    // no speculative cache access needed).
+    CompositePredictor p(plain());
+    warm(p, 0x100, 42, 0x8000);
+    const auto pred = oneLoad(p, 0x100, 42, 0x8000);
+    ASSERT_TRUE(pred.valid());
+    EXPECT_TRUE(pred.isValue());
+    // And context-aware (CVP) over context-agnostic (LVP).
+    EXPECT_EQ(pred.component, ComponentId::CVP);
+}
+
+TEST(Composite, AddressPredictorsCoverValueChanges)
+{
+    // Address constant, value changes every time: only SAP/CAP can
+    // become confident; CAP (context-aware) is preferred.
+    CompositePredictor p(plain());
+    for (int i = 0; i < 400; ++i)
+        oneLoad(p, 0x200, Value(i) * 7919, 0x9000);
+    const auto pred = oneLoad(p, 0x200, 1, 0x9000);
+    ASSERT_TRUE(pred.valid());
+    EXPECT_TRUE(pred.isAddress());
+    EXPECT_EQ(pred.addr, 0x9000u);
+    EXPECT_EQ(pred.component, ComponentId::CAP);
+}
+
+TEST(Composite, ZeroSizedComponentsAreSkipped)
+{
+    CompositeConfig cfg = plain();
+    cfg.cvpEntries = 0;
+    cfg.capEntries = 0;
+    CompositePredictor p(cfg);
+    warm(p, 0x100, 42, 0x8000);
+    const auto pred = oneLoad(p, 0x100, 42, 0x8000);
+    ASSERT_TRUE(pred.valid());
+    EXPECT_EQ(pred.component, ComponentId::LVP);
+}
+
+TEST(Composite, MakeSingleExposesOneComponent)
+{
+    auto p = makeSinglePredictor(ComponentId::SAP, 512);
+    // Strided addresses, changing values: only SAP applies.
+    for (int i = 0; i < 100; ++i)
+        oneLoad(*p, 0x300, Value(i), 0xa000 + Addr(i) * 8);
+    LoadProbe probe;
+    probe.pc = 0x300;
+    probe.token = nextToken++;
+    const auto pred = p->predict(probe);
+    p->abandon(probe.token);
+    ASSERT_TRUE(pred.valid());
+    EXPECT_EQ(pred.component, ComponentId::SAP);
+    EXPECT_EQ(p->storageBits(), 512ull * 77);
+}
+
+TEST(Composite, StorageSumsComponentsAndAm)
+{
+    CompositeConfig cfg = plain(256);
+    CompositePredictor no_am(cfg);
+    // LVP 81 + SAP 77 + CVP 81 + CAP 67 bits per entry.
+    EXPECT_EQ(no_am.storageBits(),
+              256ull * (81 + 77 + 81 + 67));
+    cfg.am = AmKind::PcAm;
+    CompositePredictor with_am(cfg);
+    EXPECT_GT(with_am.storageBits(), no_am.storageBits());
+}
+
+TEST(Composite, PcAmSilencesMisbehavingComponent)
+{
+    CompositeConfig cfg = plain();
+    cfg.am = AmKind::PcAm;
+    CompositePredictor p(cfg);
+    // Constant address with changing values: CAP/SAP get confident
+    // and predict the right address, but the pipeline reports the
+    // used predictions as wrong (stale values), flushing every time.
+    int predictions_after_training = 0;
+    for (int i = 0; i < 600; ++i) {
+        LoadProbe probe;
+        probe.pc = 0x400;
+        probe.token = nextToken++;
+        const Prediction pred = p.predict(probe);
+        LoadOutcome o;
+        o.pc = 0x400;
+        o.token = probe.token;
+        o.effAddr = 0xb000;
+        o.size = 8;
+        o.value = Value(i) * 13;
+        o.predictionUsed = pred.valid();
+        o.predictionCorrect = false; // pipeline: stale every time
+        p.train(o);
+        if (i > 300)
+            predictions_after_training += pred.valid() ? 1 : 0;
+    }
+    // The PC-AM must have silenced the address predictors for this
+    // PC: almost no predictions late in the run.
+    EXPECT_LT(predictions_after_training, 30);
+    EXPECT_GT(p.compositeStats().amSquashes, 0u);
+}
+
+TEST(Composite, SmartTrainingTrainsRoughlyOne)
+{
+    CompositeConfig cfg = plain();
+    cfg.smartTraining = true;
+    CompositePredictor p(cfg);
+    warm(p, 0x100, 42, 0x8000, 1500);
+    // Figure 7: with smart training the average number of predictors
+    // updated approaches one.
+    EXPECT_LT(p.compositeStats().avgTrainedPerLoad(), 1.8);
+}
+
+TEST(Composite, TrainAllUpdatesAllFour)
+{
+    CompositePredictor p(plain());
+    warm(p, 0x100, 42, 0x8000, 500);
+    EXPECT_NEAR(p.compositeStats().avgTrainedPerLoad(), 4.0, 0.01);
+}
+
+TEST(Composite, SmartTrainingReducesOverlap)
+{
+    // The same access pattern through both policies: smart training
+    // must leave fewer loads with multiple confident components.
+    auto run = [](bool smart) {
+        CompositeConfig cfg = plain();
+        cfg.smartTraining = smart;
+        CompositePredictor p(cfg);
+        warm(p, 0x500, 7, 0xc000, 1500);
+        const auto &h = p.compositeStats().confidentHist;
+        std::uint64_t multi = 0, total = 0;
+        for (std::size_t i = 0; i <= numComponents; ++i) {
+            total += h[i];
+            if (i >= 2)
+                multi += h[i];
+        }
+        return double(multi) / double(total);
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(Composite, SmartTrainingInvalidatesSkippedSap)
+{
+    // Strided loads of a CONSTANT value, with periodic stride breaks.
+    // Each break resets SAP and reopens train-all windows in which
+    // the value predictors accumulate confidence; once a value
+    // predictor and SAP are simultaneously correct, the value
+    // predictor is chosen and the skipped SAP entry is invalidated
+    // (Section V-D).
+    CompositeConfig cfg = plain();
+    cfg.smartTraining = true;
+    CompositePredictor p(cfg);
+    for (int phase = 0; phase < 60; ++phase) {
+        const Addr base = 0x8000 + Addr(phase) * 0x5000;
+        for (int i = 0; i < 12; ++i)
+            oneLoad(p, 0x100, 42, base + Addr(i) * 8, true, true);
+    }
+    EXPECT_GT(p.compositeStats().sapInvalidations, 0u);
+}
+
+TEST(Composite, ProbeTrainBalanced)
+{
+    CompositePredictor p(plain());
+    warm(p, 0x100, 42, 0x8000, 200);
+    EXPECT_EQ(p.compositeStats().probes,
+              p.compositeStats().trainEvents);
+}
+
+TEST(Composite, FusionDonatesIdleComponents)
+{
+    CompositeConfig cfg = plain(64);
+    cfg.tableFusion = true;
+    cfg.epochInstrs = 1000;
+    cfg.fusionClassifyEpochs = 2;
+    cfg.fusionCycleEpochs = 10;
+    CompositePredictor p(cfg);
+    // Heavy LVP-predictable traffic and nothing for the others.
+    for (int e = 0; e < 4; ++e) {
+        for (int i = 0; i < 500; ++i)
+            oneLoad(p, 0x100, 42, 0x8000, true, true);
+        p.onRetire(1000);
+    }
+    EXPECT_TRUE(p.currentlyFused());
+    EXPECT_GE(p.fusionEvents(), 1u);
+    // At least one component must have donated its table.
+    int donors = 0;
+    for (unsigned c = 0; c < numComponents; ++c)
+        donors += p.componentActive(c) ? 0 : 1;
+    EXPECT_GE(donors, 1);
+}
+
+TEST(Composite, FusionRevertsAfterCycle)
+{
+    CompositeConfig cfg = plain(64);
+    cfg.tableFusion = true;
+    cfg.epochInstrs = 1000;
+    cfg.fusionClassifyEpochs = 2;
+    cfg.fusionCycleEpochs = 4;
+    CompositePredictor p(cfg);
+    for (int e = 0; e < 3; ++e) {
+        for (int i = 0; i < 300; ++i)
+            oneLoad(p, 0x100, 42, 0x8000, true, true);
+        p.onRetire(1000);
+    }
+    ASSERT_TRUE(p.currentlyFused());
+    p.onRetire(1000); // epoch 4: revert
+    EXPECT_FALSE(p.currentlyFused());
+    for (unsigned c = 0; c < numComponents; ++c)
+        EXPECT_TRUE(p.componentActive(c));
+}
+
+TEST(Composite, FusionStorageStaysConstant)
+{
+    CompositeConfig cfg = plain(64);
+    cfg.tableFusion = true;
+    cfg.epochInstrs = 1000;
+    cfg.fusionClassifyEpochs = 2;
+    CompositePredictor p(cfg);
+    const auto before = p.storageBits();
+    for (int e = 0; e < 3; ++e) {
+        for (int i = 0; i < 300; ++i)
+            oneLoad(p, 0x100, 42, 0x8000, true, true);
+        p.onRetire(1000);
+    }
+    ASSERT_TRUE(p.currentlyFused());
+    EXPECT_EQ(p.storageBits(), before);
+}
+
+TEST(Composite, HomogeneousFactoryDividesBudget)
+{
+    const auto cfg = CompositeConfig::homogeneous(1024);
+    EXPECT_EQ(cfg.lvpEntries, 256u);
+    EXPECT_EQ(cfg.sapEntries, 256u);
+    EXPECT_EQ(cfg.cvpEntries, 256u);
+    EXPECT_EQ(cfg.capEntries, 256u);
+}
+
+TEST(Composite, BestOfEnablesAllOptimizations)
+{
+    const auto cfg = CompositeConfig::bestOf(1024);
+    EXPECT_EQ(cfg.am, AmKind::PcAm);
+    EXPECT_TRUE(cfg.smartTraining);
+    EXPECT_TRUE(cfg.tableFusion);
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Parameterized configuration sweeps over the substrates: every
+ * reasonable geometry must behave sanely, not just the Table III
+ * defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/tage.hh"
+#include "common/random.hh"
+#include "memory/cache.hh"
+#include "pipeline/core.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+
+// ---------------------------------------------------------------------
+// TAGE geometry sweep.
+// ---------------------------------------------------------------------
+
+struct TageParam
+{
+    unsigned tables;
+    unsigned logTagged;
+    unsigned maxHist;
+};
+
+class TageSweep : public ::testing::TestWithParam<TageParam>
+{
+};
+
+TEST_P(TageSweep, LearnsLoopPatternAtAnyGeometry)
+{
+    branch::TageConfig cfg;
+    cfg.numTables = GetParam().tables;
+    cfg.logTagged = GetParam().logTagged;
+    cfg.maxHist = GetParam().maxHist;
+    branch::Tage t(cfg);
+
+    // Trip-count-5 loop: needs the tagged tables.
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const bool taken = (i % 5) != 4;
+        const bool pred = t.predict(0x4000);
+        if (i > 3000) {
+            ++total;
+            wrong += pred != taken;
+        }
+        t.update(0x4000, taken);
+    }
+    EXPECT_LT(double(wrong) / total, 0.10);
+}
+
+TEST_P(TageSweep, StorageScalesWithGeometry)
+{
+    branch::TageConfig cfg;
+    cfg.numTables = GetParam().tables;
+    cfg.logTagged = GetParam().logTagged;
+    cfg.maxHist = GetParam().maxHist;
+    EXPECT_GT(cfg.storageBits(), 0u);
+    branch::TageConfig bigger = cfg;
+    bigger.logTagged = cfg.logTagged + 1;
+    EXPECT_GT(bigger.storageBits(), cfg.storageBits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TageSweep,
+    ::testing::Values(TageParam{4, 8, 64}, TageParam{6, 10, 130},
+                      TageParam{8, 9, 256}, TageParam{3, 11, 32}),
+    [](const ::testing::TestParamInfo<TageParam> &info) {
+        const auto &p = info.param;
+        return "t" + std::to_string(p.tables) + "_log" +
+               std::to_string(p.logTagged) + "_h" +
+               std::to_string(p.maxHist);
+    });
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep.
+// ---------------------------------------------------------------------
+
+struct CacheParam
+{
+    std::size_t sizeKB;
+    unsigned assoc;
+    unsigned block;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheParam>
+{
+};
+
+TEST_P(CacheSweep, HitsAfterFillAtAnyGeometry)
+{
+    const auto p = GetParam();
+    mem::CacheConfig cfg{"sweep", p.sizeKB * 1024, p.assoc, p.block,
+                         2};
+    mem::Cache c(cfg);
+    for (Addr a = 0; a < 64 * 1024; a += p.block)
+        c.fill(a, false, nullptr);
+    // Recently filled blocks within capacity must hit.
+    unsigned hits = 0, probes = 0;
+    for (Addr a = 64 * 1024 - p.sizeKB * 1024 / 2; a < 64 * 1024;
+         a += p.block) {
+        ++probes;
+        hits += c.probe(a) ? 1 : 0;
+    }
+    EXPECT_EQ(hits, probes);
+}
+
+TEST_P(CacheSweep, AssociativityBoundsConflicts)
+{
+    const auto p = GetParam();
+    mem::CacheConfig cfg{"sweep", p.sizeKB * 1024, p.assoc, p.block,
+                         2};
+    mem::Cache c(cfg);
+    const std::size_t sets = p.sizeKB * 1024 / p.block / p.assoc;
+    const Addr set_stride = Addr(sets) * p.block;
+    // Fill exactly `assoc` conflicting blocks: all must survive.
+    for (unsigned w = 0; w < p.assoc; ++w)
+        c.fill(w * set_stride, false, nullptr);
+    for (unsigned w = 0; w < p.assoc; ++w)
+        EXPECT_TRUE(c.contains(w * set_stride)) << "way " << w;
+    // One more evicts exactly one.
+    c.fill(Addr(p.assoc) * set_stride, false, nullptr);
+    unsigned alive = 0;
+    for (unsigned w = 0; w <= p.assoc; ++w)
+        alive += c.contains(w * set_stride) ? 1 : 0;
+    EXPECT_EQ(alive, p.assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheParam{4, 1, 64}, CacheParam{8, 2, 32},
+                      CacheParam{64, 4, 64}, CacheParam{32, 8, 128},
+                      CacheParam{16, 16, 64}),
+    [](const ::testing::TestParamInfo<CacheParam> &info) {
+        const auto &p = info.param;
+        return std::to_string(p.sizeKB) + "k_w" +
+               std::to_string(p.assoc) + "_b" +
+               std::to_string(p.block);
+    });
+
+// ---------------------------------------------------------------------
+// Core width/window sweep: narrower machines must be slower, never
+// incorrect.
+// ---------------------------------------------------------------------
+
+struct CoreParam
+{
+    unsigned fetchWidth;
+    unsigned issueWidth;
+    unsigned lsLanes;
+    unsigned robSize;
+};
+
+class CoreSweep : public ::testing::TestWithParam<CoreParam>
+{
+};
+
+TEST_P(CoreSweep, CommitsEverythingAtAnyWidth)
+{
+    const auto p = GetParam();
+    pipe::CoreConfig cfg;
+    cfg.fetchWidth = p.fetchWidth;
+    cfg.issueWidth = p.issueWidth;
+    cfg.lsLanes = p.lsLanes;
+    cfg.robSize = p.robSize;
+    cfg.iqSize = std::min(cfg.iqSize, p.robSize);
+    const auto ops = trace::generateWorkload("memset_loop", 20000, 1);
+    pipe::NullPredictor none;
+    pipe::Core core(cfg, ops, &none);
+    const auto s = core.run();
+    EXPECT_EQ(s.instructions, ops.size());
+    EXPECT_LE(s.ipc(), double(p.fetchWidth) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, CoreSweep,
+    ::testing::Values(CoreParam{1, 2, 1, 32},
+                      CoreParam{2, 4, 1, 64},
+                      CoreParam{4, 8, 2, 224},
+                      CoreParam{8, 8, 4, 512}),
+    [](const ::testing::TestParamInfo<CoreParam> &info) {
+        const auto &p = info.param;
+        return "f" + std::to_string(p.fetchWidth) + "_i" +
+               std::to_string(p.issueWidth) + "_ls" +
+               std::to_string(p.lsLanes) + "_rob" +
+               std::to_string(p.robSize);
+    });
+
+TEST(CoreSweep, WiderMachinesAreFaster)
+{
+    const auto ops = trace::generateWorkload("branchy_mix", 30000, 1);
+    auto ipc_of = [&](unsigned fetch, unsigned issue, unsigned ls) {
+        pipe::CoreConfig cfg;
+        cfg.fetchWidth = fetch;
+        cfg.issueWidth = issue;
+        cfg.lsLanes = ls;
+        pipe::NullPredictor none;
+        pipe::Core core(cfg, ops, &none);
+        return core.run().ipc();
+    };
+    const double narrow = ipc_of(1, 2, 1);
+    const double medium = ipc_of(2, 4, 1);
+    const double wide = ipc_of(4, 8, 2);
+    EXPECT_LT(narrow, medium);
+    EXPECT_LE(medium, wide * 1.001);
+}

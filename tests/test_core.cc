@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pipeline/core.hh"
+#include "trace/asm_emitter.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::pipe;
+using namespace lvpsim::trace;
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4;
+
+/** A test predictor that replies from a PC-indexed script and checks
+ *  the probe/train/abandon protocol. */
+class FakePredictor : public LoadValuePredictor
+{
+  public:
+    enum class Mode { None, Value, Address };
+
+    Mode mode = Mode::None;
+    std::unordered_map<Addr, Value> valueByPc;
+    std::unordered_map<Addr, Addr> addrByPc;
+
+    std::uint64_t probes = 0;
+    std::uint64_t trains = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t retired = 0;
+    std::unordered_set<std::uint64_t> outstanding;
+    bool doubleResolve = false;
+
+    Prediction
+    predict(const LoadProbe &p) override
+    {
+        ++probes;
+        EXPECT_TRUE(outstanding.insert(p.token).second);
+        Prediction pred;
+        if (mode == Mode::Value && valueByPc.count(p.pc)) {
+            pred.kind = Prediction::Kind::Value;
+            pred.value = valueByPc[p.pc];
+            pred.component = ComponentId::LVP;
+        } else if (mode == Mode::Address && addrByPc.count(p.pc)) {
+            pred.kind = Prediction::Kind::Address;
+            pred.addr = addrByPc[p.pc];
+            pred.component = ComponentId::SAP;
+        }
+        return pred;
+    }
+
+    void
+    train(const LoadOutcome &o) override
+    {
+        ++trains;
+        if (outstanding.erase(o.token) != 1)
+            doubleResolve = true;
+    }
+
+    void
+    abandon(std::uint64_t token) override
+    {
+        ++abandons;
+        if (outstanding.erase(token) != 1)
+            doubleResolve = true;
+    }
+
+    void onRetire(std::uint64_t n) override { retired += n; }
+
+    std::uint64_t storageBits() const override { return 0; }
+    const char *name() const override { return "fake"; }
+};
+
+/** Serial chase through a self-pointing cell: load value == address,
+ *  every instance identical; the load-to-load dependence is the
+ *  critical path. */
+std::vector<MicroOp>
+selfChaseTrace(std::size_t n)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, n, 1);
+    constexpr Addr cell = 0x10000;
+    a.mem().write(cell, cell, 8);
+    a.imm("p0", r1, cell);
+    while (!a.done())
+        a.load("chase", r1, r1, 0, 8);
+    return out;
+}
+
+Addr
+firstLoadPc(const std::vector<MicroOp> &ops)
+{
+    for (const auto &op : ops)
+        if (op.isLoad())
+            return op.pc;
+    return 0;
+}
+
+SimStats
+runOn(const std::vector<MicroOp> &ops, LoadValuePredictor *vp)
+{
+    CoreConfig cfg;
+    Core core(cfg, ops, vp);
+    return core.run();
+}
+
+} // anonymous namespace
+
+TEST(Core, CommitsEveryInstruction)
+{
+    const auto ops = selfChaseTrace(5000);
+    const auto s = runOn(ops, nullptr);
+    EXPECT_EQ(s.instructions, ops.size());
+}
+
+TEST(Core, SerialAluChainIsOneIpc)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 8000, 1);
+    a.imm("z", r1, 0);
+    while (!a.done())
+        a.addi("inc", r1, r1, 1);
+    const auto s = runOn(out, nullptr);
+    EXPECT_NEAR(s.ipc(), 1.0, 0.05);
+}
+
+TEST(Core, IndependentOpsHitFetchWidth)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 8000, 1);
+    while (!a.done())
+        a.imm("c", r1, 42);
+    const auto s = runOn(out, nullptr);
+    // Table III: fetch-through-rename is 4 wide.
+    EXPECT_NEAR(s.ipc(), 4.0, 0.1);
+}
+
+TEST(Core, LoadStoreLanesLimitThroughput)
+{
+    // Independent loads from one warm cell: bounded by the 2 LS
+    // lanes, not by the 4-wide front end.
+    std::vector<MicroOp> out;
+    Asm a(out, 30000, 1);
+    a.mem().write(0x20000, 7, 8);
+    a.imm("b", r1, 0x20000);
+    while (!a.done())
+        a.load("ld", r2, r1, 0, 8);
+    const auto s = runOn(out, nullptr);
+    // The single cold miss (~270 cycles) amortizes over 30K loads.
+    EXPECT_NEAR(s.ipc(), 2.0, 0.1);
+}
+
+TEST(Core, SerialLoadChainPaysLoadToUse)
+{
+    const auto ops = selfChaseTrace(6000);
+    const auto s = runOn(ops, nullptr);
+    // AGU (1) + L1D (2) per chained load.
+    EXPECT_NEAR(s.ipc(), 1.0 / 3.0, 0.05);
+}
+
+TEST(Core, CorrectValuePredictionBreaksTheChain)
+{
+    const auto ops = selfChaseTrace(6000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Value;
+    vp.valueByPc[firstLoadPc(ops)] = 0x10000; // the correct value
+    const auto s = runOn(ops, &vp);
+    // Loads become address-independent: LS lanes allow ~2 IPC.
+    EXPECT_GT(s.ipc(), 1.5);
+    EXPECT_EQ(s.predictionsWrong, 0u);
+    EXPECT_GT(s.predictionsUsed, 5000u);
+    EXPECT_EQ(s.vpFlushes, 0u);
+}
+
+TEST(Core, WrongValuePredictionFlushes)
+{
+    const auto ops = selfChaseTrace(3000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Value;
+    vp.valueByPc[firstLoadPc(ops)] = 0xdead; // always wrong
+    const auto s = runOn(ops, &vp);
+    // Each wrong used prediction flushes; squashed loads re-fetch
+    // with an empty stashed prediction (history-checkpoint model), so
+    // the flush count is bounded by fresh fetches, not refetches.
+    EXPECT_GT(s.vpFlushes, 100u);
+    EXPECT_GT(s.squashedOps, 0u);
+    EXPECT_EQ(s.predictionsCorrect, 0u);
+    // Flush-based recovery is expensive (the paper's premise).
+    const auto base = runOn(ops, nullptr);
+    EXPECT_LT(s.ipc(), base.ipc());
+    // All instructions still commit with correct architectural state.
+    EXPECT_EQ(s.instructions, ops.size());
+}
+
+TEST(Core, ProbeTokenProtocolHolds)
+{
+    // Even under heavy flushing, every probe resolves exactly once.
+    const auto ops = selfChaseTrace(3000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Value;
+    vp.valueByPc[firstLoadPc(ops)] = 0xdead;
+    runOn(ops, &vp);
+    EXPECT_TRUE(vp.outstanding.empty());
+    EXPECT_FALSE(vp.doubleResolve);
+    EXPECT_EQ(vp.probes, vp.trains + vp.abandons);
+}
+
+TEST(Core, OnRetireSeesEveryInstruction)
+{
+    const auto ops = selfChaseTrace(2000);
+    FakePredictor vp;
+    const auto s = runOn(ops, &vp);
+    EXPECT_EQ(vp.retired, s.instructions);
+}
+
+TEST(Core, CorrectAddressPredictionUsesPaq)
+{
+    const auto ops = selfChaseTrace(6000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Address;
+    vp.addrByPc[firstLoadPc(ops)] = 0x10000;
+    const auto s = runOn(ops, &vp);
+    EXPECT_GT(s.paqProbes, 1000u);
+    EXPECT_GT(s.predictionsUsed, 1000u);
+    EXPECT_EQ(s.predictionsWrong, 0u);
+    const auto base = runOn(ops, nullptr);
+    EXPECT_GT(s.ipc(), base.ipc());
+}
+
+TEST(Core, ColdAddressPredictionsAreDropped)
+{
+    const auto ops = selfChaseTrace(3000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Address;
+    // Predict an address in a block that is never demand-fetched:
+    // every PAQ probe misses the D-cache and the prediction is
+    // dropped (paper: miss prefetch, step 5, is disabled).
+    vp.addrByPc[firstLoadPc(ops)] = 0x11000;
+    const auto s = runOn(ops, &vp);
+    EXPECT_GT(s.paqMisses, 0u);
+    EXPECT_EQ(s.predictionsUsed, 0u);
+    EXPECT_EQ(s.vpFlushes, 0u);
+    EXPECT_EQ(s.instructions, ops.size());
+}
+
+TEST(Core, WrongAddressInWarmBlockFlushes)
+{
+    const auto ops = selfChaseTrace(3000);
+    FakePredictor vp;
+    vp.mode = FakePredictor::Mode::Address;
+    // 0x10008 shares the 64B block with the real cell, so probes hit
+    // the D-cache and deliver a wrong value: validation must flush.
+    vp.addrByPc[firstLoadPc(ops)] = 0x10008;
+    const auto s = runOn(ops, &vp);
+    EXPECT_GT(s.vpFlushes, 100u);
+    EXPECT_EQ(s.instructions, ops.size());
+}
+
+TEST(Core, ExclusiveLoadsAreNeverProbed)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 2000, 1);
+    a.imm("b", r1, 0x30000);
+    while (!a.done())
+        a.loadExclusive("ldx", r2, r1, 0, 8);
+    FakePredictor vp;
+    const auto s = runOn(out, &vp);
+    EXPECT_EQ(vp.probes, 0u);
+    EXPECT_EQ(s.eligibleLoads, 0u);
+    EXPECT_GT(s.loads, 0u);
+}
+
+TEST(Core, BranchMispredictsHurt)
+{
+    // Random 50/50 branches vs always-taken branches.
+    auto make = [](bool random) {
+        std::vector<MicroOp> out;
+        Asm a(out, 12000, random ? 5 : 6);
+        a.imm("x", r1, 1);
+        while (!a.done()) {
+            a.addi("w", r1, r1, 1);
+            const bool taken =
+                random ? a.rng().bernoulli(0.5) : true;
+            a.branch("br", taken, "w", r1);
+        }
+        return out;
+    };
+    const auto hard = runOn(make(true), nullptr);
+    const auto easy = runOn(make(false), nullptr);
+    EXPECT_GT(hard.branchMispredicts, easy.branchMispredicts * 10);
+    EXPECT_LT(hard.ipc(), easy.ipc());
+}
+
+TEST(Core, RobBlocksOnLongMiss)
+{
+    // A cold-missing load followed by a long independent ALU stream:
+    // the ROB (224) fills and commit stalls behind the miss.
+    std::vector<MicroOp> out;
+    Asm a(out, 1000, 1);
+    a.imm("b", r1, 0x7000000);
+    a.load("miss", r2, r1, 0, 8);
+    while (!a.done())
+        a.imm("c", r3, 9);
+    const auto s = runOn(out, nullptr);
+    // 1000 instructions at width 4 would be ~250 cycles; the 270-cycle
+    // miss plus ROB pressure must show up.
+    EXPECT_GT(s.cycles, 300u);
+}
+
+TEST(Core, MemoryOrderViolationRecovers)
+{
+    // A store whose data is delayed by a dependence chain, then a
+    // load of the same address: the load speculates past it the first
+    // time, gets flushed, and the memdep predictor learns.
+    std::vector<MicroOp> out;
+    Asm a(out, 20000, 1);
+    a.imm("b", r1, 0x40000);
+    a.imm("v", r2, 1);
+    while (!a.done()) {
+        // Delay chain feeding the store data.
+        for (int i = 0; i < 6; ++i)
+            a.mul("slow", r2, r2, r2);
+        a.addi("v2", r2, r2, 1);
+        a.store("st", r2, r1, 0, 8);
+        a.load("ld", r3, r1, 0, 8);
+        a.add("use", r4, r3, r3);
+    }
+    const auto s = runOn(out, nullptr);
+    EXPECT_GT(s.memOrderFlushes, 0u);
+    EXPECT_EQ(s.instructions, out.size());
+    // The wait-table must stop the bleeding: far fewer flushes than
+    // loop iterations.
+    EXPECT_LT(s.memOrderFlushes, out.size() / 10 / 2);
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    const auto ops = selfChaseTrace(4000);
+    CoreConfig cfg;
+    Core c1(cfg, ops, nullptr), c2(cfg, ops, nullptr);
+    const auto s1 = c1.run(), s2 = c2.run();
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.instructions, s2.instructions);
+    EXPECT_EQ(s1.branchMispredicts, s2.branchMispredicts);
+}
+
+TEST(Core, MaxInstrsStopsEarly)
+{
+    const auto ops = selfChaseTrace(5000);
+    CoreConfig cfg;
+    Core core(cfg, ops, nullptr);
+    const auto s = core.run(1000);
+    EXPECT_GE(s.instructions, 1000u);
+    EXPECT_LT(s.instructions, 1200u);
+}
+
+TEST(Core, BarriersDrainBeforeIssuing)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 4000, 1);
+    a.imm("b", r1, 0x50000);
+    while (!a.done()) {
+        a.load("ld", r2, r1, 0, 8);
+        a.barrier("dmb");
+        a.imm("c", r3, 1);
+    }
+    const auto s = runOn(out, nullptr);
+    EXPECT_EQ(s.instructions, out.size());
+    // Barriers serialize: IPC must be well below the LS-lane bound.
+    EXPECT_LT(s.ipc(), 1.5);
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Pipeline resource-limit tests: each Table III structure must
+ * actually constrain execution the way its size says it should.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/core.hh"
+#include "trace/asm_emitter.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::pipe;
+using namespace lvpsim::trace;
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4;
+
+SimStats
+runWith(const std::vector<MicroOp> &ops, CoreConfig cfg = {})
+{
+    NullPredictor none;
+    Core core(cfg, ops, &none);
+    return core.run();
+}
+
+} // anonymous namespace
+
+TEST(CoreLimits, RetireWidthCapsIpc)
+{
+    // Independent 1-cycle ops with an 8-wide retire but a generous
+    // front end cannot exceed the retire width... the narrower fetch
+    // (4) binds first in the default config; widen fetch to check
+    // retire.
+    std::vector<MicroOp> out;
+    Asm a(out, 30000, 1);
+    while (!a.done())
+        a.imm("c", r1, 1);
+    CoreConfig cfg;
+    cfg.fetchWidth = 16;
+    cfg.issueWidth = 16;
+    cfg.retireWidth = 8;
+    const auto s = runWith(out, cfg);
+    EXPECT_LE(s.ipc(), 8.01);
+    EXPECT_GT(s.ipc(), 7.0);
+}
+
+TEST(CoreLimits, IssueWidthCapsThroughput)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 30000, 1);
+    while (!a.done())
+        a.imm("c", r1, 1);
+    CoreConfig cfg;
+    cfg.fetchWidth = 16;
+    cfg.issueWidth = 4;
+    cfg.lsLanes = 1;
+    cfg.retireWidth = 16;
+    const auto s = runWith(out, cfg);
+    // 3 generic lanes bound these ALU ops.
+    EXPECT_LE(s.ipc(), 3.01);
+    EXPECT_GT(s.ipc(), 2.5);
+}
+
+TEST(CoreLimits, TinyRobThrottlesMissOverlap)
+{
+    // A pointer chase over a large footprint: more ROB lets more
+    // independent work proceed past the misses.
+    std::vector<MicroOp> out;
+    Asm a(out, 30000, 1);
+    a.mem().write(0x10000, 0x10000, 8);
+    a.imm("p", r1, 0x10000);
+    while (!a.done()) {
+        a.load("chase", r1, r1, 0, 8);
+        for (int i = 0; i < 6; ++i)
+            a.imm("w", r2, 5); // independent filler
+    }
+    CoreConfig small;
+    small.robSize = 16;
+    small.iqSize = 16;
+    CoreConfig big;
+    const auto s_small = runWith(out, small);
+    const auto s_big = runWith(out, big);
+    EXPECT_GT(s_big.ipc(), s_small.ipc() * 1.2);
+}
+
+TEST(CoreLimits, LdqCapBlocksDispatch)
+{
+    // All-load code with a tiny LDQ: throughput collapses to the
+    // LDQ drain rate rather than the LS lanes.
+    std::vector<MicroOp> out;
+    Asm a(out, 20000, 1);
+    a.mem().write(0x20000, 7, 8);
+    a.imm("b", r1, 0x20000);
+    while (!a.done())
+        a.load("ld", r2, r1, 0, 8);
+    CoreConfig tiny;
+    tiny.ldqSize = 2;
+    const auto s_tiny = runWith(out, tiny);
+    const auto s_full = runWith(out);
+    EXPECT_LT(s_tiny.ipc(), s_full.ipc());
+    EXPECT_EQ(s_tiny.instructions, out.size());
+}
+
+TEST(CoreLimits, StqCapBlocksDispatch)
+{
+    std::vector<MicroOp> out;
+    Asm a(out, 20000, 1);
+    a.imm("b", r1, 0x30000);
+    a.imm("v", r2, 9);
+    while (!a.done())
+        a.store("st", r2, r1, 0, 8);
+    CoreConfig tiny;
+    tiny.stqSize = 2;
+    const auto s_tiny = runWith(out, tiny);
+    const auto s_full = runWith(out);
+    EXPECT_LT(s_tiny.ipc(), s_full.ipc());
+    EXPECT_EQ(s_tiny.instructions, out.size());
+}
+
+TEST(CoreLimits, DivLatencyShowsInSerialChains)
+{
+    auto make = [](bool use_div) {
+        std::vector<MicroOp> out;
+        Asm a(out, 10000, 1);
+        a.imm("x", r1, 1000000);
+        a.imm("d", r2, 3);
+        while (!a.done()) {
+            if (use_div)
+                a.div("op", r1, r1, r2);
+            else
+                a.add("op", r1, r1, r2);
+        }
+        return out;
+    };
+    const auto s_add = runWith(make(false));
+    const auto s_div = runWith(make(true));
+    // Divides are 12 cycles vs 1: the serial chain is ~12x slower.
+    EXPECT_GT(s_add.ipc() / s_div.ipc(), 8.0);
+}
+
+TEST(CoreLimits, FpLatencyShowsInSerialChains)
+{
+    auto make = [](bool fp) {
+        std::vector<MicroOp> out;
+        Asm a(out, 10000, 1);
+        a.imm("x", r1, 1);
+        a.imm("y", r2, 3);
+        while (!a.done()) {
+            if (fp)
+                a.fadd("op", r1, r1, r2);
+            else
+                a.add("op", r1, r1, r2);
+        }
+        return out;
+    };
+    const auto s_int = runWith(make(false));
+    const auto s_fp = runWith(make(true));
+    EXPECT_NEAR(s_int.ipc() / s_fp.ipc(), 4.0, 0.5);
+}
+
+TEST(CoreLimits, StoreToLoadForwardingIsFast)
+{
+    // store -> load of the same address, serially dependent through
+    // the loaded value: forwarding (1 cycle) vs D-cache (2 + AGU).
+    std::vector<MicroOp> out;
+    Asm a(out, 20000, 1);
+    a.imm("b", r1, 0x40000);
+    a.imm("v", r2, 1);
+    while (!a.done()) {
+        a.store("st", r2, r1, 0, 8);
+        a.load("ld", r2, r1, 0, 8);
+        a.addi("inc", r2, r2, 1);
+    }
+    const auto s = runWith(out);
+    // With forwarding the loop's serial latency is store-issue ->
+    // load-forward (2) -> add (1); without it, load costs 3 alone.
+    // Mostly a sanity check that forwarding code paths run and all
+    // instructions commit without memory-order flushes exploding.
+    EXPECT_EQ(s.instructions, out.size());
+    // The wait table clears periodically, so a handful of violations
+    // recur over the run; they must stay rare.
+    EXPECT_LT(s.memOrderFlushes, 50u);
+    EXPECT_GT(s.ipc(), 0.5);
+}
+
+TEST(CoreLimits, DeeperFrontEndRaisesBranchPenalty)
+{
+    // Random branches: a deeper fetch-to-execute pipe pays more per
+    // mispredict.
+    std::vector<MicroOp> out;
+    Asm a(out, 30000, 5);
+    a.imm("x", r1, 1);
+    while (!a.done()) {
+        a.addi("w", r1, r1, 1);
+        a.branch("br", a.rng().bernoulli(0.5), "w", r1);
+    }
+    CoreConfig shallow;
+    shallow.fetchToExecute = 6;
+    CoreConfig deep;
+    deep.fetchToExecute = 24;
+    const auto s_shallow = runWith(out, shallow);
+    const auto s_deep = runWith(out, deep);
+    EXPECT_GT(s_shallow.ipc(), s_deep.ipc() * 1.3);
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * End-to-end tests: full workloads through the full core with real
+ * predictors, checking the paper's qualitative claims hold on this
+ * reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/composite.hh"
+#include "core/eves.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::sim;
+using pipe::ComponentId;
+
+namespace
+{
+
+RunConfig
+quickRun(std::size_t instrs = 60000)
+{
+    RunConfig rc;
+    rc.maxInstrs = instrs;
+    return rc;
+}
+
+vp::CompositeConfig
+scaled(vp::CompositeConfig cfg, std::size_t instrs)
+{
+    cfg.epochInstrs = std::max<std::size_t>(2000, instrs / 40);
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Integration, BaselineRunsEveryWorkload)
+{
+    const RunConfig rc = quickRun(20000);
+    for (const auto &w : trace::allWorkloadNames()) {
+        pipe::NullPredictor none;
+        const auto s = runWorkload(w, &none, rc);
+        EXPECT_EQ(s.instructions, rc.maxInstrs) << w;
+        EXPECT_GT(s.ipc(), 0.05) << w;
+        EXPECT_LT(s.ipc(), 4.01) << w;
+    }
+}
+
+TEST(Integration, CompositeIsDeterministic)
+{
+    const RunConfig rc = quickRun(40000);
+    auto run_once = [&] {
+        vp::CompositePredictor p(
+            scaled(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+        return runWorkload("pointer_chase", &p, rc);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.predictionsUsed, b.predictionsUsed);
+    EXPECT_EQ(a.predictionsWrong, b.predictionsWrong);
+}
+
+TEST(Integration, AccuracyStaysHighAcrossSmokeSuite)
+{
+    // The paper's design point: ~99% accuracy on used predictions.
+    const RunConfig rc = quickRun();
+    for (const auto &w : trace::smokeWorkloadNames()) {
+        vp::CompositePredictor p(
+            scaled(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+        const auto s = runWorkload(w, &p, rc);
+        if (s.predictionsUsed > 100) {
+            EXPECT_GT(s.accuracy(), 0.95) << w;
+        }
+    }
+}
+
+TEST(Integration, CompositeNeverTanksAWorkload)
+{
+    const RunConfig rc = quickRun();
+    SuiteRunner runner(trace::smokeWorkloadNames(), rc);
+    for (const auto &w : trace::smokeWorkloadNames()) {
+        const auto &base = runner.baseline(w);
+        vp::CompositePredictor p(
+            scaled(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+        const auto s = runWorkload(w, &p, rc);
+        EXPECT_GT(s.ipc() / base.ipc(), 0.97) << w;
+    }
+}
+
+TEST(Integration, CompositeSpeedsUpLatencyBoundWork)
+{
+    const RunConfig rc = quickRun();
+    pipe::NullPredictor none;
+    const auto base = runWorkload("pointer_chase", &none, rc);
+    vp::CompositePredictor p(
+        scaled(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+    const auto s = runWorkload("pointer_chase", &p, rc);
+    EXPECT_GT(s.ipc() / base.ipc(), 1.3);
+}
+
+TEST(Integration, CompositeCoverageBeatsEveryComponent)
+{
+    // Figure 4 / Section V-A: the composite uses the state better
+    // than any single component of the same total size.
+    const RunConfig rc = quickRun();
+    SuiteRunner runner(trace::smokeWorkloadNames(), rc);
+
+    const auto composite = runner.run("composite", [&] {
+        return std::make_unique<vp::CompositePredictor>(
+            scaled(vp::CompositeConfig::homogeneous(1024),
+                   rc.maxInstrs));
+    });
+    for (ComponentId id :
+         {ComponentId::LVP, ComponentId::SAP, ComponentId::CVP,
+          ComponentId::CAP}) {
+        const auto single =
+            runner.run(pipe::componentName(id), [&] {
+                return vp::makeSinglePredictor(id, 1024);
+            });
+        EXPECT_GT(composite.meanCoverage(), single.meanCoverage())
+            << pipe::componentName(id);
+    }
+}
+
+TEST(Integration, EvesRunsAndPredicts)
+{
+    const RunConfig rc = quickRun();
+    vp::EvesPredictor eves(vp::EvesConfig::large32k());
+    const auto s = runWorkload("const_table", &eves, rc);
+    EXPECT_GT(s.predictionsUsed, 1000u);
+    EXPECT_GT(s.accuracy(), 0.95);
+}
+
+TEST(Integration, EvesCatchesStrideValuesCompositeCannot)
+{
+    // producer_consumer payloads form a stride-1 value sequence:
+    // EVES's E-Stride covers loads the composite drops.
+    const RunConfig rc = quickRun();
+    vp::EvesPredictor eves(vp::EvesConfig::large32k());
+    const auto se = runWorkload("producer_consumer", &eves, rc);
+    EXPECT_GT(se.predictionsUsed, 100u);
+}
+
+TEST(Integration, CompositeCoverageBeatsEves)
+{
+    // The paper's headline (Figure 11): composite coverage is much
+    // higher than EVES at comparable or larger EVES budgets.
+    const RunConfig rc = quickRun();
+    SuiteRunner runner(trace::smokeWorkloadNames(), rc);
+    const auto composite = runner.run("composite", [&] {
+        return std::make_unique<vp::CompositePredictor>(
+            scaled(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+    });
+    const auto eves = runner.run("eves", [&] {
+        return std::make_unique<vp::EvesPredictor>(
+            vp::EvesConfig::large32k());
+    });
+    EXPECT_GT(composite.meanCoverage(), eves.meanCoverage());
+}
+
+TEST(Integration, SuiteRunnerCachesBaselines)
+{
+    const RunConfig rc = quickRun(20000);
+    SuiteRunner runner({"memset_loop"}, rc);
+    const auto &a = runner.baseline("memset_loop");
+    const auto &b = runner.baseline("memset_loop");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Integration, StorageAccountingFlowsThroughResults)
+{
+    const RunConfig rc = quickRun(20000);
+    SuiteRunner runner({"memset_loop"}, rc);
+    const auto res = runner.run("composite", [&] {
+        return std::make_unique<vp::CompositePredictor>(
+            vp::CompositeConfig::homogeneous(1024));
+    });
+    EXPECT_GT(res.storageKB(), 5.0);
+    EXPECT_LT(res.storageKB(), 20.0);
+}
+
+TEST(Integration, TraceCacheReturnsSameTrace)
+{
+    auto &c = TraceCache::instance();
+    auto a = c.get("memset_loop", 10000, 1);
+    auto b = c.get("memset_loop", 10000, 1);
+    EXPECT_EQ(a.get(), b.get());
+    auto d = c.get("memset_loop", 10000, 2);
+    EXPECT_NE(a.get(), d.get());
+}

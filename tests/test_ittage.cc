@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "branch/ittage.hh"
+#include "common/random.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::branch;
+
+TEST(Ittage, LearnsMonomorphicTarget)
+{
+    Ittage it;
+    const Addr pc = 0x1000, target = 0x5000;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr pred = it.predict(pc);
+        if (i > 20)
+            wrong += pred != target;
+        it.update(pc, target);
+    }
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(Ittage, LearnsAlternatingTargetsViaHistory)
+{
+    // Target alternates A B A B...: history-indexed tables must
+    // separate the two contexts.
+    Ittage it;
+    const Addr pc = 0x2000;
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const Addr target = (i % 2) ? 0x6000 : 0x7000;
+        const Addr pred = it.predict(pc);
+        if (i > 2000) {
+            ++total;
+            wrong += pred != target;
+        }
+        it.update(pc, target);
+    }
+    EXPECT_LT(double(wrong) / total, 0.10);
+}
+
+TEST(Ittage, LearnsShortRotation)
+{
+    // Dispatch loop rotating over 4 handlers.
+    Ittage it;
+    const Addr pc = 0x3000;
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 8000; ++i) {
+        const Addr target = 0x8000 + (i % 4) * 0x100;
+        const Addr pred = it.predict(pc);
+        if (i > 4000) {
+            ++total;
+            wrong += pred != target;
+        }
+        it.update(pc, target);
+    }
+    EXPECT_LT(double(wrong) / total, 0.15);
+}
+
+TEST(Ittage, RandomTargetsAreHard)
+{
+    Ittage it;
+    Xoshiro256 rng(5);
+    const Addr pc = 0x4000;
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr target = 0x9000 + rng.below(64) * 4;
+        const Addr pred = it.predict(pc);
+        ++total;
+        wrong += pred != target;
+        it.update(pc, target);
+    }
+    EXPECT_GT(double(wrong) / total, 0.5);
+}
+
+TEST(Ittage, MultiplePcsIndependent)
+{
+    Ittage it;
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        for (Addr pc = 0x100; pc < 0x100 + 8 * 4; pc += 4) {
+            const Addr target = 0xa000 + pc * 16;
+            const Addr pred = it.predict(pc);
+            if (i > 100) {
+                ++total;
+                wrong += pred != target;
+            }
+            it.update(pc, target);
+        }
+    }
+    EXPECT_LT(double(wrong) / total, 0.02);
+}
+
+TEST(Ittage, StorageBitsPlausible)
+{
+    IttageConfig cfg;
+    const double kb = double(cfg.storageBits()) / 8192.0;
+    EXPECT_GT(kb, 4.0);
+    EXPECT_LT(kb, 64.0);
+}

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "common/mathutils.hh"
+
+using namespace lvpsim;
+
+TEST(MathUtils, ArithMean)
+{
+    EXPECT_DOUBLE_EQ(arithMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithMean({5.0}), 5.0);
+}
+
+TEST(MathUtils, GeoMean)
+{
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MathUtils, GeoMeanLessThanArithMean)
+{
+    const std::vector<double> xs{1.0, 2.0, 10.0};
+    EXPECT_LT(geoMean(xs), arithMean(xs));
+}
+
+TEST(MathUtils, Speedup)
+{
+    EXPECT_NEAR(speedup(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_NEAR(speedup(1.0, 2.0), -0.5, 1e-12);
+}
+
+TEST(MathUtils, GeoMeanRejectsNonPositive)
+{
+    EXPECT_DEATH((void)geoMean({1.0, 0.0}), "positive");
+}
+
+TEST(MathUtils, MeanRejectsEmpty)
+{
+    EXPECT_DEATH((void)arithMean({}), "empty");
+}

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "memory/memdep.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::mem;
+
+TEST(MemDep, SpeculatesByDefault)
+{
+    MemDepPredictor p;
+    EXPECT_FALSE(p.shouldWait(0x1000));
+}
+
+TEST(MemDep, WaitsAfterViolation)
+{
+    MemDepPredictor p;
+    p.recordViolation(0x1000);
+    EXPECT_TRUE(p.shouldWait(0x1000));
+    // 0x1004 maps to a different wait-table entry than 0x1000
+    // (0x2000 would alias: (0x2000>>2) % 1024 == (0x1000>>2) % 1024).
+    EXPECT_FALSE(p.shouldWait(0x1004));
+}
+
+TEST(MemDep, PeriodicClearForgets)
+{
+    MemDepPredictor p(64, 100);
+    p.recordViolation(0x1000);
+    EXPECT_TRUE(p.shouldWait(0x1000));
+    for (int i = 0; i < 200; ++i)
+        (void)p.shouldWait(0x3000);
+    EXPECT_FALSE(p.shouldWait(0x1000));
+}
+
+TEST(MemDep, CountsViolations)
+{
+    MemDepPredictor p;
+    p.recordViolation(0x1000);
+    p.recordViolation(0x1000);
+    EXPECT_EQ(p.violations(), 2u);
+}
+
+TEST(MemDep, AliasedPcsShareEntry)
+{
+    MemDepPredictor p(16, 1u << 30);
+    p.recordViolation(0x1000);
+    // 16 entries: pc>>2 % 16; 0x1000>>2=0x400 -> 0; 0x1040>>2=0x410
+    // -> 0 as well.
+    EXPECT_TRUE(p.shouldWait(0x1040));
+}

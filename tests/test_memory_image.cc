@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "trace/memory_image.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::trace;
+
+TEST(MemoryImage, UntouchedReadsZero)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.read(0x1000, 8), 0u);
+    EXPECT_EQ(m.read(0xdeadbeef, 1), 0u);
+}
+
+TEST(MemoryImage, WriteReadRoundTrip)
+{
+    MemoryImage m;
+    m.write(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(0x1000, 8), 0x1122334455667788ull);
+}
+
+TEST(MemoryImage, LittleEndianLayout)
+{
+    MemoryImage m;
+    m.write(0x1000, 0x0A0B0C0Dull, 4);
+    EXPECT_EQ(m.read(0x1000, 1), 0x0Dull);
+    EXPECT_EQ(m.read(0x1001, 1), 0x0Cull);
+    EXPECT_EQ(m.read(0x1002, 1), 0x0Bull);
+    EXPECT_EQ(m.read(0x1003, 1), 0x0Aull);
+}
+
+TEST(MemoryImage, PartialWidthWriteMasks)
+{
+    MemoryImage m;
+    m.write(0x2000, 0xffffffffffffffffull, 2);
+    EXPECT_EQ(m.read(0x2000, 8), 0xffffull);
+}
+
+TEST(MemoryImage, CrossPageAccess)
+{
+    MemoryImage m;
+    const Addr a = MemoryImage::pageSize - 4; // straddles page 0/1
+    m.write(a, 0x1234567890abcdefull, 8);
+    EXPECT_EQ(m.read(a, 8), 0x1234567890abcdefull);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(MemoryImage, OverlappingWritesLastWins)
+{
+    MemoryImage m;
+    m.write(0x3000, 0xaaaaaaaaaaaaaaaaull, 8);
+    m.write(0x3002, 0xbbbbull, 2);
+    EXPECT_EQ(m.read(0x3000, 8), 0xaaaaaaaabbbbaaaaull);
+}
+
+TEST(MemoryImage, ZeroRange)
+{
+    MemoryImage m;
+    m.write(0x4000, ~0ull, 8);
+    m.write(0x4008, ~0ull, 8);
+    m.zeroRange(0x4000, 12);
+    EXPECT_EQ(m.read(0x4000, 8), 0u);
+    EXPECT_EQ(m.read(0x4008, 4), 0u);
+    EXPECT_EQ(m.read(0x400c, 4), 0xffffffffull);
+}
+
+TEST(MemoryImage, RejectsBadSize)
+{
+    MemoryImage m;
+    EXPECT_DEATH((void)m.read(0, 9), "size");
+    EXPECT_DEATH(m.write(0, 0, 0), "size");
+}

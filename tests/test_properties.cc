@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cross-cutting property tests: parameterized sweeps over predictor
+ * budgets, optimization combinations and workloads, checking the
+ * invariants the paper's design rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/composite.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::sim;
+
+namespace
+{
+
+RunConfig
+quick(std::size_t instrs = 50000)
+{
+    RunConfig rc;
+    rc.maxInstrs = instrs;
+    return rc;
+}
+
+vp::CompositeConfig
+withEpochs(vp::CompositeConfig cfg, std::size_t instrs)
+{
+    cfg.epochInstrs = std::max<std::size_t>(1000, instrs / 40);
+    return cfg;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Sweep: composite budget x optimization set.
+// ---------------------------------------------------------------------
+
+struct ComboParam
+{
+    std::size_t total;
+    bool am;
+    bool smart;
+    bool fusion;
+};
+
+class CompositeCombo : public ::testing::TestWithParam<ComboParam>
+{
+  protected:
+    vp::CompositeConfig
+    config() const
+    {
+        const auto p = GetParam();
+        auto cfg = vp::CompositeConfig::homogeneous(p.total);
+        if (p.am)
+            cfg.am = vp::AmKind::PcAm;
+        cfg.smartTraining = p.smart;
+        cfg.tableFusion = p.fusion;
+        return withEpochs(cfg, 50000);
+    }
+};
+
+TEST_P(CompositeCombo, RunsCleanAndStaysAccurate)
+{
+    const auto rc = quick();
+    for (const char *w : {"memset_loop", "pointer_chase",
+                          "interp_dispatch"}) {
+        vp::CompositePredictor p(config());
+        const auto s = runWorkload(w, &p, rc);
+        EXPECT_EQ(s.instructions, rc.maxInstrs) << w;
+        if (s.predictionsUsed > 200) {
+            EXPECT_GT(s.accuracy(), 0.95) << w;
+        }
+        // Probe/train/abandon bookkeeping must balance: no leaked
+        // per-token snapshots once the pipeline has drained.
+        EXPECT_EQ(p.pendingSnapshots(), 0u) << w;
+    }
+}
+
+TEST_P(CompositeCombo, DeterministicAcrossIdenticalRuns)
+{
+    const auto rc = quick(30000);
+    auto once = [&] {
+        vp::CompositePredictor p(config());
+        return runWorkload("interp_dispatch", &p, rc);
+    };
+    const auto a = once();
+    const auto b = once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.predictionsUsed, b.predictionsUsed);
+    EXPECT_EQ(a.predictionsWrong, b.predictionsWrong);
+}
+
+TEST_P(CompositeCombo, StorageAccountingPositiveAndBounded)
+{
+    vp::CompositePredictor p(config());
+    const auto bits = p.storageBits();
+    const auto p_total = GetParam().total;
+    // Between 60 and 90 bits per entry, plus a small AM.
+    EXPECT_GT(bits, std::uint64_t(p_total) * 60);
+    EXPECT_LT(bits, std::uint64_t(p_total) * 90 + 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndOpts, CompositeCombo,
+    ::testing::Values(
+        ComboParam{256, false, false, false},
+        ComboParam{256, true, true, true},
+        ComboParam{1024, false, false, false},
+        ComboParam{1024, true, false, false},
+        ComboParam{1024, false, true, false},
+        ComboParam{1024, false, false, true},
+        ComboParam{1024, true, true, true},
+        ComboParam{4096, true, true, true}),
+    [](const ::testing::TestParamInfo<ComboParam> &info) {
+        const auto &p = info.param;
+        return "n" + std::to_string(p.total) +
+               (p.am ? "_am" : "") + (p.smart ? "_smart" : "") +
+               (p.fusion ? "_fusion" : "");
+    });
+
+// ---------------------------------------------------------------------
+// Sweep: every workload stays sane under the full composite.
+// ---------------------------------------------------------------------
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, CompositeDoesNotTankIt)
+{
+    const auto rc = quick(40000);
+    pipe::NullPredictor none;
+    const auto base = runWorkload(GetParam(), &none, rc);
+    vp::CompositePredictor p(
+        withEpochs(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+    const auto s = runWorkload(GetParam(), &p, rc);
+    // The paper's tuned design never loses meaningfully on any
+    // workload (Figure 12 shows no negative bars).
+    EXPECT_GT(s.ipc() / base.ipc(), 0.95) << GetParam();
+}
+
+TEST_P(WorkloadSweep, UsedPredictionsAreAccurate)
+{
+    const auto rc = quick(40000);
+    vp::CompositePredictor p(
+        withEpochs(vp::CompositeConfig::bestOf(1024), rc.maxInstrs));
+    const auto s = runWorkload(GetParam(), &p, rc);
+    if (s.predictionsUsed > 500) {
+        EXPECT_GT(s.accuracy(), 0.90) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweep,
+    ::testing::ValuesIn(trace::allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// Monotonicity-style properties.
+// ---------------------------------------------------------------------
+
+TEST(Properties, LongerRunsTakeMoreCycles)
+{
+    pipe::NullPredictor none;
+    RunConfig rc1 = quick(20000), rc2 = quick(40000);
+    const auto s1 = runWorkload("stream_sum", &none, rc1);
+    const auto s2 = runWorkload("stream_sum", &none, rc2);
+    EXPECT_GT(s2.cycles, s1.cycles);
+}
+
+TEST(Properties, BiggerCompositeNeverMuchWorse)
+{
+    // Coverage should broadly grow with budget on a diverse kernel.
+    const auto rc = quick(60000);
+    double prev = -1.0;
+    for (std::size_t total : {256, 1024, 4096}) {
+        vp::CompositePredictor p(
+            vp::CompositeConfig::homogeneous(total));
+        const auto s = runWorkload("interp_dispatch", &p, rc);
+        EXPECT_GT(s.coverage(), prev * 0.7)
+            << "collapse at " << total;
+        prev = s.coverage();
+    }
+}
+
+TEST(Properties, SeedChangesTraceButNotValidity)
+{
+    // Different trace seeds give different traces that still satisfy
+    // all structural invariants end to end.
+    for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+        RunConfig rc = quick(20000);
+        rc.traceSeed = seed;
+        pipe::NullPredictor none;
+        const auto s = runWorkload("hash_probe", &none, rc);
+        EXPECT_EQ(s.instructions, rc.maxInstrs);
+        EXPECT_GT(s.ipc(), 0.05);
+    }
+}

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace lvpsim;
+
+TEST(Random, DeterministicForSeed)
+{
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoshiro256 r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Xoshiro256 r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, BernoulliEdgeCases)
+{
+    Xoshiro256 r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(0.0));
+    }
+}
+
+TEST(Random, BernoulliRateRoughlyCorrect)
+{
+    Xoshiro256 r(11);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.25) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Xoshiro256 r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, BelowIsRoughlyUniform)
+{
+    Xoshiro256 r(17);
+    int counts[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 0.125, 0.01);
+}
+
+TEST(Random, SplitMix64Deterministic)
+{
+    SplitMix64 a(42), b(42);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+}

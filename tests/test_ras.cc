@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "branch/ras.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::branch;
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(16);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    ReturnAddressStack ras(16);
+    EXPECT_EQ(ras.pop(), 0u);
+    ras.push(0x100);
+    ras.pop();
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, DepthTracksEntries)
+{
+    ReturnAddressStack ras(16);
+    EXPECT_EQ(ras.depth(), 0u);
+    ras.push(1);
+    ras.push(2);
+    EXPECT_EQ(ras.depth(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.depth(), 1u);
+}
+
+TEST(Ras, OverflowWrapsAndLosesOldest)
+{
+    // Table III: 16 entries. Deep recursion overwrites the oldest.
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a);
+    EXPECT_EQ(ras.depth(), 4u);
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 0u); // 1 and 2 were lost to wrap-around
+}
+
+TEST(Ras, BalancedCallsAlwaysMatch)
+{
+    ReturnAddressStack ras(16);
+    for (int rep = 0; rep < 4; ++rep) {
+        for (Addr d = 0; d < 8; ++d)
+            ras.push(0x1000 + d);
+        for (Addr d = 8; d-- > 0;)
+            EXPECT_EQ(ras.pop(), 0x1000 + d);
+    }
+}

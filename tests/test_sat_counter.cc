@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+#include "core/vp_params.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::vp;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, ResetAndSet)
+{
+    SatCounter c(3);
+    c.set(5);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(FpcVector, EffectiveConfidenceMatchesPaperLvp)
+{
+    // Table IV: LVP threshold 7 corresponds to an effective
+    // confidence of 64 consecutive observations.
+    EXPECT_DOUBLE_EQ(lvpFpc().effectiveConfidence(lvpConfThreshold),
+                     64.0);
+}
+
+TEST(FpcVector, EffectiveConfidenceMatchesPaperSap)
+{
+    // SAP: 9 consecutive observations.
+    EXPECT_DOUBLE_EQ(sapFpc().effectiveConfidence(sapConfThreshold),
+                     9.0);
+}
+
+TEST(FpcVector, EffectiveConfidenceMatchesPaperCvp)
+{
+    // CVP: ~16 consecutive observations (the power-of-two FPC vector
+    // gives exactly 15).
+    EXPECT_NEAR(cvpFpc().effectiveConfidence(cvpConfThreshold), 16.0,
+                1.0);
+}
+
+TEST(FpcVector, EffectiveConfidenceMatchesPaperCap)
+{
+    // CAP: 4 consecutive observations.
+    EXPECT_DOUBLE_EQ(capFpc().effectiveConfidence(capConfThreshold),
+                     4.0);
+}
+
+TEST(FpcVector, MaxLevelMatchesCounterWidth)
+{
+    // A 3-bit counter holds 0..7: seven upward transitions.
+    EXPECT_EQ(lvpFpc().maxLevel(), 7u);
+    EXPECT_EQ(sapFpc().maxLevel(), 3u);
+    EXPECT_EQ(cvpFpc().maxLevel(), 4u);
+    EXPECT_EQ(capFpc().maxLevel(), 3u);
+}
+
+TEST(FpcCounter, DeterministicFirstSteps)
+{
+    // LVP's first two transitions have probability 1.0.
+    Xoshiro256 rng(1);
+    FpcCounter c;
+    c.increment(lvpFpc(), rng);
+    EXPECT_EQ(c.value(), 1u);
+    c.increment(lvpFpc(), rng);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(FpcCounter, NeverExceedsMax)
+{
+    Xoshiro256 rng(2);
+    FpcCounter c;
+    for (int i = 0; i < 10000; ++i)
+        c.increment(sapFpc(), rng);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(FpcCounter, ResetClears)
+{
+    Xoshiro256 rng(3);
+    FpcCounter c;
+    for (int i = 0; i < 100; ++i)
+        c.increment(capFpc(), rng);
+    EXPECT_GT(c.value(), 0u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.atLeast(1));
+}
+
+TEST(FpcCounter, ForceIncrementIsDeterministic)
+{
+    FpcCounter c;
+    for (int i = 0; i < 10; ++i)
+        c.forceIncrement(lvpFpc());
+    EXPECT_EQ(c.value(), 7u);
+}
+
+/**
+ * Statistical check of the FPC principle (Riley & Zilles [28]): the
+ * mean number of observations to reach the threshold should match the
+ * effective confidence computed from the vector.
+ */
+TEST(FpcCounter, StatisticalEffectiveConfidenceSap)
+{
+    Xoshiro256 rng(4);
+    const int trials = 2000;
+    std::uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+        FpcCounter c;
+        int steps = 0;
+        while (!c.atLeast(sapConfThreshold)) {
+            c.increment(sapFpc(), rng);
+            ++steps;
+        }
+        total += steps;
+    }
+    const double mean = double(total) / trials;
+    EXPECT_NEAR(mean, 9.0, 0.5);
+}
+
+TEST(FpcCounter, StatisticalEffectiveConfidenceLvp)
+{
+    Xoshiro256 rng(5);
+    const int trials = 500;
+    std::uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+        FpcCounter c;
+        int steps = 0;
+        while (!c.atLeast(lvpConfThreshold)) {
+            c.increment(lvpFpc(), rng);
+            ++steps;
+        }
+        total += steps;
+    }
+    const double mean = double(total) / trials;
+    EXPECT_NEAR(mean, 64.0, 5.0);
+}
+
+TEST(FpcVector, RejectsOutOfRangeLevel)
+{
+    EXPECT_DEATH((void)lvpFpc().prob(7), "level");
+}

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace lvpsim::stats;
+
+TEST(Stats, ScalarCounts)
+{
+    StatGroup g("core");
+    Scalar s(g, "cycles", "total cycles");
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    EXPECT_EQ(s.name(), "core.cycles");
+}
+
+TEST(Stats, ScalarReset)
+{
+    StatGroup g;
+    Scalar s(g, "x", "");
+    s += 5;
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    StatGroup g;
+    Histogram h(g, "h", "test", 4);
+    h.sample(0);
+    h.sample(2, 3);
+    h.sample(99); // overflow clamps to last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(2), 3u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Stats, GroupDumpContainsAll)
+{
+    StatGroup g("vp");
+    Scalar a(g, "preds", "predictions");
+    Scalar b(g, "miss", "mispredictions");
+    a += 3;
+    b += 1;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("vp.preds"), std::string::npos);
+    EXPECT_NE(out.find("vp.miss"), std::string::npos);
+    EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(Stats, EmptyPrefixNamesUnqualified)
+{
+    StatGroup g;
+    Scalar s(g, "plain", "");
+    EXPECT_EQ(s.name(), "plain");
+}
+
+TEST(Stats, HistogramReset)
+{
+    StatGroup g;
+    Histogram h(g, "h", "", 2);
+    h.sample(1, 7);
+    g.resetAll();
+    EXPECT_EQ(h.total(), 0u);
+}

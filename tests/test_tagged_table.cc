@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/tagged_table.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+struct Payload
+{
+    int v = 0;
+};
+
+} // anonymous namespace
+
+TEST(TaggedTable, MissOnEmpty)
+{
+    TaggedTable<Payload> t(16, 1);
+    EXPECT_EQ(t.lookup(3, 42), nullptr);
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(TaggedTable, AllocateThenLookup)
+{
+    TaggedTable<Payload> t(16, 1);
+    bool hit = true;
+    auto &w = t.allocate(3, 42, &hit);
+    EXPECT_FALSE(hit);
+    w.payload.v = 7;
+    auto *found = t.lookup(3, 42);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->payload.v, 7);
+}
+
+TEST(TaggedTable, TagMismatchMisses)
+{
+    TaggedTable<Payload> t(16, 1);
+    t.allocate(3, 42);
+    EXPECT_EQ(t.lookup(3, 43), nullptr);
+}
+
+TEST(TaggedTable, ReallocateSameKeyIsHit)
+{
+    TaggedTable<Payload> t(16, 1);
+    t.allocate(3, 42).payload.v = 9;
+    bool hit = false;
+    auto &w = t.allocate(3, 42, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(w.payload.v, 9); // payload preserved on hit
+}
+
+TEST(TaggedTable, DirectMappedConflictEvicts)
+{
+    TaggedTable<Payload> t(16, 1);
+    t.allocate(3, 42).payload.v = 1;
+    bool hit = true;
+    auto &w = t.allocate(3, 99, &hit); // same set, different tag
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(w.payload.v, 0); // payload reset on replacement
+    EXPECT_EQ(t.lookup(3, 42), nullptr);
+    EXPECT_NE(t.lookup(3, 99), nullptr);
+}
+
+TEST(TaggedTable, IndexWrapsModuloSets)
+{
+    TaggedTable<Payload> t(16, 1);
+    t.allocate(3, 42).payload.v = 5;
+    // Index 19 maps to the same set as 3 (19 % 16).
+    auto *found = t.lookup(19, 42);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->payload.v, 5);
+}
+
+TEST(TaggedTable, NonPowerOfTwoSets)
+{
+    TaggedTable<Payload> t(3, 1);
+    t.allocate(0, 1).payload.v = 10;
+    t.allocate(1, 2).payload.v = 11;
+    t.allocate(2, 3).payload.v = 12;
+    EXPECT_EQ(t.lookup(3, 1)->payload.v, 10); // 3 % 3 == 0
+    EXPECT_EQ(t.validCount(), 3u);
+}
+
+TEST(TaggedTable, TwoWayKeepsBoth)
+{
+    TaggedTable<Payload> t(4, 2);
+    t.allocate(1, 10).payload.v = 1;
+    t.allocate(1, 20).payload.v = 2;
+    EXPECT_NE(t.lookup(1, 10), nullptr);
+    EXPECT_NE(t.lookup(1, 20), nullptr);
+}
+
+TEST(TaggedTable, LruEvictionAmongWays)
+{
+    TaggedTable<Payload> t(4, 2);
+    t.allocate(1, 10);
+    t.allocate(1, 20);
+    t.lookup(1, 10); // make tag 10 most recently used
+    t.allocate(1, 30); // evicts LRU = tag 20
+    EXPECT_NE(t.lookup(1, 10), nullptr);
+    EXPECT_EQ(t.lookup(1, 20), nullptr);
+    EXPECT_NE(t.lookup(1, 30), nullptr);
+}
+
+TEST(TaggedTable, SetWaysGrowPreservesWayZero)
+{
+    TaggedTable<Payload> t(4, 1);
+    t.allocate(1, 10).payload.v = 3;
+    t.setWays(4); // fusion: receive three donor tables
+    EXPECT_EQ(t.numWays(), 4u);
+    auto *found = t.lookup(1, 10);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->payload.v, 3);
+}
+
+TEST(TaggedTable, SetWaysShrinkKeepsWayZero)
+{
+    TaggedTable<Payload> t(4, 1);
+    t.allocate(1, 10).payload.v = 3; // resides in way 0
+    t.setWays(2);
+    t.allocate(1, 20).payload.v = 4; // goes to the empty way
+    t.setWays(1); // unfuse: receiver keeps its own table
+    auto *found = t.lookup(1, 10);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->payload.v, 3);
+    EXPECT_EQ(t.lookup(1, 20), nullptr);
+}
+
+TEST(TaggedTable, FlushWaysClearsRange)
+{
+    TaggedTable<Payload> t(4, 2);
+    t.allocate(1, 10);
+    t.allocate(1, 20);
+    t.flushWays(1, 2);
+    EXPECT_EQ(t.validCount(), 1u);
+}
+
+TEST(TaggedTable, FlushAllEmpties)
+{
+    TaggedTable<Payload> t(8, 1);
+    for (int i = 0; i < 8; ++i)
+        t.allocate(i, 100 + i);
+    EXPECT_EQ(t.validCount(), 8u);
+    t.flushAll();
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(TaggedTable, InvalidateSpecificEntry)
+{
+    TaggedTable<Payload> t(8, 1);
+    t.allocate(2, 5);
+    t.invalidate(2, 6); // wrong tag: no-op
+    EXPECT_NE(t.lookup(2, 5), nullptr);
+    t.invalidate(2, 5);
+    EXPECT_EQ(t.lookup(2, 5), nullptr);
+}
+
+TEST(TaggedTable, WayAtGivesResidentEntry)
+{
+    TaggedTable<Payload> t(8, 1);
+    t.allocate(2, 5).payload.v = 8;
+    auto &w = t.wayAt(2);
+    EXPECT_TRUE(w.valid);
+    EXPECT_EQ(w.tag, 5ull);
+    EXPECT_EQ(w.payload.v, 8);
+}
+
+TEST(TaggedTable, EmptyTableReportsEmpty)
+{
+    TaggedTable<Payload> t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numEntries(), 0u);
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+using namespace lvpsim::trace;
+
+namespace
+{
+
+bool
+opsEqual(const MicroOp &a, const MicroOp &b)
+{
+    return a.pc == b.pc && a.cls == b.cls && a.dst == b.dst &&
+           a.src == b.src && a.effAddr == b.effAddr &&
+           a.memSize == b.memSize && a.memValue == b.memValue &&
+           a.exclusiveMem == b.exclusiveMem && a.taken == b.taken &&
+           a.target == b.target;
+}
+
+} // anonymous namespace
+
+TEST(TraceIo, RoundTripsAWorkloadTrace)
+{
+    const auto ops = generateWorkload("memset_loop", 5000, 1);
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(ss, ops));
+    std::vector<MicroOp> back;
+    std::string err;
+    ASSERT_TRUE(readTrace(ss, back, &err)) << err;
+    ASSERT_EQ(back.size(), ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        ASSERT_TRUE(opsEqual(ops[i], back[i])) << "op " << i;
+}
+
+TEST(TraceIo, RoundTripsEveryOpClass)
+{
+    // interp_dispatch exercises loads, stores, branches, calls and
+    // indirect branches; stack_spill adds call/ret.
+    for (const char *w : {"interp_dispatch", "stack_spill"}) {
+        const auto ops = generateWorkload(w, 3000, 1);
+        std::stringstream ss;
+        ASSERT_TRUE(writeTrace(ss, ops));
+        std::vector<MicroOp> back;
+        ASSERT_TRUE(readTrace(ss, back));
+        ASSERT_EQ(back.size(), ops.size()) << w;
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            ASSERT_TRUE(opsEqual(ops[i], back[i])) << w;
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(ss, {}));
+    std::vector<MicroOp> back{MicroOp{}};
+    ASSERT_TRUE(readTrace(ss, back));
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream ss("NOPE....");
+    std::vector<MicroOp> back;
+    std::string err;
+    EXPECT_FALSE(readTrace(ss, back, &err));
+    EXPECT_NE(err.find("magic"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsTruncatedStream)
+{
+    const auto ops = generateWorkload("memset_loop", 100, 1);
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(ss, ops));
+    std::string data = ss.str();
+    data.resize(data.size() / 2); // chop it
+    std::stringstream cut(data);
+    std::vector<MicroOp> back;
+    std::string err;
+    EXPECT_FALSE(readTrace(cut, back, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    const auto ops = generateWorkload("memset_loop", 10, 1);
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(ss, ops));
+    std::string data = ss.str();
+    data[4] = 99; // bump version field
+    std::stringstream bad(data);
+    std::vector<MicroOp> back;
+    std::string err;
+    EXPECT_FALSE(readTrace(bad, back, &err));
+    EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const auto ops = generateWorkload("const_table", 2000, 7);
+    const std::string path = "/tmp/lvpsim_test_trace.lvpt";
+    ASSERT_TRUE(saveTraceFile(path, ops));
+    std::vector<MicroOp> back;
+    std::string err;
+    ASSERT_TRUE(loadTraceFile(path, back, &err)) << err;
+    EXPECT_EQ(back.size(), ops.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFailsCleanly)
+{
+    std::vector<MicroOp> back;
+    std::string err;
+    EXPECT_FALSE(loadTraceFile("/nonexistent/nope.lvpt", back, &err));
+    EXPECT_FALSE(err.empty());
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * lvpsim command-line driver: run any workload against any predictor
+ * configuration without writing code.
+ *
+ *   lvpsim_cli --list
+ *   lvpsim_cli --workload pointer_chase --predictor composite \
+ *              --entries 1024 --am pc --smart --fusion
+ *   lvpsim_cli --workload stream_sum --predictor sap --entries 512
+ *   lvpsim_cli --workload hash_probe --classify
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/composite.hh"
+#include "core/eves.hh"
+#include "core/oracle.hh"
+#include "sim/options.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string workload = "memset_loop";
+    std::string predictor = "composite";
+    std::size_t entries = 1024;
+    std::size_t instrs = 0;
+    std::string am = "none";
+    bool smart = false;
+    bool fusion = false;
+    bool classify = false;
+    bool list = false;
+    bool verbose = false;
+    std::uint64_t seed = 1;
+    std::string saveTrace;
+    std::string loadTrace;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "lvpsim_cli - load value prediction simulator driver\n\n"
+        "  --list                 list available workloads\n"
+        "  --workload <name>      workload to run\n"
+        "  --predictor <p>        none|composite|lvp|sap|cvp|cap|\n"
+        "                         eves8k|eves32k|evesinf\n"
+        "  --entries <n>          total predictor entries\n"
+        "  --instrs <n>           instructions (default "
+        "LVPSIM_INSTRS or 150000)\n"
+        "  --am none|m|pc|pcinf   accuracy monitor (composite only)\n"
+        "  --smart                enable smart training\n"
+        "  --fusion               enable table fusion\n"
+        "  --classify             print the oracle load-pattern "
+        "breakdown and exit\n"
+        "  --seed <n>             trace seed\n"
+        "  --save-trace <file>    write the workload trace (.lvpt)\n"
+        "  --load-trace <file>    run a saved trace instead of a\n"
+        "                         generated workload\n"
+        "  --verbose              dump full run statistics\n";
+}
+
+bool
+parse(int argc, char **argv, CliOptions &o)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << what << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list")
+            o.list = true;
+        else if (a == "--workload")
+            o.workload = next("--workload");
+        else if (a == "--predictor")
+            o.predictor = next("--predictor");
+        else if (a == "--entries")
+            o.entries = std::size_t(atoll(next("--entries")));
+        else if (a == "--instrs")
+            o.instrs = std::size_t(atoll(next("--instrs")));
+        else if (a == "--am")
+            o.am = next("--am");
+        else if (a == "--smart")
+            o.smart = true;
+        else if (a == "--fusion")
+            o.fusion = true;
+        else if (a == "--classify")
+            o.classify = true;
+        else if (a == "--seed")
+            o.seed = std::uint64_t(atoll(next("--seed")));
+        else if (a == "--save-trace")
+            o.saveTrace = next("--save-trace");
+        else if (a == "--load-trace")
+            o.loadTrace = next("--load-trace");
+        else if (a == "--verbose")
+            o.verbose = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option '" << a << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<pipe::LoadValuePredictor>
+makePredictor(const CliOptions &o, std::size_t instrs)
+{
+    if (o.predictor == "none")
+        return std::make_unique<pipe::NullPredictor>();
+    if (o.predictor == "lvp")
+        return vp::makeSinglePredictor(pipe::ComponentId::LVP,
+                                       o.entries);
+    if (o.predictor == "sap")
+        return vp::makeSinglePredictor(pipe::ComponentId::SAP,
+                                       o.entries);
+    if (o.predictor == "cvp")
+        return vp::makeSinglePredictor(pipe::ComponentId::CVP,
+                                       o.entries);
+    if (o.predictor == "cap")
+        return vp::makeSinglePredictor(pipe::ComponentId::CAP,
+                                       o.entries);
+    if (o.predictor == "eves8k")
+        return std::make_unique<vp::EvesPredictor>(
+            vp::EvesConfig::small8k());
+    if (o.predictor == "eves32k")
+        return std::make_unique<vp::EvesPredictor>(
+            vp::EvesConfig::large32k());
+    if (o.predictor == "evesinf")
+        return std::make_unique<vp::EvesPredictor>(
+            vp::EvesConfig::infinite());
+    if (o.predictor == "composite") {
+        vp::CompositeConfig cfg =
+            vp::CompositeConfig::homogeneous(o.entries);
+        if (o.am == "m")
+            cfg.am = vp::AmKind::MAm;
+        else if (o.am == "pc")
+            cfg.am = vp::AmKind::PcAm;
+        else if (o.am == "pcinf")
+            cfg.am = vp::AmKind::PcAmInfinite;
+        cfg.smartTraining = o.smart;
+        cfg.tableFusion = o.fusion;
+        cfg.epochInstrs = std::max<std::size_t>(2000, instrs / 40);
+        return std::make_unique<vp::CompositePredictor>(cfg);
+    }
+    std::cerr << "unknown predictor '" << o.predictor << "'\n";
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions o;
+    if (!parse(argc, argv, o)) {
+        usage();
+        return 2;
+    }
+
+    if (o.list) {
+        for (const auto &info :
+             trace::WorkloadRegistry::instance().all())
+            std::cout << "  " << info.name << "  -  "
+                      << info.description << "\n";
+        return 0;
+    }
+    sim::RunConfig rc;
+    rc.maxInstrs = o.instrs ? o.instrs : sim::instrsFromEnv(150000);
+    rc.traceSeed = o.seed;
+
+    // Obtain the trace: from file or from a generated workload.
+    std::vector<trace::MicroOp> loaded;
+    std::shared_ptr<const std::vector<trace::MicroOp>> ops;
+    std::string source = o.workload;
+    if (!o.loadTrace.empty()) {
+        std::string err;
+        if (!trace::loadTraceFile(o.loadTrace, loaded, &err)) {
+            std::cerr << "cannot load trace: " << err << "\n";
+            return 2;
+        }
+        ops = std::make_shared<const std::vector<trace::MicroOp>>(
+            std::move(loaded));
+        source = o.loadTrace;
+    } else {
+        if (!trace::WorkloadRegistry::instance().contains(
+                o.workload)) {
+            std::cerr << "unknown workload '" << o.workload
+                      << "' (use --list)\n";
+            return 2;
+        }
+        ops = sim::TraceCache::instance().get(o.workload,
+                                              rc.maxInstrs,
+                                              rc.traceSeed);
+    }
+
+    if (!o.saveTrace.empty()) {
+        if (!trace::saveTraceFile(o.saveTrace, *ops)) {
+            std::cerr << "cannot write " << o.saveTrace << "\n";
+            return 2;
+        }
+        std::cout << "wrote " << ops->size() << " ops to "
+                  << o.saveTrace << "\n";
+    }
+
+    if (o.classify) {
+        const auto b = vp::classifyLoadPatterns(*ops);
+        std::cout << source << ": pattern1 " << 100.0 * b.frac1()
+                  << "%  pattern2 " << 100.0 * b.frac2()
+                  << "%  pattern3 " << 100.0 * b.frac3() << "%  ("
+                  << b.total() << " loads)\n";
+        return 0;
+    }
+
+    pipe::NullPredictor none;
+    const auto base = sim::runTrace(*ops, &none, rc);
+
+    auto pred = makePredictor(o, rc.maxInstrs);
+    const auto s = sim::runTrace(*ops, pred.get(), rc);
+
+    std::cout << "workload:   " << source << "  ("
+              << rc.maxInstrs << " instructions)\n"
+              << "predictor:  " << pred->name() << " ("
+              << double(pred->storageBits()) / 8192.0 << " KB)\n"
+              << "baseline:   " << base.ipc() << " IPC\n"
+              << "predicted:  " << s.ipc() << " IPC\n"
+              << "speedup:    "
+              << 100.0 * (s.ipc() / base.ipc() - 1.0) << "%\n"
+              << "coverage:   " << 100.0 * s.coverage() << "%\n"
+              << "accuracy:   " << 100.0 * s.accuracy() << "%\n";
+    if (o.verbose) {
+        std::cout << "\n";
+        s.dump(std::cout);
+        pred->dumpStats(std::cout);
+    }
+    return 0;
+}
