@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flush_cost.dir/abl_flush_cost.cc.o"
+  "CMakeFiles/abl_flush_cost.dir/abl_flush_cost.cc.o.d"
+  "abl_flush_cost"
+  "abl_flush_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flush_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_selection_order.dir/abl_selection_order.cc.o"
+  "CMakeFiles/abl_selection_order.dir/abl_selection_order.cc.o.d"
+  "abl_selection_order"
+  "abl_selection_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_selection_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

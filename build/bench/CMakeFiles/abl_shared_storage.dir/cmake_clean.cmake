@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shared_storage.dir/abl_shared_storage.cc.o"
+  "CMakeFiles/abl_shared_storage.dir/abl_shared_storage.cc.o.d"
+  "abl_shared_storage"
+  "abl_shared_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shared_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_component_scaling.dir/fig03_component_scaling.cc.o"
+  "CMakeFiles/fig03_component_scaling.dir/fig03_component_scaling.cc.o.d"
+  "fig03_component_scaling"
+  "fig03_component_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_component_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

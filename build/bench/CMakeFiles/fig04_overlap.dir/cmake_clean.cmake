@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_overlap.dir/fig04_overlap.cc.o"
+  "CMakeFiles/fig04_overlap.dir/fig04_overlap.cc.o.d"
+  "fig04_overlap"
+  "fig04_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

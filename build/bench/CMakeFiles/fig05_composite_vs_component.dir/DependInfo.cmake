@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_composite_vs_component.cc" "bench/CMakeFiles/fig05_composite_vs_component.dir/fig05_composite_vs_component.cc.o" "gcc" "bench/CMakeFiles/fig05_composite_vs_component.dir/fig05_composite_vs_component.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lvpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lvpsim_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lvpsim_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/lvpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lvpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lvpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

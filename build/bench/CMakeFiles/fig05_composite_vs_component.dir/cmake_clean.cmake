@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_composite_vs_component.dir/fig05_composite_vs_component.cc.o"
+  "CMakeFiles/fig05_composite_vs_component.dir/fig05_composite_vs_component.cc.o.d"
+  "fig05_composite_vs_component"
+  "fig05_composite_vs_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_composite_vs_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_composite_vs_component.
+# This may be replaced when dependencies are built.

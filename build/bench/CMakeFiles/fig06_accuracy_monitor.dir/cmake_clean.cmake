@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_accuracy_monitor.dir/fig06_accuracy_monitor.cc.o"
+  "CMakeFiles/fig06_accuracy_monitor.dir/fig06_accuracy_monitor.cc.o.d"
+  "fig06_accuracy_monitor"
+  "fig06_accuracy_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_accuracy_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

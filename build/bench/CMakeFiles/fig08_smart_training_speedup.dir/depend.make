@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_smart_training_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_table_fusion.dir/fig09_table_fusion.cc.o"
+  "CMakeFiles/fig09_table_fusion.dir/fig09_table_fusion.cc.o.d"
+  "fig09_table_fusion"
+  "fig09_table_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_table_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_per_workload.dir/fig12_per_workload.cc.o"
+  "CMakeFiles/fig12_per_workload.dir/fig12_per_workload.cc.o.d"
+  "fig12_per_workload"
+  "fig12_per_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_per_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_listing1.dir/tab05_listing1.cc.o"
+  "CMakeFiles/tab05_listing1.dir/tab05_listing1.cc.o.d"
+  "tab05_listing1"
+  "tab05_listing1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

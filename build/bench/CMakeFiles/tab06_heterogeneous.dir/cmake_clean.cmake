@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_heterogeneous.dir/tab06_heterogeneous.cc.o"
+  "CMakeFiles/tab06_heterogeneous.dir/tab06_heterogeneous.cc.o.d"
+  "tab06_heterogeneous"
+  "tab06_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_budget.dir/explore_budget.cpp.o"
+  "CMakeFiles/explore_budget.dir/explore_budget.cpp.o.d"
+  "explore_budget"
+  "explore_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_branch.dir/ittage.cc.o"
+  "CMakeFiles/lvpsim_branch.dir/ittage.cc.o.d"
+  "CMakeFiles/lvpsim_branch.dir/tage.cc.o"
+  "CMakeFiles/lvpsim_branch.dir/tage.cc.o.d"
+  "liblvpsim_branch.a"
+  "liblvpsim_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_common.dir/logging.cc.o"
+  "CMakeFiles/lvpsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/lvpsim_common.dir/stats.cc.o"
+  "CMakeFiles/lvpsim_common.dir/stats.cc.o.d"
+  "liblvpsim_common.a"
+  "liblvpsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvpsim_common.a"
+)

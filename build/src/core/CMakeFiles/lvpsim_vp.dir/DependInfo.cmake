@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composite.cc" "src/core/CMakeFiles/lvpsim_vp.dir/composite.cc.o" "gcc" "src/core/CMakeFiles/lvpsim_vp.dir/composite.cc.o.d"
+  "/root/repo/src/core/eves.cc" "src/core/CMakeFiles/lvpsim_vp.dir/eves.cc.o" "gcc" "src/core/CMakeFiles/lvpsim_vp.dir/eves.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/lvpsim_vp.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/lvpsim_vp.dir/oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/lvpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lvpsim_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lvpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lvpsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

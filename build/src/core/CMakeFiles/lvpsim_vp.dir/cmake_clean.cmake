@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_vp.dir/composite.cc.o"
+  "CMakeFiles/lvpsim_vp.dir/composite.cc.o.d"
+  "CMakeFiles/lvpsim_vp.dir/eves.cc.o"
+  "CMakeFiles/lvpsim_vp.dir/eves.cc.o.d"
+  "CMakeFiles/lvpsim_vp.dir/oracle.cc.o"
+  "CMakeFiles/lvpsim_vp.dir/oracle.cc.o.d"
+  "liblvpsim_vp.a"
+  "liblvpsim_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

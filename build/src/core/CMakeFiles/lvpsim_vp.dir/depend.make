@@ -1,0 +1,2 @@
+# Empty dependencies file for lvpsim_vp.
+# This may be replaced when dependencies are built.

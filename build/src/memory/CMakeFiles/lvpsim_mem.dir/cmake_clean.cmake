@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_mem.dir/cache.cc.o"
+  "CMakeFiles/lvpsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/lvpsim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/lvpsim_mem.dir/hierarchy.cc.o.d"
+  "liblvpsim_mem.a"
+  "liblvpsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

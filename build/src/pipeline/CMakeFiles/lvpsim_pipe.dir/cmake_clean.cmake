@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_pipe.dir/core.cc.o"
+  "CMakeFiles/lvpsim_pipe.dir/core.cc.o.d"
+  "CMakeFiles/lvpsim_pipe.dir/sim_stats.cc.o"
+  "CMakeFiles/lvpsim_pipe.dir/sim_stats.cc.o.d"
+  "liblvpsim_pipe.a"
+  "liblvpsim_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

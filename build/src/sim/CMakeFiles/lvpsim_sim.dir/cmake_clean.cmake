@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/lvpsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/lvpsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/lvpsim_sim.dir/simulator.cc.o.d"
+  "liblvpsim_sim.a"
+  "liblvpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/asm_emitter.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/asm_emitter.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/asm_emitter.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_bigcode.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_bigcode.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_bigcode.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_context.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_context.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_context.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_irregular.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_irregular.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_irregular.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_regular.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_regular.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_regular.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_streams.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_streams.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_streams.cc.o.d"
+  "/root/repo/src/trace/kernels/kernels_value.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_value.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/kernels_value.cc.o.d"
+  "/root/repo/src/trace/kernels/memset_loop.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/memset_loop.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/kernels/memset_loop.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/lvpsim_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/lvpsim_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_trace.dir/asm_emitter.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/asm_emitter.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_bigcode.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_bigcode.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_context.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_context.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_irregular.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_irregular.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_regular.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_regular.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_streams.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_streams.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_value.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/kernels_value.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/kernels/memset_loop.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/kernels/memset_loop.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/lvpsim_trace.dir/workloads.cc.o"
+  "CMakeFiles/lvpsim_trace.dir/workloads.cc.o.d"
+  "liblvpsim_trace.a"
+  "liblvpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

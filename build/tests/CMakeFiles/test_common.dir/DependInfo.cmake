@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitutils.cc" "tests/CMakeFiles/test_common.dir/test_bitutils.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_bitutils.cc.o.d"
+  "/root/repo/tests/test_mathutils.cc" "tests/CMakeFiles/test_common.dir/test_mathutils.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_mathutils.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/test_common.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_sat_counter.cc" "tests/CMakeFiles/test_common.dir/test_sat_counter.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_sat_counter.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tagged_table.cc" "tests/CMakeFiles/test_common.dir/test_tagged_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_tagged_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lvpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lvpsim_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lvpsim_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lvpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/lvpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lvpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

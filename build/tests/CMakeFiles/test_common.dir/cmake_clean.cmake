@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_bitutils.cc.o"
+  "CMakeFiles/test_common.dir/test_bitutils.cc.o.d"
+  "CMakeFiles/test_common.dir/test_mathutils.cc.o"
+  "CMakeFiles/test_common.dir/test_mathutils.cc.o.d"
+  "CMakeFiles/test_common.dir/test_random.cc.o"
+  "CMakeFiles/test_common.dir/test_random.cc.o.d"
+  "CMakeFiles/test_common.dir/test_sat_counter.cc.o"
+  "CMakeFiles/test_common.dir/test_sat_counter.cc.o.d"
+  "CMakeFiles/test_common.dir/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/test_tagged_table.cc.o"
+  "CMakeFiles/test_common.dir/test_tagged_table.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/test_uarch.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config_sweeps.cc" "tests/CMakeFiles/test_uarch.dir/test_config_sweeps.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_config_sweeps.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/test_uarch.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_limits.cc" "tests/CMakeFiles/test_uarch.dir/test_core_limits.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_core_limits.cc.o.d"
+  "/root/repo/tests/test_core_paq.cc" "tests/CMakeFiles/test_uarch.dir/test_core_paq.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_core_paq.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/test_uarch.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_ittage.cc" "tests/CMakeFiles/test_uarch.dir/test_ittage.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_ittage.cc.o.d"
+  "/root/repo/tests/test_memdep.cc" "tests/CMakeFiles/test_uarch.dir/test_memdep.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_memdep.cc.o.d"
+  "/root/repo/tests/test_ras.cc" "tests/CMakeFiles/test_uarch.dir/test_ras.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_ras.cc.o.d"
+  "/root/repo/tests/test_table3.cc" "tests/CMakeFiles/test_uarch.dir/test_table3.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_table3.cc.o.d"
+  "/root/repo/tests/test_tage.cc" "tests/CMakeFiles/test_uarch.dir/test_tage.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_tage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lvpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lvpsim_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lvpsim_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lvpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/lvpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lvpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/test_cache.cc.o"
+  "CMakeFiles/test_uarch.dir/test_cache.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_config_sweeps.cc.o"
+  "CMakeFiles/test_uarch.dir/test_config_sweeps.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_core.cc.o"
+  "CMakeFiles/test_uarch.dir/test_core.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_core_limits.cc.o"
+  "CMakeFiles/test_uarch.dir/test_core_limits.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_core_paq.cc.o"
+  "CMakeFiles/test_uarch.dir/test_core_paq.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_hierarchy.cc.o"
+  "CMakeFiles/test_uarch.dir/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_ittage.cc.o"
+  "CMakeFiles/test_uarch.dir/test_ittage.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_memdep.cc.o"
+  "CMakeFiles/test_uarch.dir/test_memdep.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_ras.cc.o"
+  "CMakeFiles/test_uarch.dir/test_ras.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_table3.cc.o"
+  "CMakeFiles/test_uarch.dir/test_table3.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_tage.cc.o"
+  "CMakeFiles/test_uarch.dir/test_tage.cc.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

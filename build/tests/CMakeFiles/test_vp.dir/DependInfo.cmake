@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accuracy_monitor.cc" "tests/CMakeFiles/test_vp.dir/test_accuracy_monitor.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_accuracy_monitor.cc.o.d"
+  "/root/repo/tests/test_cap.cc" "tests/CMakeFiles/test_vp.dir/test_cap.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_cap.cc.o.d"
+  "/root/repo/tests/test_composite.cc" "tests/CMakeFiles/test_vp.dir/test_composite.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_composite.cc.o.d"
+  "/root/repo/tests/test_cvp.cc" "tests/CMakeFiles/test_vp.dir/test_cvp.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_cvp.cc.o.d"
+  "/root/repo/tests/test_eves.cc" "tests/CMakeFiles/test_vp.dir/test_eves.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_eves.cc.o.d"
+  "/root/repo/tests/test_lvp.cc" "tests/CMakeFiles/test_vp.dir/test_lvp.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_lvp.cc.o.d"
+  "/root/repo/tests/test_oracle.cc" "tests/CMakeFiles/test_vp.dir/test_oracle.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_oracle.cc.o.d"
+  "/root/repo/tests/test_sap.cc" "tests/CMakeFiles/test_vp.dir/test_sap.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_sap.cc.o.d"
+  "/root/repo/tests/test_value_store.cc" "tests/CMakeFiles/test_vp.dir/test_value_store.cc.o" "gcc" "tests/CMakeFiles/test_vp.dir/test_value_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lvpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lvpsim_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lvpsim_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lvpsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/lvpsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lvpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vp.dir/test_accuracy_monitor.cc.o"
+  "CMakeFiles/test_vp.dir/test_accuracy_monitor.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_cap.cc.o"
+  "CMakeFiles/test_vp.dir/test_cap.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_composite.cc.o"
+  "CMakeFiles/test_vp.dir/test_composite.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_cvp.cc.o"
+  "CMakeFiles/test_vp.dir/test_cvp.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_eves.cc.o"
+  "CMakeFiles/test_vp.dir/test_eves.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_lvp.cc.o"
+  "CMakeFiles/test_vp.dir/test_lvp.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_oracle.cc.o"
+  "CMakeFiles/test_vp.dir/test_oracle.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_sap.cc.o"
+  "CMakeFiles/test_vp.dir/test_sap.cc.o.d"
+  "CMakeFiles/test_vp.dir/test_value_store.cc.o"
+  "CMakeFiles/test_vp.dir/test_value_store.cc.o.d"
+  "test_vp"
+  "test_vp.pdb"
+  "test_vp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvpsim_cli.dir/lvpsim_cli.cc.o"
+  "CMakeFiles/lvpsim_cli.dir/lvpsim_cli.cc.o.d"
+  "lvpsim_cli"
+  "lvpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

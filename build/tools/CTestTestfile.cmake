@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_run "/root/repo/build/tools/lvpsim_cli" "--workload" "memset_loop" "--instrs" "5000")
+set_tests_properties(cli_smoke_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_list "/root/repo/build/tools/lvpsim_cli" "--list")
+set_tests_properties(cli_smoke_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_classify "/root/repo/build/tools/lvpsim_cli" "--workload" "hash_probe" "--classify" "--instrs" "5000")
+set_tests_properties(cli_smoke_classify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_eves "/root/repo/build/tools/lvpsim_cli" "--workload" "const_table" "--predictor" "eves8k" "--instrs" "5000")
+set_tests_properties(cli_smoke_eves PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_workload "/root/repo/build/tools/lvpsim_cli" "--workload" "no_such_thing")
+set_tests_properties(cli_rejects_unknown_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
