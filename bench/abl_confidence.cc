@@ -12,15 +12,16 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "abl_confidence");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Ablation: confidence thresholds vs the 99% accuracy "
            "design target",
            rc, workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
 
     struct Variant
     {
@@ -63,5 +64,5 @@ main()
                  "but collapse accuracy, and the flush cost erases "
                  "the speedup - the paper's 99% target is the right "
                  "operating point\n";
-    return 0;
+    return finishBench();
 }

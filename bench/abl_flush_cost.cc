@@ -13,8 +13,9 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "abl_flush_cost");
     auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Ablation: front-end depth / flush cost sensitivity", rc,
@@ -26,7 +27,7 @@ main()
                       "composite_speedup", "accuracy"});
     for (Cycle d : depths) {
         rc.core.fetchToExecute = d;
-        sim::SuiteRunner runner(workloads, rc);
+        auto runner = makeRunner(workloads, rc);
         const auto res = runner.run(
             "composite",
             compositeFactory(scaleEpochs(
@@ -45,5 +46,5 @@ main()
     std::cout << "\nexpected shape: value prediction keeps its benefit "
                  "across pipeline depths because the 99%-accuracy "
                  "tuning keeps flush costs negligible\n";
-    return 0;
+    return finishBench();
 }

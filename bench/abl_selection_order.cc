@@ -12,14 +12,15 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "abl_selection_order");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Ablation: confident-selection priority order", rc,
            workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
 
     struct Variant
     {
@@ -58,5 +59,5 @@ main()
     std::cout << "\nexpected shape: speedups are close (confident "
                  "predictors rarely disagree), but value-first orders "
                  "use far fewer speculative cache probes\n";
-    return 0;
+    return finishBench();
 }

@@ -14,14 +14,15 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "abl_shared_storage");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Ablation: shared value array (LVP+CVP)", rc,
            workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
 
     sim::TextTable t({"config", "storageKB", "speedup", "coverage",
                       "accuracy"});
@@ -54,5 +55,5 @@ main()
     std::cout << "\nexpected shape: ~30-40% total storage saved with "
                  "little speedup/coverage/accuracy change, as the "
                  "paper asserts\n";
-    return 0;
+    return finishBench();
 }

@@ -2,24 +2,36 @@
  * @file
  * Shared scaffolding for the experiment harnesses in bench/. Each
  * binary regenerates one table or figure of the paper, printing an
- * aligned text table plus greppable CSV lines.
+ * aligned text table plus greppable CSV lines, and can additionally
+ * emit a machine-readable results file (docs/results_schema.md).
+ *
+ * Command line (every bench binary):
+ *   --jobs N     run suite simulations on N worker threads
+ *                (0 or "auto" = one per hardware thread; default 1)
+ *   --json FILE  write every SuiteResult produced by the bench to
+ *                FILE in the documented JSON schema
  *
  * Run scaling:
  *   LVPSIM_INSTRS=<n>        instructions per workload (default 150K)
- *   LVPSIM_SUITE=smoke|full  workload list (default full, 24 kernels)
+ *   LVPSIM_SUITE=smoke|full  workload list (default full, 28 kernels)
  */
 
 #ifndef LVPSIM_BENCH_COMMON_HH
 #define LVPSIM_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/composite.hh"
 #include "core/eves.hh"
 #include "sim/experiment.hh"
 #include "sim/options.hh"
+#include "sim/parallel_executor.hh"
+#include "sim/results_json.hh"
 #include "sim/simulator.hh"
 #include "sim/tableio.hh"
 #include "trace/workloads.hh"
@@ -35,6 +47,114 @@ benchRunConfig()
     sim::RunConfig rc;
     rc.maxInstrs = sim::instrsFromEnv(150000);
     return rc;
+}
+
+/** Per-binary state configured by initBench(). */
+struct BenchOptions
+{
+    std::size_t jobs = 1;
+    std::string jsonPath;
+    std::string tag; ///< bench name, recorded in the JSON meta
+    std::vector<sim::SuiteResult> recorded;
+};
+
+inline BenchOptions &
+benchOptions()
+{
+    static BenchOptions o;
+    return o;
+}
+
+/**
+ * Parse the shared bench flags (--jobs / --json / --help). Call at
+ * the top of every bench main(); exits on bad usage.
+ */
+inline void
+initBench(int argc, char **argv, const std::string &tag)
+{
+    BenchOptions &o = benchOptions();
+    o.tag = tag;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << what << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            const std::string v = next("--jobs");
+            if (!sim::ParallelExecutor::parseJobs(v, o.jobs)) {
+                std::cerr << "bad --jobs value '" << v
+                          << "' (want a count or 'auto')\n";
+                std::exit(2);
+            }
+        } else if (a == "--json") {
+            o.jsonPath = next("--json");
+        } else if (a == "--help" || a == "-h") {
+            std::cout << tag
+                      << " [--jobs N|auto] [--json FILE]\n"
+                         "env: LVPSIM_INSTRS, LVPSIM_SUITE\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option '" << a
+                      << "' (try --help)\n";
+            std::exit(2);
+        }
+    }
+}
+
+inline std::size_t
+benchJobs()
+{
+    return benchOptions().jobs;
+}
+
+/** Record one SuiteResult for the --json report. */
+inline void
+recordSuite(const sim::SuiteResult &res)
+{
+    benchOptions().recorded.push_back(res);
+}
+
+/**
+ * A SuiteRunner honouring --jobs, with every run() recorded for the
+ * --json report. Use instead of constructing sim::SuiteRunner
+ * directly in bench code.
+ */
+inline sim::SuiteRunner
+makeRunner(const std::vector<std::string> &workloads,
+           const sim::RunConfig &rc)
+{
+    sim::SuiteRunner runner(workloads, rc, benchJobs());
+    runner.setObserver(recordSuite);
+    return runner;
+}
+
+/**
+ * Write the --json report (if requested). Call as the bench's return
+ * expression: returns 0 on success, 1 if the file cannot be written.
+ */
+inline int
+finishBench()
+{
+    BenchOptions &o = benchOptions();
+    if (o.jsonPath.empty())
+        return 0;
+    sim::ReportMeta meta;
+    meta.jobs = o.jobs;
+    meta.maxInstrs = sim::instrsFromEnv(150000);
+    meta.traceSeed = 1;
+    meta.suite = o.tag;
+    std::string err;
+    if (!sim::writeResultsFile(o.jsonPath, o.recorded, meta, &err)) {
+        std::cerr << err << "\n";
+        return 1;
+    }
+    std::cout << "results: " << o.jsonPath << " ("
+              << o.recorded.size() << " suite runs)\n";
+    return 0;
 }
 
 /** Scale the paper's 1M-instruction epochs to the run length. */

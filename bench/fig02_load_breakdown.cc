@@ -12,8 +12,9 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig02");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 2: load breakdown by pattern", rc,
@@ -21,13 +22,20 @@ main()
 
     sim::TextTable t({"workload", "pattern1(LVP)", "pattern2(SAP)",
                       "pattern3(CVP/CAP)", "loads"});
+    // Classify on the pool (one slot per workload), emit rows in
+    // workload order afterwards: output is --jobs invariant.
+    std::vector<vp::PatternBreakdown> per(workloads.size());
+    sim::ParallelExecutor pool(benchJobs());
+    pool.parallelFor(workloads.size(), [&](std::size_t i) {
+        auto ops = sim::TraceCache::instance().get(
+            workloads[i], rc.maxInstrs, rc.traceSeed);
+        per[i] = vp::classifyLoadPatterns(*ops);
+    });
     vp::PatternBreakdown total;
-    for (const auto &w : workloads) {
-        auto ops = sim::TraceCache::instance().get(w, rc.maxInstrs,
-                                                   rc.traceSeed);
-        const auto b = vp::classifyLoadPatterns(*ops);
-        t.addRow({w, sim::fmtPct(b.frac1()), sim::fmtPct(b.frac2()),
-                  sim::fmtPct(b.frac3()),
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto &b = per[i];
+        t.addRow({workloads[i], sim::fmtPct(b.frac1()),
+                  sim::fmtPct(b.frac2()), sim::fmtPct(b.frac3()),
                   std::to_string(b.total())});
         total.pattern1 += b.pattern1;
         total.pattern2 += b.pattern2;
@@ -41,5 +49,5 @@ main()
 
     std::cout << "\npaper shape: roughly even split across the three "
                  "patterns over the whole pool\n";
-    return 0;
+    return finishBench();
 }

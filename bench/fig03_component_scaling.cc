@@ -12,8 +12,9 @@ using namespace lvpsim::bench;
 using pipe::ComponentId;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig03");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 3: component predictor scaling (64 - 4K entries)",
@@ -23,7 +24,7 @@ main()
     const ComponentId comps[] = {ComponentId::LVP, ComponentId::SAP,
                                  ComponentId::CVP, ComponentId::CAP};
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     sim::TextTable t({"predictor", "entries", "storageKB", "speedup",
                       "coverage", "accuracy"});
     for (ComponentId id : comps) {
@@ -43,5 +44,5 @@ main()
     t.printCsv(std::cout, "fig03");
     std::cout << "\npaper shape: all four predictors knee around 1K "
                  "entries; no component dominates\n";
-    return 0;
+    return finishBench();
 }

@@ -12,8 +12,9 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig04");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 4: component overlap at 1K entries each", rc,
@@ -24,19 +25,26 @@ main()
     cfg.lvpEntries = cfg.sapEntries = cfg.cvpEntries =
         cfg.capEntries = 1024;
 
+    // One slot per workload, reduced serially afterwards: the
+    // aggregate is identical for any --jobs value.
+    std::vector<vp::CompositeStats> per(workloads.size());
+    sim::ParallelExecutor pool(benchJobs());
+    pool.parallelFor(workloads.size(), [&](std::size_t i) {
+        vp::CompositePredictor p(cfg);
+        (void)sim::runWorkload(workloads[i], &p, rc);
+        per[i] = p.compositeStats();
+        std::cout << "." << std::flush;
+    });
+    std::cout << "\n\n";
+
     std::array<std::uint64_t, vp::numComponents + 1> hist{};
     std::array<std::uint64_t, vp::numComponents> solo{};
-    for (const auto &w : workloads) {
-        vp::CompositePredictor p(cfg);
-        (void)sim::runWorkload(w, &p, rc);
-        const auto &cs = p.compositeStats();
+    for (const auto &cs : per) {
         for (std::size_t i = 0; i < hist.size(); ++i)
             hist[i] += cs.confidentHist[i];
         for (std::size_t c = 0; c < solo.size(); ++c)
             solo[c] += cs.soloByComponent[c];
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n\n";
 
     std::uint64_t predicted = 0;
     for (std::size_t i = 1; i < hist.size(); ++i)
@@ -66,5 +74,5 @@ main()
     std::cout << "\nloads predicted by more than one component: "
               << sim::fmtPct(multi)
               << "   (paper: ~66%)\n";
-    return 0;
+    return finishBench();
 }

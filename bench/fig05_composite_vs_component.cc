@@ -12,8 +12,9 @@ using namespace lvpsim::bench;
 using pipe::ComponentId;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig05");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 5: composite vs best component (same total "
@@ -24,7 +25,7 @@ main()
     const ComponentId comps[] = {ComponentId::LVP, ComponentId::SAP,
                                  ComponentId::CVP, ComponentId::CAP};
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     sim::TextTable t({"total_entries", "composite", "best_component",
                       "which", "composite_vs_best"});
     for (std::size_t total : totals) {
@@ -54,5 +55,5 @@ main()
     t.printCsv(std::cout, "fig05");
     std::cout << "\npaper shape: except at the smallest size, the "
                  "composite clearly exceeds the best component\n";
-    return 0;
+    return finishBench();
 }

@@ -11,14 +11,15 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig06");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 6: accuracy monitor throttling", rc,
            workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     const std::size_t totals[] = {512, 1024, 2048};
 
     sim::TextTable t({"total_entries", "am", "speedup", "coverage",
@@ -57,5 +58,5 @@ main()
     std::cout << "\npaper shape: every AM variant improves the plain "
                  "composite; PC-AM generally beats M-AM and the "
                  "finite PC-AM tracks the infinite one\n";
-    return 0;
+    return finishBench();
 }

@@ -24,20 +24,27 @@ Agg
 collect(const std::vector<std::string> &workloads,
         const sim::RunConfig &rc, std::size_t total, bool smart)
 {
-    Agg agg;
-    double trained_sum = 0.0;
-    for (const auto &w : workloads) {
+    // Indexed slots + serial reduction: aggregate identical for any
+    // --jobs value.
+    std::vector<vp::CompositeStats> per(workloads.size());
+    lvpsim::sim::ParallelExecutor pool(lvpsim::bench::benchJobs());
+    pool.parallelFor(workloads.size(), [&](std::size_t i) {
         auto cfg = vp::CompositeConfig::homogeneous(total);
         cfg.smartTraining = smart;
         vp::CompositePredictor p(cfg);
-        (void)lvpsim::sim::runWorkload(w, &p, rc);
-        const auto &cs = p.compositeStats();
+        (void)lvpsim::sim::runWorkload(workloads[i], &p, rc);
+        per[i] = p.compositeStats();
+        std::cout << "." << std::flush;
+    });
+
+    Agg agg;
+    double trained_sum = 0.0;
+    for (const auto &cs : per) {
         for (std::size_t i = 0; i < agg.hist.size(); ++i)
             agg.hist[i] += cs.confidentHist[i];
         for (std::size_t c = 0; c < agg.solo.size(); ++c)
             agg.solo[c] += cs.soloByComponent[c];
         trained_sum += cs.avgTrainedPerLoad();
-        std::cout << "." << std::flush;
     }
     agg.avgTrained = trained_sum / double(workloads.size());
     return agg;
@@ -46,8 +53,9 @@ collect(const std::vector<std::string> &workloads,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig07");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 7: prediction-count breakdown, train-all vs smart "
@@ -88,5 +96,5 @@ main()
     std::cout << "\npaper shape: smart training slashes the share of "
                  "multi-predicted loads (62% -> 12% at 1K) and trains "
                  "close to one component per load\n";
-    return 0;
+    return finishBench();
 }

@@ -10,13 +10,14 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig08");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 8: smart training speedup", rc, workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     const std::size_t totals[] = {256, 512, 1024, 2048, 4096};
 
     sim::TextTable t({"total_entries", "train_all", "smart",
@@ -40,5 +41,5 @@ main()
     t.printCsv(std::cout, "fig08");
     std::cout << "\npaper shape: smart training helps most at small "
                  "and moderate predictor sizes\n";
-    return 0;
+    return finishBench();
 }

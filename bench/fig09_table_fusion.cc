@@ -11,13 +11,14 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig09");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 9: table fusion", rc, workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     const std::size_t totals[] = {256, 512, 1024, 2048};
 
     sim::TextTable t({"total_entries", "no_fusion", "fusion",
@@ -41,5 +42,5 @@ main()
     t.printCsv(std::cout, "fig09");
     std::cout << "\npaper shape: fusion helps small predictors; at 1K "
                  "entries and above it is neutral\n";
-    return 0;
+    return finishBench();
 }

@@ -12,8 +12,9 @@ using namespace lvpsim::bench;
 using pipe::ComponentId;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig10");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 10: best composite (all opts) vs best component",
@@ -23,7 +24,7 @@ main()
     const ComponentId comps[] = {ComponentId::LVP, ComponentId::SAP,
                                  ComponentId::CVP, ComponentId::CAP};
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     sim::TextTable t({"total_entries", "storageKB", "best_composite",
                       "which_opts", "best_component", "which",
                       "relative_benefit"});
@@ -66,5 +67,5 @@ main()
     t.printCsv(std::cout, "fig10");
     std::cout << "\npaper shape: >50% relative benefit at every size "
                  "(54%-74% reported)\n";
-    return 0;
+    return finishBench();
 }

@@ -12,13 +12,14 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig11");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 11: composite vs EVES", rc, workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     sim::TextTable t({"predictor", "storageKB", "speedup",
                       "coverage", "accuracy"});
     struct Row
@@ -73,5 +74,5 @@ main()
                                        1.0
                                  : 0.0)
               << "\npaper: +55% speedup, +133% coverage\n";
-    return 0;
+    return finishBench();
 }

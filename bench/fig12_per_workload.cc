@@ -11,14 +11,15 @@ using namespace lvpsim;
 using namespace lvpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "fig12");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Figure 12: per-workload composite (9.6KB) vs EVES (32KB)",
            rc, workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     const auto comp = runner.run(
         "composite",
         compositeFactory(tunedComposite(1024, rc.maxInstrs)));
@@ -58,5 +59,5 @@ main()
               << eves_wins << ", ties " << ties << " (of "
               << comp.rows.size()
               << ")   paper: composite 67/85, EVES 9/85\n";
-    return 0;
+    return finishBench();
 }

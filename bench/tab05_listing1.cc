@@ -81,8 +81,9 @@ analyze(vp::ComponentPredictor &comp,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "tab05");
     constexpr unsigned inner_n = 16;
     constexpr unsigned outer_m = 80;
     MemsetLoopKernel kernel(inner_n, outer_m);
@@ -136,5 +137,5 @@ main()
            "observations but then predicts from i=0; CVP needs its "
            "history to fill plus ~16 observations; CAP predicts the "
            "early iterations (distinct history) once o > 4\n";
-    return 0;
+    return finishBench();
 }

@@ -64,14 +64,15 @@ const Candidate candidates[] = {
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv, "tab06");
     const auto rc = benchRunConfig();
     const auto workloads = sim::suiteFromEnv();
     banner("Table VI: heterogeneous component sizing", rc,
            workloads.size());
 
-    sim::SuiteRunner runner(workloads, rc);
+    auto runner = makeRunner(workloads, rc);
     const std::size_t totals[] = {256, 512, 1024, 2048, 4096};
 
     // Build the allocation list: curated shapes, or the full sweep.
@@ -133,5 +134,5 @@ main()
                  "most at small budgets; at large budgets the "
                  "homogeneous split is (near-)best; speedup/KB is "
                  "maximized by the smallest configurations\n";
-    return 0;
+    return finishBench();
 }

@@ -8,7 +8,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <ostream>
+#include <string_view>
 
 namespace lvpsim
 {
@@ -76,6 +78,23 @@ struct SimStats
 
     void dump(std::ostream &os) const;
 };
+
+/**
+ * Visit every raw counter of `s` as a (name, value) pair, in a fixed
+ * declaration order. The single source of truth for serializing a
+ * SimStats (the JSON results layer iterates this instead of keeping
+ * its own field list); array counters appear as
+ * `used_by_component_<i>` / `wrong_by_component_<i>`.
+ */
+void forEachCounter(
+    const SimStats &s,
+    const std::function<void(std::string_view, std::uint64_t)> &fn);
+
+/** Set one counter by its forEachCounter() name. False if unknown. */
+bool setCounter(SimStats &s, std::string_view name, std::uint64_t v);
+
+/** True iff every counter of a and b is equal (bit-identical run). */
+bool statsEqual(const SimStats &a, const SimStats &b);
 
 } // namespace pipe
 } // namespace lvpsim

@@ -1,11 +1,28 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/mathutils.hh"
+#include "sim/parallel_executor.hh"
 
 namespace lvpsim
 {
 namespace sim
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // anonymous namespace
 
 double
 SuiteResult::geomeanSpeedup() const
@@ -37,40 +54,112 @@ SuiteResult::meanAccuracy() const
 }
 
 SuiteRunner::SuiteRunner(std::vector<std::string> workload_names,
-                         const RunConfig &run_config)
+                         const RunConfig &run_config,
+                         std::size_t jobs)
     : workloadNames(std::move(workload_names)), rc(run_config)
 {
+    setJobs(jobs);
+}
+
+void
+SuiteRunner::setJobs(std::size_t n)
+{
+    jobCount = n ? n : ParallelExecutor::hardwareJobs();
 }
 
 const pipe::SimStats &
 SuiteRunner::baseline(const std::string &workload)
 {
+    std::lock_guard lk(*baselineMx);
     auto it = baselines.find(workload);
     if (it == baselines.end()) {
+        const auto t0 = Clock::now();
         pipe::NullPredictor none;
         it = baselines
                  .emplace(workload, runWorkload(workload, &none, rc))
                  .first;
+        baselineSeconds[workload] = secondsSince(t0);
     }
     return it->second;
+}
+
+void
+SuiteRunner::ensureBaselines()
+{
+    std::vector<std::string> missing;
+    {
+        std::lock_guard lk(*baselineMx);
+        for (const auto &w : workloadNames)
+            if (!baselines.count(w) &&
+                std::find(missing.begin(), missing.end(), w) ==
+                    missing.end())
+                missing.push_back(w);
+    }
+    if (missing.empty())
+        return;
+    if (jobCount <= 1 || missing.size() == 1) {
+        for (const auto &w : missing)
+            baseline(w);
+        return;
+    }
+    ParallelExecutor pool(std::min(jobCount, missing.size()));
+    pool.parallelFor(missing.size(), [&](std::size_t i) {
+        // Simulate outside the lock so distinct workloads overlap;
+        // the lock only guards the map insert.
+        const auto t0 = Clock::now();
+        pipe::NullPredictor none;
+        auto stats = runWorkload(missing[i], &none, rc);
+        const double secs = secondsSince(t0);
+        std::lock_guard lk(*baselineMx);
+        baselines.emplace(missing[i], stats);
+        baselineSeconds[missing[i]] = secs;
+    });
 }
 
 SuiteResult
 SuiteRunner::run(const std::string &label,
                  const PredictorFactory &make_vp)
 {
+    const auto wall0 = Clock::now();
+
     SuiteResult out;
     out.label = label;
-    for (const auto &w : workloadNames) {
-        WorkloadResult r;
-        r.workload = w;
-        r.base = baseline(w);
+    out.rows.resize(workloadNames.size());
+
+    ensureBaselines();
+
+    auto runRow = [&](std::size_t i) {
+        WorkloadResult &r = out.rows[i];
+        r.workload = workloadNames[i];
+        r.base = baseline(r.workload);
+        {
+            std::lock_guard lk(*baselineMx);
+            r.baseSeconds = baselineSeconds[r.workload];
+        }
+        const auto t0 = Clock::now();
         auto vp = make_vp();
-        r.withVp = runWorkload(w, vp.get(), rc);
+        r.withVp = runWorkload(r.workload, vp.get(), rc);
+        r.vpSeconds = secondsSince(t0);
         r.storageBits = vp->storageBits();
-        out.storageBits = r.storageBits;
-        out.rows.push_back(std::move(r));
+    };
+
+    if (jobCount <= 1 || workloadNames.size() <= 1) {
+        for (std::size_t i = 0; i < workloadNames.size(); ++i)
+            runRow(i);
+    } else {
+        ParallelExecutor pool(
+            std::min(jobCount, workloadNames.size()));
+        pool.parallelFor(workloadNames.size(), runRow);
     }
+
+    // Suite-level storage mirrors the historical semantics: the last
+    // row's predictor (all rows share one configuration).
+    if (!out.rows.empty())
+        out.storageBits = out.rows.back().storageBits;
+    out.wallSeconds = secondsSince(wall0);
+
+    if (observer)
+        observer(out);
     return out;
 }
 

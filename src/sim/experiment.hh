@@ -4,6 +4,12 @@
  * a list of workloads, caches the no-VP baseline per workload, and
  * aggregates exactly as the paper does (Section II-A): arithmetic
  * average across workloads, geometric mean for IPC.
+ *
+ * Runs can be fanned out over a thread pool (`setJobs`): each
+ * (workload, predictor) simulation is independent, so the suite loop
+ * is embarrassingly parallel. Results are written into slots indexed
+ * by workload position, so row order — and every stat in every row —
+ * is bit-identical to a serial run regardless of completion order.
  */
 
 #ifndef LVPSIM_SIM_EXPERIMENT_HH
@@ -11,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +38,11 @@ struct WorkloadResult
     pipe::SimStats withVp;
     std::uint64_t storageBits = 0;
 
+    /// Wall-clock timing (seconds). Informational only: excluded
+    /// from determinism comparisons (see tools/check_determinism.sh).
+    double baseSeconds = 0.0;
+    double vpSeconds = 0.0;
+
     double speedup() const { return withVp.ipc() / base.ipc() - 1.0; }
     double coverage() const { return withVp.coverage(); }
     double accuracy() const { return withVp.accuracy(); }
@@ -42,6 +54,9 @@ struct SuiteResult
     std::vector<WorkloadResult> rows;
     std::uint64_t storageBits = 0;
 
+    /// Wall-clock of the whole run() call (seconds; informational).
+    double wallSeconds = 0.0;
+
     double storageKB() const { return double(storageBits) / 8192.0; }
 
     /** Speedup of geomean IPC over the geomean baseline IPC. */
@@ -51,7 +66,8 @@ struct SuiteResult
     double meanAccuracy() const;
 };
 
-/** Factory producing one fresh predictor per workload. */
+/** Factory producing one fresh predictor per workload.
+ *  Must be callable from worker threads (capture by value). */
 using PredictorFactory =
     std::function<std::unique_ptr<pipe::LoadValuePredictor>()>;
 
@@ -59,11 +75,25 @@ class SuiteRunner
 {
   public:
     SuiteRunner(std::vector<std::string> workload_names,
-                const RunConfig &rc);
+                const RunConfig &rc, std::size_t jobs = 1);
 
-    /** Run a configuration; baselines are computed once and reused. */
+    /**
+     * Run a configuration; baselines are computed once and reused.
+     * With jobs > 1 the per-workload simulations run on a thread
+     * pool; the returned rows are bit-identical to jobs == 1.
+     */
     SuiteResult run(const std::string &label,
                     const PredictorFactory &make_vp);
+
+    /** Worker threads for subsequent run() calls (0 = hardware). */
+    void setJobs(std::size_t n);
+    std::size_t jobs() const { return jobCount; }
+
+    /** Called with every finished SuiteResult (e.g. a JSON sink). */
+    void setObserver(std::function<void(const SuiteResult &)> fn)
+    {
+        observer = std::move(fn);
+    }
 
     const std::vector<std::string> &workloads() const
     {
@@ -75,9 +105,19 @@ class SuiteRunner
     const pipe::SimStats &baseline(const std::string &workload);
 
   private:
+    /** Compute (under the pool when parallel) any missing baselines. */
+    void ensureBaselines();
+
     std::vector<std::string> workloadNames;
     RunConfig rc;
+    std::size_t jobCount = 1;
+    /// Behind a pointer so SuiteRunner stays movable (factory
+    /// helpers return it by value).
+    std::unique_ptr<std::mutex> baselineMx =
+        std::make_unique<std::mutex>();
     std::unordered_map<std::string, pipe::SimStats> baselines;
+    std::unordered_map<std::string, double> baselineSeconds;
+    std::function<void(const SuiteResult &)> observer;
 };
 
 } // namespace sim

@@ -1,0 +1,113 @@
+#include "sim/parallel_executor.hh"
+
+#include <algorithm>
+#include <charconv>
+
+namespace lvpsim
+{
+namespace sim
+{
+
+ParallelExecutor::ParallelExecutor(std::size_t jobs)
+{
+    const std::size_t n = std::max<std::size_t>(1, jobs);
+    capacity = 2 * n;
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers.emplace_back(
+            [this](std::stop_token st) { workerLoop(st); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    for (auto &w : workers)
+        w.request_stop();
+    cvTask.notify_all();
+    // jthread joins on destruction; workers drain the queue before
+    // honouring the stop request.
+}
+
+std::size_t
+ParallelExecutor::hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool
+ParallelExecutor::parseJobs(std::string_view text, std::size_t &jobs)
+{
+    if (text == "auto") {
+        jobs = hardwareJobs();
+        return true;
+    }
+    std::size_t n = 0;
+    const char *end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), end, n, 10);
+    if (ec != std::errc{} || ptr != end)
+        return false;
+    jobs = n == 0 ? hardwareJobs() : n;
+    return true;
+}
+
+void
+ParallelExecutor::submit(std::function<void()> task)
+{
+    std::unique_lock lk(mx);
+    cvSpace.wait(lk, [this] { return queue.size() < capacity; });
+    queue.push_back(std::move(task));
+    ++inFlight;
+    cvTask.notify_one();
+}
+
+void
+ParallelExecutor::wait()
+{
+    std::unique_lock lk(mx);
+    cvIdle.wait(lk, [this] { return inFlight == 0; });
+    if (firstError) {
+        auto e = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ParallelExecutor::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); });
+    wait();
+}
+
+void
+ParallelExecutor::workerLoop(std::stop_token st)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lk(mx);
+            cvTask.wait(lk, st, [this] { return !queue.empty(); });
+            if (queue.empty())
+                return; // stop requested and queue drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            cvSpace.notify_one();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard lk(mx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        {
+            std::lock_guard lk(mx);
+            if (--inFlight == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace sim
+} // namespace lvpsim

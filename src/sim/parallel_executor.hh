@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-size thread pool used to fan suite runs out across cores.
+ *
+ * Deliberately simple — no work stealing, no priorities: a bounded
+ * FIFO task queue drained by N `std::jthread` workers. Simulation
+ * tasks are seconds long, so queueing costs are irrelevant; what
+ * matters is backpressure (the bounded queue keeps the producer from
+ * materializing thousands of closures) and clean join-on-destroy.
+ *
+ * Determinism contract: the executor never reorders *results* —
+ * callers index their output slots up front (one slot per task) so
+ * the assembled result is independent of completion order. See
+ * docs/architecture.md §"Simulation harness".
+ */
+
+#ifndef LVPSIM_SIM_PARALLEL_EXECUTOR_HH
+#define LVPSIM_SIM_PARALLEL_EXECUTOR_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace lvpsim
+{
+namespace sim
+{
+
+class ParallelExecutor
+{
+  public:
+    /** Spawn `jobs` workers (clamped to >= 1). */
+    explicit ParallelExecutor(std::size_t jobs);
+
+    /** Joins all workers; pending tasks are drained first. */
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    std::size_t jobs() const { return workers.size(); }
+
+    /**
+     * Enqueue a task. Blocks while the queue is at capacity
+     * (2 x jobs) — backpressure, not failure. Tasks must not
+     * submit to the same executor (no nesting).
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has finished. If any
+     * task threw, rethrows the first captured exception.
+     */
+    void wait();
+
+    /**
+     * Run `n` independent tasks `fn(0) .. fn(n-1)` and wait.
+     * Convenience over submit()+wait(); result ordering is the
+     * caller's: write to slot `i`, never append.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** `--jobs 0` / "auto": one worker per hardware thread. */
+    static std::size_t hardwareJobs();
+
+    /**
+     * Parse a `--jobs` flag value: a decimal worker count, or
+     * "auto"/"0" for hardwareJobs(). Returns false (leaving `jobs`
+     * untouched) on anything else, so callers can reject typos
+     * instead of silently running on all cores.
+     */
+    static bool parseJobs(std::string_view text, std::size_t &jobs);
+
+  private:
+    void workerLoop(std::stop_token st);
+
+    std::mutex mx;
+    std::condition_variable_any cvTask;  ///< queue not empty
+    std::condition_variable cvSpace;     ///< queue not full
+    std::condition_variable cvIdle;      ///< all work finished
+    std::deque<std::function<void()>> queue;
+    std::size_t capacity = 0;
+    std::size_t inFlight = 0; ///< queued + currently executing
+    std::exception_ptr firstError;
+    std::vector<std::jthread> workers;
+};
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_PARALLEL_EXECUTOR_HH

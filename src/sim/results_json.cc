@@ -1,0 +1,243 @@
+#include "sim/results_json.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace lvpsim
+{
+namespace sim
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSchemaVersion = 1;
+
+double
+numberOr(const JsonValue *v, double fallback)
+{
+    return v && v->isNumber() ? v->asDouble() : fallback;
+}
+
+} // anonymous namespace
+
+JsonValue
+toJson(const pipe::SimStats &s)
+{
+    JsonValue o = JsonValue::object();
+    pipe::forEachCounter(
+        s, [&](std::string_view name, std::uint64_t v) {
+            o.set(std::string(name), JsonValue(v));
+        });
+    // Derived metrics, for human readers and plotting scripts;
+    // ignored on re-parse (recomputable from the counters above).
+    o.set("ipc", JsonValue(s.ipc()));
+    o.set("coverage", JsonValue(s.coverage()));
+    o.set("accuracy", JsonValue(s.accuracy()));
+    return o;
+}
+
+bool
+simStatsFromJson(const JsonValue &v, pipe::SimStats &out)
+{
+    if (!v.isObject())
+        return false;
+    out = pipe::SimStats{};
+    for (const auto &[key, val] : v.members()) {
+        if (!val.isNumber())
+            continue;
+        // Unknown keys (ipc/coverage/accuracy, future additions) are
+        // skipped; setCounter handles every raw counter.
+        (void)pipe::setCounter(out, key, val.asU64());
+    }
+    return true;
+}
+
+JsonValue
+toJson(const WorkloadResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("workload", JsonValue(r.workload));
+    o.set("storage_bits", JsonValue(r.storageBits));
+    o.set("speedup", JsonValue(r.speedup()));
+    o.set("coverage", JsonValue(r.coverage()));
+    o.set("accuracy", JsonValue(r.accuracy()));
+    o.set("base", toJson(r.base));
+    o.set("with_vp", toJson(r.withVp));
+    o.set("base_seconds", JsonValue(r.baseSeconds));
+    o.set("vp_seconds", JsonValue(r.vpSeconds));
+    return o;
+}
+
+bool
+workloadResultFromJson(const JsonValue &v, WorkloadResult &out)
+{
+    if (!v.isObject())
+        return false;
+    out = WorkloadResult{};
+    const JsonValue *name = v.find("workload");
+    if (!name || !name->isString())
+        return false;
+    out.workload = name->asString();
+    if (const JsonValue *sb = v.find("storage_bits"))
+        out.storageBits = sb->asU64();
+    const JsonValue *base = v.find("base");
+    const JsonValue *with = v.find("with_vp");
+    if (!base || !with || !simStatsFromJson(*base, out.base) ||
+        !simStatsFromJson(*with, out.withVp))
+        return false;
+    out.baseSeconds = numberOr(v.find("base_seconds"), 0.0);
+    out.vpSeconds = numberOr(v.find("vp_seconds"), 0.0);
+    return true;
+}
+
+JsonValue
+toJson(const SuiteResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("label", JsonValue(r.label));
+    o.set("storage_bits", JsonValue(r.storageBits));
+    o.set("storage_kb", JsonValue(r.storageKB()));
+    o.set("geomean_speedup", JsonValue(r.geomeanSpeedup()));
+    o.set("mean_coverage", JsonValue(r.meanCoverage()));
+    o.set("mean_accuracy", JsonValue(r.meanAccuracy()));
+    JsonValue rows = JsonValue::array();
+    for (const auto &row : r.rows)
+        rows.push(toJson(row));
+    o.set("workloads", std::move(rows));
+    o.set("wall_seconds", JsonValue(r.wallSeconds));
+    return o;
+}
+
+bool
+suiteResultFromJson(const JsonValue &v, SuiteResult &out)
+{
+    if (!v.isObject())
+        return false;
+    out = SuiteResult{};
+    const JsonValue *label = v.find("label");
+    if (!label || !label->isString())
+        return false;
+    out.label = label->asString();
+    if (const JsonValue *sb = v.find("storage_bits"))
+        out.storageBits = sb->asU64();
+    const JsonValue *rows = v.find("workloads");
+    if (!rows || !rows->isArray())
+        return false;
+    for (const auto &rv : rows->items()) {
+        WorkloadResult r;
+        if (!workloadResultFromJson(rv, r))
+            return false;
+        out.rows.push_back(std::move(r));
+    }
+    out.wallSeconds = numberOr(v.find("wall_seconds"), 0.0);
+    return true;
+}
+
+JsonValue
+resultsToJson(const std::vector<SuiteResult> &suites,
+              const ReportMeta &meta)
+{
+    JsonValue o = JsonValue::object();
+    o.set("schema_version", JsonValue(kSchemaVersion));
+    o.set("tool", JsonValue("lvpsim"));
+    JsonValue m = JsonValue::object();
+    m.set("jobs", JsonValue(meta.jobs));
+    m.set("instructions", JsonValue(meta.maxInstrs));
+    m.set("trace_seed", JsonValue(meta.traceSeed));
+    m.set("suite", JsonValue(meta.suite));
+    o.set("meta", std::move(m));
+    JsonValue arr = JsonValue::array();
+    for (const auto &s : suites)
+        arr.push(toJson(s));
+    o.set("suites", std::move(arr));
+    return o;
+}
+
+bool
+resultsFromJson(const JsonValue &v, std::vector<SuiteResult> &suites,
+                ReportMeta *meta)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *ver = v.find("schema_version");
+    if (!ver || !ver->isNumber() || ver->asU64() != kSchemaVersion)
+        return false;
+    if (meta) {
+        *meta = ReportMeta{};
+        if (const JsonValue *m = v.find("meta")) {
+            meta->jobs =
+                std::size_t(numberOr(m->find("jobs"), 1.0));
+            meta->maxInstrs =
+                std::size_t(numberOr(m->find("instructions"), 0.0));
+            meta->traceSeed =
+                std::uint64_t(numberOr(m->find("trace_seed"), 0.0));
+            if (const JsonValue *s = m->find("suite"))
+                if (s->isString())
+                    meta->suite = s->asString();
+        }
+    }
+    const JsonValue *arr = v.find("suites");
+    if (!arr || !arr->isArray())
+        return false;
+    suites.clear();
+    for (const auto &sv : arr->items()) {
+        SuiteResult s;
+        if (!suiteResultFromJson(sv, s))
+            return false;
+        suites.push_back(std::move(s));
+    }
+    return true;
+}
+
+bool
+writeResultsFile(const std::string &path,
+                 const std::vector<SuiteResult> &suites,
+                 const ReportMeta &meta, std::string *err)
+{
+    std::ofstream os(path);
+    if (!os) {
+        if (err)
+            *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    resultsToJson(suites, meta).dump(os, 2);
+    os << "\n";
+    if (!os) {
+        if (err)
+            *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+readResultsFile(const std::string &path,
+                std::vector<SuiteResult> &suites, ReportMeta *meta,
+                std::string *err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string perr;
+    JsonValue v = parseJson(buf.str(), &perr);
+    if (v.isNull() && !perr.empty()) {
+        if (err)
+            *err = path + ": " + perr;
+        return false;
+    }
+    if (!resultsFromJson(v, suites, meta)) {
+        if (err)
+            *err = path + ": not a valid lvpsim results document";
+        return false;
+    }
+    return true;
+}
+
+} // namespace sim
+} // namespace lvpsim

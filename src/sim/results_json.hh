@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structured results: serialize SuiteResult / WorkloadResult /
+ * SimStats to the JSON schema documented in docs/results_schema.md,
+ * and parse such files back (round-trip is loss-free for every raw
+ * counter; derived metrics are re-computed, never stored as truth).
+ *
+ * Field order is fixed and numbers are emitted deterministically, so
+ * two runs of the same experiment produce byte-identical files except
+ * for the timing fields — which is exactly what
+ * tools/check_determinism.sh relies on.
+ */
+
+#ifndef LVPSIM_SIM_RESULTS_JSON_HH
+#define LVPSIM_SIM_RESULTS_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/sim_stats.hh"
+#include "sim/experiment.hh"
+#include "sim/json.hh"
+#include "sim/simulator.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+/** Run-level metadata recorded at the top of a results file. */
+struct ReportMeta
+{
+    std::size_t jobs = 1;
+    std::size_t maxInstrs = 0;
+    std::uint64_t traceSeed = 0;
+    std::string suite; ///< e.g. "full", "smoke", or a bench tag
+};
+
+JsonValue toJson(const pipe::SimStats &s);
+/** Restore raw counters from toJson() output; derived keys (ipc,
+ *  coverage, accuracy) are ignored. False on a non-object. */
+bool simStatsFromJson(const JsonValue &v, pipe::SimStats &out);
+
+JsonValue toJson(const WorkloadResult &r);
+bool workloadResultFromJson(const JsonValue &v, WorkloadResult &out);
+
+JsonValue toJson(const SuiteResult &r);
+bool suiteResultFromJson(const JsonValue &v, SuiteResult &out);
+
+/** The complete results document: meta + one entry per suite run. */
+JsonValue resultsToJson(const std::vector<SuiteResult> &suites,
+                        const ReportMeta &meta);
+bool resultsFromJson(const JsonValue &v,
+                     std::vector<SuiteResult> &suites,
+                     ReportMeta *meta = nullptr);
+
+/** Write the document to `path` (pretty-printed, trailing newline).
+ *  False + `err` on I/O failure. */
+bool writeResultsFile(const std::string &path,
+                      const std::vector<SuiteResult> &suites,
+                      const ReportMeta &meta,
+                      std::string *err = nullptr);
+
+/** Read and parse a results file. False + `err` on failure. */
+bool readResultsFile(const std::string &path,
+                     std::vector<SuiteResult> &suites,
+                     ReportMeta *meta = nullptr,
+                     std::string *err = nullptr);
+
+} // namespace sim
+} // namespace lvpsim
+
+#endif // LVPSIM_SIM_RESULTS_JSON_HH

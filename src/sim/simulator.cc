@@ -29,13 +29,40 @@ TraceCache::get(const std::string &workload, std::size_t max_ops,
     const std::string key = workload + "#" +
                             std::to_string(max_ops) + "#" +
                             std::to_string(seed);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-    auto ptr = std::make_shared<const std::vector<trace::MicroOp>>(
-        trace::generateWorkload(workload, max_ops, seed));
-    cache.emplace(key, ptr);
-    return ptr;
+
+    std::shared_ptr<Slot> slot;
+    {
+        std::shared_lock rd(mapMx);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            slot = it->second;
+    }
+    if (!slot) {
+        std::unique_lock wr(mapMx);
+        // Re-check: another worker may have inserted meanwhile.
+        auto [it, inserted] =
+            cache.try_emplace(key, std::make_shared<Slot>());
+        slot = it->second;
+        (void)inserted;
+    }
+
+    // Exactly one caller generates; concurrent callers for the same
+    // key block here until the trace is ready. call_once publishes
+    // slot->trace to every waiter.
+    std::call_once(slot->once, [&] {
+        slot->trace =
+            std::make_shared<const std::vector<trace::MicroOp>>(
+                trace::generateWorkload(workload, max_ops, seed));
+        generated.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot->trace;
+}
+
+void
+TraceCache::clear()
+{
+    std::unique_lock wr(mapMx);
+    cache.clear();
 }
 
 pipe::SimStats

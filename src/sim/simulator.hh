@@ -7,7 +7,11 @@
 #ifndef LVPSIM_SIM_SIMULATOR_HH
 #define LVPSIM_SIM_SIMULATOR_HH
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,7 +39,17 @@ pipe::SimStats runTrace(const std::vector<trace::MicroOp> &ops,
                         pipe::LoadValuePredictor *vp,
                         const RunConfig &rc);
 
-/** Generate (or fetch from cache) a workload's trace. */
+/**
+ * Generate (or fetch from cache) a workload's trace.
+ *
+ * Thread-safe: any number of workers may call get() concurrently,
+ * including for the same (workload, max_ops, seed) key. Each distinct
+ * key is generated exactly once — the first caller generates under a
+ * per-key `std::once_flag` while later callers for the same key block
+ * until the trace is ready, and callers for other keys proceed
+ * unimpeded (the map itself is only held under a short-lived
+ * `std::shared_mutex`).
+ */
 class TraceCache
 {
   public:
@@ -44,11 +58,28 @@ class TraceCache
     TracePtr get(const std::string &workload, std::size_t max_ops,
                  std::uint64_t seed);
 
+    /** Number of traces actually generated (not cache hits). */
+    std::uint64_t generations() const
+    {
+        return generated.load(std::memory_order_relaxed);
+    }
+
+    /** Drop every cached trace (test hook; not used by benches). */
+    void clear();
+
     /** The process-wide cache used by benches. */
     static TraceCache &instance();
 
   private:
-    std::unordered_map<std::string, TracePtr> cache;
+    struct Slot
+    {
+        std::once_flag once;
+        TracePtr trace;
+    };
+
+    mutable std::shared_mutex mapMx;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::atomic<std::uint64_t> generated{0};
 };
 
 /** Generate the workload trace and run it. */

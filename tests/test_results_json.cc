@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The structured results layer: the minimal JSON document model
+ * (parse/dump), SimStats serialization via forEachCounter, and the
+ * SuiteResult file round-trip against docs/results_schema.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/composite.hh"
+#include "sim/experiment.hh"
+#include "sim/json.hh"
+#include "sim/results_json.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+using sim::JsonValue;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(sim::parseJson("null").isNull());
+    EXPECT_TRUE(sim::parseJson("true").asBool());
+    EXPECT_FALSE(sim::parseJson("false").asBool());
+    EXPECT_EQ(sim::parseJson("12345").asU64(), 12345u);
+    EXPECT_DOUBLE_EQ(sim::parseJson("-2.5").asDouble(), -2.5);
+    EXPECT_DOUBLE_EQ(sim::parseJson("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(sim::parseJson("\"hi\\nthere\"").asString(),
+              "hi\nthere");
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const char *doc = R"({
+        "a": [1, 2, {"b": "c"}],
+        "d": {"e": true, "f": null},
+        "g": -0.125
+    })";
+    std::string err;
+    JsonValue v = sim::parseJson(doc, &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    const JsonValue *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    EXPECT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[2].find("b")->asString(), "c");
+    EXPECT_TRUE(v.find("d")->find("e")->asBool());
+    EXPECT_TRUE(v.find("d")->find("f")->isNull());
+    EXPECT_DOUBLE_EQ(v.find("g")->asDouble(), -0.125);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2",
+          "\"unterminated", "{\"a\":1,}"}) {
+        std::string err;
+        JsonValue v = sim::parseJson(bad, &err);
+        EXPECT_TRUE(v.isNull()) << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no error for: " << bad;
+    }
+}
+
+TEST(Json, DumpParseRoundTripPreservesKindAndOrder)
+{
+    JsonValue o = JsonValue::object();
+    o.set("int", JsonValue(std::uint64_t(18446744073709551615ull)));
+    o.set("dbl", JsonValue(0.1234567890123456789));
+    o.set("whole_dbl", JsonValue(5.0));
+    o.set("str", JsonValue("a \"quoted\" line\n"));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(std::uint64_t(1)));
+    arr.push(JsonValue(true));
+    o.set("arr", std::move(arr));
+
+    JsonValue back = sim::parseJson(o.dump(2));
+    ASSERT_TRUE(back.isObject());
+    // Insertion order survives.
+    EXPECT_EQ(back.members()[0].first, "int");
+    EXPECT_EQ(back.members()[3].first, "str");
+    // uint64 stays exact; doubles round-trip via max_digits10, and a
+    // whole-valued double re-parses as a double (the ".0" marker).
+    EXPECT_EQ(back.find("int")->asU64(), 18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(back.find("dbl")->asDouble(),
+                     0.1234567890123456789);
+    EXPECT_EQ(back.find("whole_dbl")->kind(),
+              JsonValue::Kind::Double);
+    EXPECT_EQ(back.find("str")->asString(), "a \"quoted\" line\n");
+    // And the re-dump is byte-identical (deterministic formatting).
+    EXPECT_EQ(back.dump(2), o.dump(2));
+}
+
+namespace
+{
+
+pipe::SimStats
+fabricatedStats(std::uint64_t salt)
+{
+    // Give every counter a distinct value so a swapped or dropped
+    // field cannot cancel out.
+    pipe::SimStats s;
+    std::uint64_t v = salt;
+    pipe::forEachCounter(
+        s, [&](std::string_view name, std::uint64_t) {
+            EXPECT_TRUE(pipe::setCounter(s, name, ++v)) << name;
+        });
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(ResultsJson, SimStatsRoundTripIsLossFree)
+{
+    const pipe::SimStats s = fabricatedStats(1000);
+    pipe::SimStats back;
+    ASSERT_TRUE(sim::simStatsFromJson(sim::toJson(s), back));
+    EXPECT_TRUE(pipe::statsEqual(s, back));
+}
+
+TEST(ResultsJson, SetCounterRejectsUnknownNames)
+{
+    pipe::SimStats s;
+    EXPECT_FALSE(pipe::setCounter(s, "no_such_counter", 1));
+    EXPECT_FALSE(pipe::setCounter(s, "ipc", 1)); // derived, not raw
+    EXPECT_TRUE(pipe::setCounter(s, "cycles", 42));
+    EXPECT_EQ(s.cycles, 42u);
+}
+
+TEST(ResultsJson, SuiteResultFileRoundTrip)
+{
+    sim::SuiteResult suite;
+    suite.label = "composite";
+    suite.storageBits = 78336;
+    suite.wallSeconds = 1.5;
+    for (int i = 0; i < 3; ++i) {
+        sim::WorkloadResult r;
+        r.workload = "wl_" + std::to_string(i);
+        r.base = fabricatedStats(100 * i);
+        r.withVp = fabricatedStats(100 * i + 50);
+        r.storageBits = 78336;
+        r.baseSeconds = 0.25;
+        r.vpSeconds = 0.5;
+        suite.rows.push_back(std::move(r));
+    }
+
+    sim::ReportMeta meta;
+    meta.jobs = 4;
+    meta.maxInstrs = 150000;
+    meta.traceSeed = 1;
+    meta.suite = "unit";
+
+    const std::string path =
+        testing::TempDir() + "lvpsim_results_roundtrip.json";
+    std::string err;
+    ASSERT_TRUE(sim::writeResultsFile(path, {suite}, meta, &err))
+        << err;
+
+    std::vector<sim::SuiteResult> back;
+    sim::ReportMeta backMeta;
+    ASSERT_TRUE(sim::readResultsFile(path, back, &backMeta, &err))
+        << err;
+    std::remove(path.c_str());
+
+    EXPECT_EQ(backMeta.jobs, 4u);
+    EXPECT_EQ(backMeta.maxInstrs, 150000u);
+    EXPECT_EQ(backMeta.traceSeed, 1u);
+    EXPECT_EQ(backMeta.suite, "unit");
+
+    ASSERT_EQ(back.size(), 1u);
+    const auto &b = back[0];
+    EXPECT_EQ(b.label, suite.label);
+    EXPECT_EQ(b.storageBits, suite.storageBits);
+    EXPECT_DOUBLE_EQ(b.wallSeconds, suite.wallSeconds);
+    ASSERT_EQ(b.rows.size(), suite.rows.size());
+    for (std::size_t i = 0; i < b.rows.size(); ++i) {
+        EXPECT_EQ(b.rows[i].workload, suite.rows[i].workload);
+        EXPECT_TRUE(
+            pipe::statsEqual(b.rows[i].base, suite.rows[i].base));
+        EXPECT_TRUE(pipe::statsEqual(b.rows[i].withVp,
+                                     suite.rows[i].withVp));
+        EXPECT_EQ(b.rows[i].storageBits, suite.rows[i].storageBits);
+        EXPECT_DOUBLE_EQ(b.rows[i].baseSeconds,
+                         suite.rows[i].baseSeconds);
+        EXPECT_DOUBLE_EQ(b.rows[i].vpSeconds,
+                         suite.rows[i].vpSeconds);
+    }
+    // Derived metrics recompute identically from restored counters.
+    EXPECT_DOUBLE_EQ(b.geomeanSpeedup(), suite.geomeanSpeedup());
+    EXPECT_DOUBLE_EQ(b.meanCoverage(), suite.meanCoverage());
+}
+
+TEST(ResultsJson, DocumentMatchesDocumentedSchema)
+{
+    // Every field documented in docs/results_schema.md must be
+    // present in a real emitted document (and nothing required may
+    // go missing without the doc being updated).
+    sim::SuiteRunner runner({"memset_loop"},
+                            sim::RunConfig{.maxInstrs = 5000}, 2);
+    const auto res = runner.run("composite", [] {
+        return std::make_unique<vp::CompositePredictor>(
+            vp::CompositeConfig::homogeneous(256));
+    });
+    sim::ReportMeta meta;
+    meta.jobs = 2;
+    meta.maxInstrs = 5000;
+    meta.traceSeed = 1;
+    meta.suite = "schema-test";
+    JsonValue doc = sim::resultsToJson({res}, meta);
+
+    EXPECT_EQ(doc.find("schema_version")->asU64(), 1u);
+    EXPECT_EQ(doc.find("tool")->asString(), "lvpsim");
+    const JsonValue *m = doc.find("meta");
+    ASSERT_TRUE(m);
+    for (const char *k : {"jobs", "instructions", "trace_seed"})
+        EXPECT_TRUE(m->find(k) && m->find(k)->isNumber()) << k;
+    EXPECT_TRUE(m->find("suite")->isString());
+
+    const JsonValue *suites = doc.find("suites");
+    ASSERT_TRUE(suites && suites->isArray());
+    const JsonValue &s = suites->items()[0];
+    for (const char *k :
+         {"label", "storage_bits", "storage_kb", "geomean_speedup",
+          "mean_coverage", "mean_accuracy", "workloads",
+          "wall_seconds"})
+        EXPECT_TRUE(s.find(k)) << k;
+
+    const JsonValue &row = s.find("workloads")->items()[0];
+    for (const char *k :
+         {"workload", "storage_bits", "speedup", "coverage",
+          "accuracy", "base", "with_vp", "base_seconds",
+          "vp_seconds"})
+        EXPECT_TRUE(row.find(k)) << k;
+
+    // Stats objects carry every raw counter under its documented
+    // name, plus the three derived conveniences.
+    const JsonValue *base = row.find("base");
+    pipe::SimStats probe;
+    pipe::forEachCounter(
+        probe, [&](std::string_view name, std::uint64_t) {
+            EXPECT_TRUE(base->find(name)) << name;
+        });
+    for (const char *k : {"ipc", "coverage", "accuracy"})
+        EXPECT_TRUE(base->find(k)) << k;
+}

@@ -8,6 +8,7 @@
  *              --entries 1024 --am pc --smart --fusion
  *   lvpsim_cli --workload stream_sum --predictor sap --entries 512
  *   lvpsim_cli --workload hash_probe --classify
+ *   lvpsim_cli --suite --jobs 8 --json results.json
  */
 
 #include <cstring>
@@ -18,8 +19,12 @@
 #include "core/composite.hh"
 #include "core/eves.hh"
 #include "core/oracle.hh"
+#include "sim/experiment.hh"
 #include "sim/options.hh"
+#include "sim/parallel_executor.hh"
+#include "sim/results_json.hh"
 #include "sim/simulator.hh"
+#include "sim/tableio.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 
@@ -43,6 +48,9 @@ struct CliOptions
     std::uint64_t seed = 1;
     std::string saveTrace;
     std::string loadTrace;
+    bool suite = false;
+    std::size_t jobs = 1;
+    std::string jsonPath;
 };
 
 void
@@ -62,6 +70,14 @@ usage()
         "  --fusion               enable table fusion\n"
         "  --classify             print the oracle load-pattern "
         "breakdown and exit\n"
+        "  --suite                run the whole workload suite "
+        "(LVPSIM_SUITE) with the\n"
+        "                         configured predictor vs the no-VP "
+        "baseline\n"
+        "  --jobs <n|auto>        worker threads for --suite "
+        "(default 1; auto = cores)\n"
+        "  --json <file>          write results in the schema of "
+        "docs/results_schema.md\n"
         "  --seed <n>             trace seed\n"
         "  --save-trace <file>    write the workload trace (.lvpt)\n"
         "  --load-trace <file>    run a saved trace instead of a\n"
@@ -99,6 +115,17 @@ parse(int argc, char **argv, CliOptions &o)
             o.fusion = true;
         else if (a == "--classify")
             o.classify = true;
+        else if (a == "--suite")
+            o.suite = true;
+        else if (a == "--jobs") {
+            const std::string v = next("--jobs");
+            if (!sim::ParallelExecutor::parseJobs(v, o.jobs)) {
+                std::cerr << "bad --jobs value '" << v
+                          << "' (want a count or 'auto')\n";
+                std::exit(2);
+            }
+        } else if (a == "--json")
+            o.jsonPath = next("--json");
         else if (a == "--seed")
             o.seed = std::uint64_t(atoll(next("--seed")));
         else if (a == "--save-trace")
@@ -162,6 +189,67 @@ makePredictor(const CliOptions &o, std::size_t instrs)
     std::exit(2);
 }
 
+/** Write a results document; false (after complaining) on error. */
+bool
+emitJson(const CliOptions &o, const sim::RunConfig &rc,
+         const std::vector<sim::SuiteResult> &suites,
+         const std::string &suite_name)
+{
+    sim::ReportMeta meta;
+    meta.jobs = o.jobs;
+    meta.maxInstrs = rc.maxInstrs;
+    meta.traceSeed = rc.traceSeed;
+    meta.suite = suite_name;
+    std::string err;
+    if (!sim::writeResultsFile(o.jsonPath, suites, meta, &err)) {
+        std::cerr << err << "\n";
+        return false;
+    }
+    std::cout << "results: " << o.jsonPath << "\n";
+    return true;
+}
+
+/** --suite: the full workload suite, baseline vs configured
+ *  predictor, optionally fanned out over --jobs workers. */
+int
+runSuite(const CliOptions &o, const sim::RunConfig &rc)
+{
+    const auto workloads = sim::suiteFromEnv();
+    sim::SuiteRunner runner(workloads, rc, o.jobs);
+    const auto res = runner.run(
+        o.predictor, [&] { return makePredictor(o, rc.maxInstrs); });
+
+    sim::TextTable t(
+        {"workload", "base_ipc", "vp_ipc", "speedup", "coverage",
+         "accuracy"});
+    for (const auto &r : res.rows)
+        t.addRow({r.workload, sim::fmtF(r.base.ipc()),
+                  sim::fmtF(r.withVp.ipc()),
+                  sim::fmtPct(r.speedup()),
+                  sim::fmtPct(r.coverage()),
+                  sim::fmtPct(r.accuracy())});
+    t.print(std::cout);
+    std::cout << "suite:      " << workloads.size()
+              << " workloads x " << rc.maxInstrs
+              << " instructions, jobs " << o.jobs << "\n"
+              << "predictor:  " << o.predictor << " ("
+              << res.storageKB() << " KB)\n"
+              << "geomean speedup: "
+              << sim::fmtPct(res.geomeanSpeedup())
+              << "   mean coverage: "
+              << sim::fmtPct(res.meanCoverage())
+              << "   mean accuracy: "
+              << sim::fmtPct(res.meanAccuracy()) << "\n"
+              << "wall clock: " << sim::fmtF(res.wallSeconds)
+              << "s\n";
+    if (!o.jsonPath.empty() &&
+        !emitJson(o, rc, {res},
+                  std::getenv("LVPSIM_SUITE") ? std::getenv("LVPSIM_SUITE")
+                                              : "full"))
+        return 2;
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -183,6 +271,9 @@ main(int argc, char **argv)
     sim::RunConfig rc;
     rc.maxInstrs = o.instrs ? o.instrs : sim::instrsFromEnv(150000);
     rc.traceSeed = o.seed;
+
+    if (o.suite)
+        return runSuite(o, rc);
 
     // Obtain the trace: from file or from a generated workload.
     std::vector<trace::MicroOp> loaded;
@@ -247,6 +338,19 @@ main(int argc, char **argv)
         std::cout << "\n";
         s.dump(std::cout);
         pred->dumpStats(std::cout);
+    }
+    if (!o.jsonPath.empty()) {
+        sim::SuiteResult res;
+        res.label = pred->name();
+        res.storageBits = pred->storageBits();
+        sim::WorkloadResult row;
+        row.workload = source;
+        row.base = base;
+        row.withVp = s;
+        row.storageBits = pred->storageBits();
+        res.rows.push_back(std::move(row));
+        if (!emitJson(o, rc, {res}, "single"))
+            return 2;
     }
     return 0;
 }
