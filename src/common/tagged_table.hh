@@ -186,6 +186,16 @@ class TaggedTable
         return n;
     }
 
+    /** Visit every valid way (qa state-bounds checks, stats). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Way &w : ways)
+            if (w.valid)
+                fn(w);
+    }
+
   private:
     std::size_t sets = 0;
     unsigned numWaysVal = 1;

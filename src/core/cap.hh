@@ -115,6 +115,16 @@ class Cap : public ComponentPredictor
     }
     bool isDonor() const override { return donor; }
 
+    void
+    visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn)
+        const override
+    {
+        table.forEachValid([&](const auto &w) {
+            fn(w.payload.conf.value(), capFpc().maxLevel());
+        });
+    }
+
     std::uint64_t
     storageBits() const override
     {

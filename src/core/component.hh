@@ -15,6 +15,7 @@
 #define LVPSIM_VP_COMPONENT_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "pipeline/lvp_interface.hh"
 
@@ -83,6 +84,19 @@ class ComponentPredictor
     /** Revert to the unfused configuration. */
     virtual void unfuse() {}
     virtual bool isDonor() const { return false; }
+
+    /**
+     * Visit every live confidence counter as (value, max_level).
+     * Used by the qa state-bounds checks: a counter outside
+     * [0, max_level] means a saturation bug. Components without
+     * table state visit nothing.
+     */
+    virtual void
+    visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn) const
+    {
+        (void)fn;
+    }
 
     /** Bit-exact storage (excluding any donated/received ways; the
      *  fusion design keeps total storage constant). */

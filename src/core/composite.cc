@@ -93,6 +93,15 @@ CompositePredictor::componentActive(unsigned c) const
     return comp[c]->numEntries() > 0 && !comp[c]->isDonor();
 }
 
+void
+CompositePredictor::visitConfidences(
+    const std::function<void(unsigned, unsigned)> &fn) const
+{
+    for (const auto &c : comp)
+        if (c)
+            c->visitConfidences(fn);
+}
+
 pipe::Prediction
 CompositePredictor::predict(const pipe::LoadProbe &probe)
 {

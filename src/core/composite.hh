@@ -154,6 +154,14 @@ class CompositePredictor : public pipe::LoadValuePredictor
     /** Probes not yet resolved by train()/abandon(); 0 when idle. */
     std::size_t pendingSnapshots() const { return snapshots.size(); }
 
+    /**
+     * Visit every live confidence counter across all configured
+     * components as (value, max_level). qa state-bounds checks
+     * assert value <= max_level after fuzzed update streams.
+     */
+    void visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn) const;
+
   private:
     struct Snapshot
     {

@@ -172,6 +172,17 @@ class Cvp : public ComponentPredictor
     }
     bool isDonor() const override { return donor; }
 
+    void
+    visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn)
+        const override
+    {
+        for (const auto &t : tables)
+            t.forEachValid([&](const auto &w) {
+                fn(w.payload.conf.value(), cvpFpc().maxLevel());
+            });
+    }
+
     std::uint64_t
     storageBits() const override
     {

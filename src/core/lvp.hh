@@ -95,6 +95,16 @@ class Lvp : public ComponentPredictor
     }
     bool isDonor() const override { return donor; }
 
+    void
+    visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn)
+        const override
+    {
+        table.forEachValid([&](const auto &w) {
+            fn(w.payload.conf.value(), lvpFpc().maxLevel());
+        });
+    }
+
     std::uint64_t
     storageBits() const override
     {

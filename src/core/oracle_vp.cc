@@ -1,0 +1,42 @@
+#include "core/oracle_vp.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+OracleVp::OracleVp(const std::vector<trace::MicroOp> &code)
+{
+    for (const auto &op : code)
+        if (op.isPredictableLoad())
+            loads.push_back({op.pc, op.memValue});
+}
+
+pipe::Prediction
+OracleVp::predict(const pipe::LoadProbe &probe)
+{
+    pipe::Prediction p;
+    if (nextLoad >= loads.size() ||
+        loads[nextLoad].pc != probe.pc) {
+        // The core's probe order diverged from the trace's
+        // predictable-load order - a pipeline bug the differential
+        // tests assert against via mismatches().
+        ++mismatched;
+        return p;
+    }
+    p.kind = pipe::Prediction::Kind::Value;
+    p.value = loads[nextLoad].value;
+    p.component = pipe::ComponentId::Other;
+    ++nextLoad;
+    ++served;
+    return p;
+}
+
+void
+OracleVp::train(const pipe::LoadOutcome &outcome)
+{
+    (void)outcome; // nothing to learn; values come from the trace
+}
+
+} // namespace vp
+} // namespace lvpsim

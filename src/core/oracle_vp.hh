@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Oracle load value predictor: predicts every predictable load's
+ * architectural value perfectly, for zero storage.
+ *
+ * This is the upper-bound pipeline of the qa differential harness
+ * (no flushes, maximal coverage): {no-VP, composite-VP, oracle-VP}
+ * runs of one trace must retire bit-identical commit streams, and
+ * per-workload speedups must order as oracle >= composite >= no-VP.
+ *
+ * It exploits the core's probe discipline: predict() is called
+ * exactly once per dynamic predictable load, in program order (a
+ * squashed load's re-fetch reuses its stashed first-fetch prediction
+ * instead of re-probing), so the oracle simply walks the trace's
+ * predictable-load sequence. Probes arriving out of the expected
+ * order are counted in mismatches() and answered with no prediction.
+ */
+
+#ifndef LVPSIM_VP_ORACLE_VP_HH
+#define LVPSIM_VP_ORACLE_VP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/lvp_interface.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace vp
+{
+
+class OracleVp : public pipe::LoadValuePredictor
+{
+  public:
+    /** @param code the trace the core will run (not owned). */
+    explicit OracleVp(const std::vector<trace::MicroOp> &code);
+
+    pipe::Prediction predict(const pipe::LoadProbe &probe) override;
+    void train(const pipe::LoadOutcome &outcome) override;
+
+    std::uint64_t storageBits() const override { return 0; }
+    const char *name() const override { return "oracle"; }
+
+    /** Probes answered with a (perfect) value prediction. */
+    std::uint64_t probesServed() const { return served; }
+    /** Probes whose PC did not match the expected trace load. */
+    std::uint64_t mismatches() const { return mismatched; }
+
+  private:
+    struct PredictableLoad
+    {
+        Addr pc = 0;
+        Value value = 0;
+    };
+
+    std::vector<PredictableLoad> loads;
+    std::size_t nextLoad = 0;
+    std::uint64_t served = 0;
+    std::uint64_t mismatched = 0;
+};
+
+} // namespace vp
+} // namespace lvpsim
+
+#endif // LVPSIM_VP_ORACLE_VP_HH

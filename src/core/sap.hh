@@ -124,6 +124,16 @@ class Sap : public ComponentPredictor
     }
     bool isDonor() const override { return donor; }
 
+    void
+    visitConfidences(
+        const std::function<void(unsigned, unsigned)> &fn)
+        const override
+    {
+        table.forEachValid([&](const auto &w) {
+            fn(w.payload.conf.value(), sapFpc().maxLevel());
+        });
+    }
+
     std::uint64_t
     storageBits() const override
     {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "qa/check.hh"
 
 namespace lvpsim
 {
@@ -164,6 +165,16 @@ Core::commitStage()
             stq.pop_front();
         } else if (op.isBranch()) {
             ++stats.branches;
+        }
+        if (commitHook) {
+            CommitRecord rec;
+            rec.traceIdx = f.traceIdx;
+            rec.pc = op.pc;
+            rec.cls = op.cls;
+            rec.effAddr = op.effAddr;
+            rec.memSize = op.memSize;
+            rec.value = op.memValue;
+            commitHook(rec);
         }
         rob.pop_front();
         ++committed;
@@ -631,6 +642,91 @@ Core::rebuildRenameMap()
 }
 
 // --------------------------------------------------------------------
+// Invariants (checked builds only; see qa/check.hh)
+// --------------------------------------------------------------------
+
+void
+Core::checkCycleInvariants() const
+{
+    // Occupancy bounds from the paper's Table III configuration.
+    // These hold *every* cycle: dispatch is the only producer for
+    // each structure and stalls when a queue is full.
+    LVPSIM_CHECK(rob.size() <= cfg.robSize,
+                 "ROB overflow: %zu > %u", rob.size(), cfg.robSize);
+    LVPSIM_CHECK(iqCount <= cfg.iqSize,
+                 "IQ overflow: %u > %u", iqCount, cfg.iqSize);
+    LVPSIM_CHECK(ldq.size() <= cfg.ldqSize,
+                 "LDQ overflow: %zu > %u", ldq.size(), cfg.ldqSize);
+    LVPSIM_CHECK(stq.size() <= cfg.stqSize,
+                 "STQ overflow: %zu > %u", stq.size(), cfg.stqSize);
+    LVPSIM_CHECK(paq.size() <= cfg.paqSize,
+                 "PAQ overflow: %zu > %u", paq.size(), cfg.paqSize);
+    LVPSIM_CHECK(fetchBuf.size() <= 2 * cfg.fetchWidth,
+                 "fetch buffer overflow: %zu > %u", fetchBuf.size(),
+                 2 * cfg.fetchWidth);
+    LVPSIM_CHECK(iqCount <= rob.size(),
+                 "IQ count %u exceeds ROB occupancy %zu", iqCount,
+                 rob.size());
+    LVPSIM_CHECK(issuedNotDone <= rob.size(),
+                 "issued-not-done %llu exceeds ROB occupancy %zu",
+                 static_cast<unsigned long long>(issuedNotDone),
+                 rob.size());
+}
+
+void
+Core::checkFullInvariants() const
+{
+    // O(window) structural cross-checks, amortized over
+    // fullCheckPeriod cycles.
+    InstSeqNum prev = 0;
+    unsigned in_iq = 0;
+    std::uint64_t issued_not_done = 0;
+    std::size_t n_loads = 0, n_stores = 0;
+    for (const Inflight &f : rob) {
+        LVPSIM_CHECK(f.seq > prev, "ROB not in seq order");
+        prev = f.seq;
+        in_iq += f.inIQ ? 1 : 0;
+        issued_not_done += (f.issued && !f.done) ? 1 : 0;
+        LVPSIM_CHECK(!(f.inIQ && f.issued),
+                     "op both in IQ and issued (seq %llu)",
+                     static_cast<unsigned long long>(f.seq));
+        const auto &op = opOf(f);
+        n_loads += op.isLoad() ? 1 : 0;
+        n_stores += op.isStore() ? 1 : 0;
+    }
+    LVPSIM_CHECK(in_iq == iqCount,
+                 "IQ count drift: cached %u, actual %u", iqCount,
+                 in_iq);
+    LVPSIM_CHECK(issued_not_done == issuedNotDone,
+                 "issuedNotDone drift: cached %llu, actual %llu",
+                 static_cast<unsigned long long>(issuedNotDone),
+                 static_cast<unsigned long long>(issued_not_done));
+    // Every ROB load/store has exactly one LDQ/STQ entry, in order.
+    LVPSIM_CHECK(ldq.size() == n_loads,
+                 "LDQ/ROB drift: %zu entries, %zu loads", ldq.size(),
+                 n_loads);
+    LVPSIM_CHECK(stq.size() == n_stores,
+                 "STQ/ROB drift: %zu entries, %zu stores",
+                 stq.size(), n_stores);
+    prev = 0;
+    for (const MemQEntry &e : ldq) {
+        LVPSIM_CHECK(e.seq > prev, "LDQ not in seq order");
+        prev = e.seq;
+        LVPSIM_CHECK(findBySeqConst(e.seq) != nullptr,
+                     "LDQ entry seq %llu not in ROB",
+                     static_cast<unsigned long long>(e.seq));
+    }
+    prev = 0;
+    for (const MemQEntry &e : stq) {
+        LVPSIM_CHECK(e.seq > prev, "STQ not in seq order");
+        prev = e.seq;
+        LVPSIM_CHECK(findBySeqConst(e.seq) != nullptr,
+                     "STQ entry seq %llu not in ROB",
+                     static_cast<unsigned long long>(e.seq));
+    }
+}
+
+// --------------------------------------------------------------------
 // Main loop
 // --------------------------------------------------------------------
 
@@ -672,6 +768,12 @@ Core::run(std::uint64_t max_instrs)
         any |= paqStage(ls_used);
         any |= dispatchStage();
         any |= fetchStage();
+
+#if LVPSIM_CHECKS_ENABLED
+        checkCycleInvariants();
+        if (now % fullCheckPeriod == 0)
+            checkFullInvariants();
+#endif
 
         if (!any) {
             const Cycle next = nextEventCycle();

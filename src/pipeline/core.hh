@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <deque>
 #include <unordered_map>
@@ -46,6 +47,26 @@ namespace lvpsim
 {
 namespace pipe
 {
+
+/**
+ * The architectural commit stream, one record per retired
+ * instruction, in program order. Because the model is
+ * execute-at-fetch, every field is architectural (from the trace) —
+ * so two runs of the same trace through *any* predictor
+ * configuration must produce bit-identical streams. The qa
+ * differential harness hashes this stream across {no-VP, composite,
+ * oracle} pipelines to catch squash/refetch bugs that would skip,
+ * duplicate, or reorder commits.
+ */
+struct CommitRecord
+{
+    std::uint64_t traceIdx = 0;
+    Addr pc = 0;
+    trace::OpClass cls = trace::OpClass::Nop;
+    Addr effAddr = 0;
+    std::uint8_t memSize = 0;
+    Value value = 0;
+};
 
 class Core
 {
@@ -68,6 +89,14 @@ class Core
 
     /** Substrate statistics (caches, TLB, branch predictors). */
     void dumpSubstrateStats(std::ostream &os) const;
+
+    /**
+     * Observe every commit, in retirement order. Costs one branch
+     * per retired instruction when unset; used by the qa
+     * differential harness, not by benches.
+     */
+    using CommitHook = std::function<void(const CommitRecord &)>;
+    void setCommitHook(CommitHook fn) { commitHook = std::move(fn); }
 
   private:
     struct Inflight
@@ -135,6 +164,19 @@ class Core
     void validateLoad(Inflight &f);
     void checkStoreOrderViolation(const Inflight &store);
     Cycle nextEventCycle() const;
+
+    /**
+     * Pipeline invariants, compiled in via LVPSIM_ASSERTIONS (see
+     * qa/check.hh). checkCycleInvariants is O(1) and runs every
+     * cycle: structure occupancies never exceed their configured
+     * capacities (ROB/IQ/LDQ/STQ/PAQ/fetch buffer). The O(window)
+     * structural cross-checks (seq ordering, queue/ROB sync, IQ
+     * recount) run every `fullCheckPeriod` cycles.
+     */
+    void checkCycleInvariants() const;
+    void checkFullInvariants() const;
+    static constexpr Cycle fullCheckPeriod = 1024;
+
     bool rangesOverlap(Addr a, unsigned asz, Addr b, unsigned bsz) const
     {
         return a < b + bsz && b < a + asz;
@@ -184,6 +226,8 @@ class Core
         Prediction pred{};
     };
     std::unordered_map<std::uint64_t, StashedPrediction> refetchStash;
+
+    CommitHook commitHook;
 
     SimStats stats;
 };

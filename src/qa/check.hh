@@ -1,0 +1,48 @@
+/**
+ * @file
+ * LVPSIM_CHECK: the correctness subsystem's invariant macro.
+ *
+ * A checked build (`-DLVPSIM_ASSERTIONS=ON`, the default for every
+ * build type except Release) compiles LVPSIM_CHECK into an
+ * lvp_assert-style fatal check; a Release build compiles it away
+ * entirely — the condition is never evaluated, so invariant hooks on
+ * hot paths (the core's per-cycle occupancy checks, predictor state
+ * bounds) cost nothing in production binaries.
+ *
+ * The macro lives in src/qa but depends only on common/, so lower
+ * layers (pipeline, core) may use it without linking against the qa
+ * library.
+ */
+
+#ifndef LVPSIM_QA_CHECK_HH
+#define LVPSIM_QA_CHECK_HH
+
+#include "common/logging.hh"
+
+#ifdef LVPSIM_ASSERTIONS
+#define LVPSIM_CHECKS_ENABLED 1
+/** Fatal unless the invariant holds (checked builds only). */
+#define LVPSIM_CHECK(cond, ...) lvp_assert(cond, __VA_ARGS__)
+#else
+#define LVPSIM_CHECKS_ENABLED 0
+/* sizeof keeps the condition syntactically valid without evaluating
+ * it, so checked-only expressions still parse in Release builds. */
+#define LVPSIM_CHECK(cond, ...) ((void)sizeof(!(cond)))
+#endif
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** True when this binary was built with invariant checks. */
+constexpr bool
+checksEnabled()
+{
+    return LVPSIM_CHECKS_ENABLED != 0;
+}
+
+} // namespace qa
+} // namespace lvpsim
+
+#endif // LVPSIM_QA_CHECK_HH

@@ -1,0 +1,150 @@
+#include "qa/differential.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "core/oracle_vp.hh"
+#include "pipeline/core.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+std::uint64_t
+hashField(std::uint64_t h, std::uint64_t v)
+{
+    return fnv1a(h, &v, sizeof(v));
+}
+
+} // anonymous namespace
+
+PipelineRun
+runPipeline(const pipe::CoreConfig &ccfg,
+            const std::vector<trace::MicroOp> &code,
+            pipe::LoadValuePredictor *vp, const char *label,
+            std::uint64_t max_instrs)
+{
+    PipelineRun run;
+    run.predictor = label;
+
+    pipe::Core core(ccfg, code, vp);
+    std::uint64_t expectIdx = 0;
+    core.setCommitHook([&](const pipe::CommitRecord &rec) {
+        ++run.commits;
+        std::uint64_t h = run.commitHash ? run.commitHash : fnv1aInit;
+        h = hashField(h, rec.traceIdx);
+        h = hashField(h, rec.pc);
+        h = hashField(h, std::uint64_t(rec.cls));
+        h = hashField(h, rec.effAddr);
+        h = hashField(h, rec.memSize);
+        h = hashField(h, rec.value);
+        run.commitHash = h;
+
+        // The stream must be the trace itself, in order.
+        if (rec.traceIdx != expectIdx++) {
+            run.commitsMatchTrace = false;
+        } else if (rec.traceIdx < code.size()) {
+            const trace::MicroOp &op = code[rec.traceIdx];
+            const bool is_mem = op.isLoad() || op.isStore();
+            if (rec.pc != op.pc || rec.cls != op.cls ||
+                (is_mem && (rec.effAddr != op.effAddr ||
+                            rec.memSize != op.memSize ||
+                            rec.value != op.memValue)))
+                run.commitsMatchTrace = false;
+        } else {
+            run.commitsMatchTrace = false;
+        }
+    });
+    run.stats = core.run(max_instrs);
+    if (run.commits != run.stats.instructions)
+        run.commitsMatchTrace = false;
+    return run;
+}
+
+bool
+DifferentialResult::ok() const
+{
+    return commitStreamsIdentical && snapshotsDrained &&
+           confidencesInRange && oracleMismatches == 0 &&
+           base.commitsMatchTrace && composite.commitsMatchTrace &&
+           oracle.commitsMatchTrace;
+}
+
+std::string
+DifferentialResult::failureReport() const
+{
+    if (ok())
+        return "";
+    std::ostringstream os;
+    auto note = [&](bool bad, const char *what) {
+        if (bad)
+            os << what << "; ";
+    };
+    note(!commitStreamsIdentical,
+         "commit streams differ across pipelines");
+    note(!base.commitsMatchTrace, "no-VP commits diverge from trace");
+    note(!composite.commitsMatchTrace,
+         "composite commits diverge from trace");
+    note(!oracle.commitsMatchTrace,
+         "oracle commits diverge from trace");
+    note(!snapshotsDrained, "composite left pending snapshots");
+    note(!confidencesInRange, "confidence counter out of FPC range");
+    if (oracleMismatches)
+        os << oracleMismatches << " oracle probe mismatches; ";
+    os << "hashes: base=0x" << std::hex << base.commitHash
+       << " composite=0x" << composite.commitHash << " oracle=0x"
+       << oracle.commitHash << std::dec << " commits: "
+       << base.commits << "/" << composite.commits << "/"
+       << oracle.commits;
+    return os.str();
+}
+
+DifferentialResult
+runDifferential(const pipe::CoreConfig &ccfg,
+                const vp::CompositeConfig &vcfg,
+                const std::vector<trace::MicroOp> &code,
+                std::uint64_t max_instrs)
+{
+    DifferentialResult r;
+
+    r.base = runPipeline(ccfg, code, nullptr, "none", max_instrs);
+
+    vp::CompositePredictor comp(vcfg);
+    r.composite =
+        runPipeline(ccfg, code, &comp, "composite", max_instrs);
+    r.snapshotsDrained = comp.pendingSnapshots() == 0;
+    r.confidencesInRange = true;
+    comp.visitConfidences([&](unsigned value, unsigned max_level) {
+        if (value > max_level)
+            r.confidencesInRange = false;
+    });
+
+    vp::OracleVp oracle(code);
+    r.oracle = runPipeline(ccfg, code, &oracle, "oracle", max_instrs);
+    r.oracleMismatches = oracle.mismatches();
+
+    r.commitStreamsIdentical =
+        r.base.commitHash == r.composite.commitHash &&
+        r.base.commitHash == r.oracle.commitHash &&
+        r.base.commits == r.composite.commits &&
+        r.base.commits == r.oracle.commits;
+    return r;
+}
+
+} // namespace qa
+} // namespace lvpsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Differential pipeline harness.
+ *
+ * Runs the same trace through three pipelines - no-VP baseline,
+ * composite value predictor, and a perfect oracle predictor - and
+ * cross-checks everything the execute-at-fetch model guarantees:
+ *
+ *  - the architectural commit stream is bit-identical across all
+ *    three runs (hash + per-record check against the trace), so a
+ *    squash/refetch bug that skips, duplicates, or reorders a commit
+ *    is caught regardless of which predictor provoked the flush;
+ *  - every commit stream is exactly the trace, in order;
+ *  - predictor bookkeeping drains: no pending snapshots after a run,
+ *    every confidence counter within its FPC range;
+ *  - the oracle's probe-order assumption held (no mismatched probes).
+ *
+ * Speedup ordering (oracle >= composite >= baseline) is reported via
+ * the per-run IPCs; tests assert it with an explicit tolerance since
+ * a flush-free run is faster, not *provably* faster, cycle-by-cycle.
+ */
+
+#ifndef LVPSIM_QA_DIFFERENTIAL_HH
+#define LVPSIM_QA_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/core_config.hh"
+#include "pipeline/sim_stats.hh"
+#include "core/composite.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** One pipeline's half of the comparison. */
+struct PipelineRun
+{
+    std::string predictor;  ///< "none", "composite", "oracle"
+    pipe::SimStats stats;
+    std::uint64_t commits = 0;
+    std::uint64_t commitHash = 0; ///< FNV-1a over all commit records
+    bool commitsMatchTrace = true; ///< stream == trace, in order
+
+    double ipc() const { return stats.ipc(); }
+};
+
+/** The full three-way comparison for one trace. */
+struct DifferentialResult
+{
+    PipelineRun base;      ///< no-VP
+    PipelineRun composite; ///< composite predictor under test
+    PipelineRun oracle;    ///< perfect predictor upper bound
+
+    bool commitStreamsIdentical = false;
+    bool snapshotsDrained = false;   ///< composite kept no leftovers
+    bool confidencesInRange = false; ///< every FPC counter <= max
+    std::uint64_t oracleMismatches = 0;
+
+    /** All structural checks passed (IPC ordering not included). */
+    bool ok() const;
+    /** Human-readable list of everything that failed; "" when ok. */
+    std::string failureReport() const;
+};
+
+/** FNV-1a (64-bit) over an arbitrary byte range; hash composition
+ *  seed for incremental use. */
+constexpr std::uint64_t fnv1aInit = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(std::uint64_t h, const void *data, std::size_t n);
+
+/**
+ * Run @p code through one pipeline with @p vp (nullptr = no-VP),
+ * recording the commit-stream hash and trace conformance.
+ */
+PipelineRun runPipeline(const pipe::CoreConfig &ccfg,
+                        const std::vector<trace::MicroOp> &code,
+                        pipe::LoadValuePredictor *vp,
+                        const char *label,
+                        std::uint64_t max_instrs = 0);
+
+/**
+ * The full differential: {no-VP, composite(@p vcfg), oracle} over
+ * @p code with core config @p ccfg.
+ */
+DifferentialResult runDifferential(const pipe::CoreConfig &ccfg,
+                                   const vp::CompositeConfig &vcfg,
+                                   const std::vector<trace::MicroOp> &code,
+                                   std::uint64_t max_instrs = 0);
+
+} // namespace qa
+} // namespace lvpsim
+
+#endif // LVPSIM_QA_DIFFERENTIAL_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Seeded input generators for property-based tests.
+ *
+ * Everything derives from a single 64-bit seed through the same
+ * Xoshiro256** generator the simulator uses, so a failing property
+ * is reproducible from its seed alone. Generators produce inputs
+ * that are *valid by construction* (register ids in range, memory
+ * sizes in {1,2,4,8}, branch classes with targets) but otherwise
+ * adversarial: extreme values, aliased PCs, mixed address patterns.
+ *
+ * See docs/testing.md for the workflow.
+ */
+
+#ifndef LVPSIM_QA_GENERATORS_HH
+#define LVPSIM_QA_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "pipeline/core_config.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/**
+ * The generator handle passed to property bodies: a seeded rng plus
+ * convenience draws used by the input generators below.
+ */
+class Gen
+{
+  public:
+    explicit Gen(std::uint64_t seed) : rngState(seed), seedVal(seed) {}
+
+    std::uint64_t seed() const { return seedVal; }
+    Xoshiro256 &rng() { return rngState; }
+
+    std::uint64_t u64() { return rngState.next(); }
+    std::uint64_t below(std::uint64_t bound) { return rngState.below(bound); }
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return rngState.range(lo, hi);
+    }
+    bool chance(double p) { return rngState.bernoulli(p); }
+
+    /** Uniform pick from a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &xs)
+    {
+        return xs[below(xs.size())];
+    }
+
+    /**
+     * A value drawn from an "interesting" distribution: small
+     * integers, powers of two and their neighbours, all-ones, and
+     * fully random words - the classic fuzz corners.
+     */
+    std::uint64_t interestingValue();
+
+  private:
+    Xoshiro256 rngState;
+    std::uint64_t seedVal;
+};
+
+/** Knobs for genTrace(); the defaults cover the pipeline broadly. */
+struct TraceGenConfig
+{
+    std::size_t minOps = 64;
+    std::size_t maxOps = 4096;
+
+    /// Static code footprint: dynamic ops draw their PC from this
+    /// many distinct static instructions (aliasing pressure).
+    unsigned staticPcs = 48;
+
+    /// Per-op class weights (normalized internally).
+    double loadWeight = 0.30;
+    double storeWeight = 0.12;
+    double branchWeight = 0.15;
+
+    /// Fraction of loads marked atomic/exclusive (never predicted).
+    double exclusiveFrac = 0.02;
+};
+
+/**
+ * Generate a structurally valid dynamic trace: every register id is
+ * an architectural register, memory ops carry a size in {1,2,4,8}
+ * and an address drawn from per-PC behaviours (constant, strided,
+ * random-in-region, repeating period), load values follow their own
+ * per-PC behaviours so all four predictor patterns occur, and
+ * control ops are taken/not-taken with plausible targets.
+ */
+std::vector<trace::MicroOp> genTrace(Gen &g,
+                                     const TraceGenConfig &cfg = {});
+
+/**
+ * A standalone address stream with a named mixture of behaviours
+ * (sequential, strided, pointer-chase-like, uniform random) - used
+ * to fuzz predictor tables directly, without a full trace.
+ */
+std::vector<Addr> genAddressStream(Gen &g, std::size_t n);
+
+/** A bounded, always-runnable core configuration variation. */
+pipe::CoreConfig genCoreConfig(Gen &g);
+
+} // namespace qa
+} // namespace lvpsim
+
+#endif // LVPSIM_QA_GENERATORS_HH

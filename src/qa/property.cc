@@ -1,0 +1,111 @@
+#include "qa/property.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "common/random.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+std::uint64_t
+caseSeed(std::uint64_t base_seed, std::uint64_t index)
+{
+    // SplitMix64 so neighbouring indices give unrelated seeds, and
+    // seed 0 does not degenerate.
+    SplitMix64 sm(base_seed ^ (index * 0x9e3779b97f4a7c15ull));
+    return sm.next();
+}
+
+std::string
+PropertyResult::describe() const
+{
+    if (ok)
+        return "ok (" + std::to_string(casesRun) + " cases)";
+    std::ostringstream os;
+    os << "property failed at seed 0x" << std::hex << failingSeed
+       << std::dec << " (case " << casesRun << ")";
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
+std::string
+TracePropertyResult::describe() const
+{
+    if (ok())
+        return base.describe();
+    std::ostringstream os;
+    os << base.describe() << "; shrunk " << shrink.originalOps
+       << " -> " << shrink.finalOps << " ops ("
+       << shrink.candidatesTried << " candidates)";
+    return os.str();
+}
+
+PropertyResult
+forAllSeeds(std::uint64_t cases, std::uint64_t base_seed,
+            const std::function<bool(Gen &)> &body)
+{
+    PropertyResult r;
+    for (std::uint64_t i = 0; i < cases; ++i) {
+        const std::uint64_t seed = caseSeed(base_seed, i);
+        Gen g(seed);
+        bool holds = false;
+        try {
+            holds = body(g);
+        } catch (const std::exception &e) {
+            r.message = e.what();
+        }
+        ++r.casesRun;
+        if (!holds) {
+            r.ok = false;
+            r.failingSeed = seed;
+            return r;
+        }
+    }
+    return r;
+}
+
+TracePropertyResult
+checkTraceProperty(std::uint64_t cases, std::uint64_t base_seed,
+                   const TraceProperty &holds,
+                   const TraceGenConfig &tcfg)
+{
+    // Exceptions inside the property count as failures during both
+    // search and shrinking, so shrinking can minimize crashes too.
+    auto safe_holds = [&](const std::vector<trace::MicroOp> &t,
+                          std::string *msg) {
+        try {
+            return holds(t);
+        } catch (const std::exception &e) {
+            if (msg)
+                *msg = e.what();
+            return false;
+        }
+    };
+
+    TracePropertyResult r;
+    for (std::uint64_t i = 0; i < cases; ++i) {
+        const std::uint64_t seed = caseSeed(base_seed, i);
+        Gen g(seed);
+        auto t = genTrace(g, tcfg);
+        ++r.base.casesRun;
+        if (!safe_holds(t, &r.base.message)) {
+            r.base.ok = false;
+            r.base.failingSeed = seed;
+            r.minimal = shrinkTrace(
+                std::move(t),
+                [&](const std::vector<trace::MicroOp> &c) {
+                    return safe_holds(c, nullptr);
+                },
+                &r.shrink);
+            return r;
+        }
+    }
+    return r;
+}
+
+} // namespace qa
+} // namespace lvpsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tiny property-based test runner.
+ *
+ * A property is a predicate over generated inputs. forAllSeeds()
+ * derives one Gen per case from a base seed, runs the predicate, and
+ * reports the first failing seed - which is all that is needed to
+ * reproduce the failure, since every generator is deterministic in
+ * its seed. checkTraceProperty() additionally shrinks the failing
+ * trace to a minimal counterexample (see qa/shrink.hh).
+ *
+ * This is deliberately not a framework: it layers under gtest (or
+ * any other harness) by returning a result struct the caller
+ * asserts on.
+ */
+
+#ifndef LVPSIM_QA_PROPERTY_HH
+#define LVPSIM_QA_PROPERTY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qa/generators.hh"
+#include "qa/shrink.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** Outcome of a forAllSeeds() run. */
+struct PropertyResult
+{
+    bool ok = true;
+    std::uint64_t casesRun = 0;
+    std::uint64_t failingSeed = 0; ///< valid only when !ok
+    std::string message;           ///< what the property reported
+
+    /** gtest-friendly description ("ok" or seed + message). */
+    std::string describe() const;
+};
+
+/** Outcome of checkTraceProperty(): adds the shrunk trace. */
+struct TracePropertyResult
+{
+    PropertyResult base;
+    std::vector<trace::MicroOp> minimal; ///< shrunk counterexample
+    ShrinkStats shrink;
+
+    bool ok() const { return base.ok; }
+    std::string describe() const;
+};
+
+/**
+ * Run @p body for @p cases seeds derived from @p base_seed. The body
+ * returns true when the property holds; it may also throw - the
+ * exception message is captured and the case counts as a failure.
+ * Stops at the first failure.
+ */
+PropertyResult
+forAllSeeds(std::uint64_t cases, std::uint64_t base_seed,
+            const std::function<bool(Gen &)> &body);
+
+/**
+ * Specialization for trace-valued properties: generate a trace per
+ * seed with @p tcfg, test @p holds, and on failure shrink the trace
+ * to a minimal counterexample before returning.
+ */
+TracePropertyResult
+checkTraceProperty(std::uint64_t cases, std::uint64_t base_seed,
+                   const TraceProperty &holds,
+                   const TraceGenConfig &tcfg = {});
+
+/** The per-case seed forAllSeeds derives: SplitMix64 of base+index. */
+std::uint64_t caseSeed(std::uint64_t base_seed, std::uint64_t index);
+
+} // namespace qa
+} // namespace lvpsim
+
+#endif // LVPSIM_QA_PROPERTY_HH

@@ -1,0 +1,109 @@
+#include "qa/shrink.hh"
+
+#include <algorithm>
+
+namespace lvpsim
+{
+namespace qa
+{
+
+using trace::MicroOp;
+
+namespace
+{
+
+/** Delete ops [at, at+len) from a copy of @p ops. */
+std::vector<MicroOp>
+withoutChunk(const std::vector<MicroOp> &ops, std::size_t at,
+             std::size_t len)
+{
+    std::vector<MicroOp> out;
+    out.reserve(ops.size() - len);
+    out.insert(out.end(), ops.begin(), ops.begin() + at);
+    out.insert(out.end(), ops.begin() + at + len, ops.end());
+    return out;
+}
+
+/** One pass of chunk deletion at a fixed chunk size. */
+bool
+deletionPass(std::vector<MicroOp> &ops, std::size_t chunk,
+             const TraceProperty &holds, ShrinkStats *stats)
+{
+    bool shrunk = false;
+    std::size_t at = 0;
+    while (at < ops.size() && ops.size() > 1) {
+        const std::size_t len = std::min(chunk, ops.size() - at);
+        auto candidate = withoutChunk(ops, at, len);
+        if (stats)
+            ++stats->candidatesTried;
+        if (!candidate.empty() && !holds(candidate)) {
+            ops = std::move(candidate); // still fails: keep the cut
+            // Do not advance: the next chunk slid into place.
+        } else {
+            at += len;
+        }
+    }
+    return shrunk;
+}
+
+/** Try to simplify individual ops without changing the failure. */
+void
+simplifyPass(std::vector<MicroOp> &ops, const TraceProperty &holds,
+             ShrinkStats *stats)
+{
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        auto try_with = [&](MicroOp replacement) {
+            auto candidate = ops;
+            candidate[i] = replacement;
+            if (stats)
+                ++stats->candidatesTried;
+            if (!holds(candidate))
+                op = replacement;
+        };
+        // Fewer sources.
+        if (op.numSrcs() > 0) {
+            MicroOp m = op;
+            m.src = {invalidReg, invalidReg, invalidReg};
+            try_with(m);
+        }
+        // Simpler values.
+        if ((op.isLoad() || op.isStore()) && op.memValue != 0) {
+            MicroOp m = op;
+            m.memValue = 0;
+            try_with(m);
+        }
+    }
+}
+
+} // anonymous namespace
+
+std::vector<MicroOp>
+shrinkTrace(std::vector<MicroOp> failing, const TraceProperty &holds,
+            ShrinkStats *stats, unsigned max_rounds)
+{
+    if (stats) {
+        *stats = ShrinkStats{};
+        stats->originalOps = failing.size();
+    }
+    for (unsigned round = 0; round < max_rounds; ++round) {
+        const std::size_t before = failing.size();
+        // Large cuts first: halves, quarters, ... single ops.
+        for (std::size_t chunk = std::max<std::size_t>(
+                 1, failing.size() / 2);
+             ; chunk /= 2) {
+            deletionPass(failing, chunk, holds, stats);
+            if (chunk <= 1)
+                break;
+        }
+        if (failing.size() == before)
+            break; // deletion fixpoint reached
+    }
+    simplifyPass(failing, holds, stats);
+    if (stats)
+        stats->finalOps = failing.size();
+    return failing;
+}
+
+} // namespace qa
+} // namespace lvpsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Failure-case shrinking for trace-valued properties.
+ *
+ * When a fuzzed trace falsifies a property, the raw counterexample
+ * is typically thousands of ops. shrinkTrace() greedily minimizes
+ * it: repeatedly delete chunks (halves, then quarters, down to
+ * single ops) and simplify surviving ops (drop sources, zero
+ * values), keeping any candidate that still fails. The result is a
+ * locally minimal trace - removing any single remaining op (at the
+ * granularities tried) makes the property pass.
+ *
+ * Shrinking is deterministic: the same failing trace and property
+ * always shrink to the same counterexample.
+ */
+
+#ifndef LVPSIM_QA_SHRINK_HH
+#define LVPSIM_QA_SHRINK_HH
+
+#include <functional>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** Returns true when the property HOLDS for the given trace. */
+using TraceProperty =
+    std::function<bool(const std::vector<trace::MicroOp> &)>;
+
+/** Diagnostics from a shrink run. */
+struct ShrinkStats
+{
+    std::size_t originalOps = 0;
+    std::size_t finalOps = 0;
+    std::size_t candidatesTried = 0;
+};
+
+/**
+ * Minimize @p failing (a trace for which @p holds returns false).
+ * Every returned trace still falsifies the property. @p max_rounds
+ * bounds the outer fixpoint loop; the default converges for any
+ * realistic trace.
+ */
+std::vector<trace::MicroOp>
+shrinkTrace(std::vector<trace::MicroOp> failing,
+            const TraceProperty &holds, ShrinkStats *stats = nullptr,
+            unsigned max_rounds = 64);
+
+} // namespace qa
+} // namespace lvpsim
+
+#endif // LVPSIM_QA_SHRINK_HH

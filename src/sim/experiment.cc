@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/mathutils.hh"
 #include "sim/parallel_executor.hh"
@@ -24,11 +25,25 @@ secondsSince(Clock::time_point t0)
 
 } // anonymous namespace
 
+namespace
+{
+
+constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+
+} // anonymous namespace
+
 double
 SuiteResult::geomeanSpeedup() const
 {
+    // An empty suite or a degenerate zero-IPC row has no defined
+    // geomean. Report NaN (the JSON writer emits null) instead of
+    // tripping geoMean's asserts mid-report.
+    if (rows.empty())
+        return nan;
     std::vector<double> base_ipc, vp_ipc;
     for (const auto &r : rows) {
+        if (!(r.base.ipc() > 0.0) || !(r.withVp.ipc() > 0.0))
+            return nan;
         base_ipc.push_back(r.base.ipc());
         vp_ipc.push_back(r.withVp.ipc());
     }
@@ -38,6 +53,8 @@ SuiteResult::geomeanSpeedup() const
 double
 SuiteResult::meanCoverage() const
 {
+    if (rows.empty())
+        return nan;
     std::vector<double> xs;
     for (const auto &r : rows)
         xs.push_back(r.coverage());
@@ -47,6 +64,8 @@ SuiteResult::meanCoverage() const
 double
 SuiteResult::meanAccuracy() const
 {
+    if (rows.empty())
+        return nan;
     std::vector<double> xs;
     for (const auto &r : rows)
         xs.push_back(r.accuracy());

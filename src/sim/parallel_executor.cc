@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <stdexcept>
+#include <string>
 
 namespace lvpsim
 {
@@ -64,11 +66,26 @@ ParallelExecutor::wait()
 {
     std::unique_lock lk(mx);
     cvIdle.wait(lk, [this] { return inFlight == 0; });
-    if (firstError) {
-        auto e = firstError;
-        firstError = nullptr;
+    if (!firstError)
+        return;
+    auto e = firstError;
+    const std::size_t failures = errorCount;
+    firstError = nullptr;
+    errorCount = 0;
+    lk.unlock();
+    if (failures <= 1)
         std::rethrow_exception(e);
+    // Only the first exception is kept; don't let the others vanish
+    // silently — fold their count into the rethrown message.
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        throw std::runtime_error(
+            std::string(ex.what()) + " (+" +
+            std::to_string(failures - 1) +
+            " more task failure(s) suppressed)");
     }
+    // Non-std exceptions propagate unchanged from the rethrow above.
 }
 
 void
@@ -98,6 +115,7 @@ ParallelExecutor::workerLoop(std::stop_token st)
             task();
         } catch (...) {
             std::lock_guard lk(mx);
+            ++errorCount;
             if (!firstError)
                 firstError = std::current_exception();
         }

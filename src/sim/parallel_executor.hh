@@ -55,7 +55,10 @@ class ParallelExecutor
 
     /**
      * Block until every task submitted so far has finished. If any
-     * task threw, rethrows the first captured exception.
+     * task threw, rethrows the first captured exception; when
+     * several tasks failed, the rethrown message is suffixed with
+     * how many further failures were suppressed so multi-failure
+     * runs are not mistaken for single ones.
      */
     void wait();
 
@@ -89,6 +92,7 @@ class ParallelExecutor
     std::size_t capacity = 0;
     std::size_t inFlight = 0; ///< queued + currently executing
     std::exception_ptr firstError;
+    std::size_t errorCount = 0; ///< tasks failed since last wait()
     std::vector<std::jthread> workers;
 };
 

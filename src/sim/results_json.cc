@@ -1,5 +1,6 @@
 #include "sim/results_json.hh"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -19,6 +20,17 @@ numberOr(const JsonValue *v, double fallback)
     return v && v->isNumber() ? v->asDouble() : fallback;
 }
 
+/**
+ * Derived metrics can be NaN or infinite (empty suite, zero-IPC or
+ * zero-instruction row). JSON has no encoding for those, so clamp
+ * them to an explicit null; readers fall back via numberOr().
+ */
+JsonValue
+finiteOrNull(double x)
+{
+    return std::isfinite(x) ? JsonValue(x) : JsonValue();
+}
+
 } // anonymous namespace
 
 JsonValue
@@ -31,9 +43,9 @@ toJson(const pipe::SimStats &s)
         });
     // Derived metrics, for human readers and plotting scripts;
     // ignored on re-parse (recomputable from the counters above).
-    o.set("ipc", JsonValue(s.ipc()));
-    o.set("coverage", JsonValue(s.coverage()));
-    o.set("accuracy", JsonValue(s.accuracy()));
+    o.set("ipc", finiteOrNull(s.ipc()));
+    o.set("coverage", finiteOrNull(s.coverage()));
+    o.set("accuracy", finiteOrNull(s.accuracy()));
     return o;
 }
 
@@ -59,9 +71,9 @@ toJson(const WorkloadResult &r)
     JsonValue o = JsonValue::object();
     o.set("workload", JsonValue(r.workload));
     o.set("storage_bits", JsonValue(r.storageBits));
-    o.set("speedup", JsonValue(r.speedup()));
-    o.set("coverage", JsonValue(r.coverage()));
-    o.set("accuracy", JsonValue(r.accuracy()));
+    o.set("speedup", finiteOrNull(r.speedup()));
+    o.set("coverage", finiteOrNull(r.coverage()));
+    o.set("accuracy", finiteOrNull(r.accuracy()));
     o.set("base", toJson(r.base));
     o.set("with_vp", toJson(r.withVp));
     o.set("base_seconds", JsonValue(r.baseSeconds));
@@ -98,9 +110,9 @@ toJson(const SuiteResult &r)
     o.set("label", JsonValue(r.label));
     o.set("storage_bits", JsonValue(r.storageBits));
     o.set("storage_kb", JsonValue(r.storageKB()));
-    o.set("geomean_speedup", JsonValue(r.geomeanSpeedup()));
-    o.set("mean_coverage", JsonValue(r.meanCoverage()));
-    o.set("mean_accuracy", JsonValue(r.meanAccuracy()));
+    o.set("geomean_speedup", finiteOrNull(r.geomeanSpeedup()));
+    o.set("mean_coverage", finiteOrNull(r.meanCoverage()));
+    o.set("mean_accuracy", finiteOrNull(r.meanAccuracy()));
     JsonValue rows = JsonValue::array();
     for (const auto &row : r.rows)
         rows.push(toJson(row));

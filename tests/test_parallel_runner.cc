@@ -79,6 +79,43 @@ TEST(ParallelExecutor, WaitRethrowsTaskException)
     EXPECT_THROW(pool.wait(), std::runtime_error);
 }
 
+TEST(ParallelExecutor, SingleFailureMessageIsUnchanged)
+{
+    sim::ParallelExecutor pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have thrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(ParallelExecutor, WaitReportsSuppressedFailureCount)
+{
+    // Only the first exception survives; wait() must not let the
+    // other failures vanish without a trace.
+    sim::ParallelExecutor pool(4);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have thrown";
+    } catch (const std::exception &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("boom"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("+7 more task failure"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // The error state resets: the next batch waits cleanly.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
 TEST(ParallelExecutor, HardwareJobsIsPositive)
 {
     EXPECT_GE(sim::ParallelExecutor::hardwareJobs(), 1u);

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property: no predictor confidence counter ever leaves its FPC
+ * saturating range, and no probe snapshot leaks, under 10k fuzzed
+ * probe/train/abandon events that follow the pipeline's token
+ * protocol (probe at fetch, retire-order training, youngest-first
+ * abandons on squash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "core/composite.hh"
+#include "qa/generators.hh"
+#include "qa/property.hh"
+
+using namespace lvpsim;
+using trace::MicroOp;
+
+namespace
+{
+
+struct PendingProbe
+{
+    std::uint64_t token = 0;
+    const MicroOp *op = nullptr;
+    pipe::Prediction pred{};
+};
+
+/** Assert every live confidence counter is within its FPC range. */
+void
+expectConfidencesInRange(const vp::CompositePredictor &p,
+                         const char *when)
+{
+    p.visitConfidences([&](unsigned value, unsigned max_level) {
+        ASSERT_LE(value, max_level) << when;
+    });
+}
+
+/**
+ * Drive @p p through ~@p events fuzzed load probes drawn from a
+ * generated trace, resolving them in retirement order with
+ * occasional youngest-first squashes, exactly as the core would.
+ */
+void
+fuzzPredictor(vp::CompositePredictor &p, qa::Gen &g,
+              std::size_t events)
+{
+    qa::TraceGenConfig tcfg;
+    tcfg.minOps = 4096;
+    tcfg.maxOps = 4096;
+    const auto ops = qa::genTrace(g, tcfg);
+
+    std::deque<PendingProbe> pending;
+    std::uint64_t nextToken = 1;
+    std::size_t probes = 0;
+
+    auto trainOldest = [&] {
+        PendingProbe pp = pending.front();
+        pending.pop_front();
+        pipe::LoadOutcome out;
+        out.pc = pp.op->pc;
+        out.token = pp.token;
+        out.effAddr = pp.op->effAddr;
+        out.size = pp.op->memSize;
+        out.value = pp.op->memValue;
+        const bool confident = pp.pred.valid();
+        out.predictionUsed = confident && g.chance(0.9);
+        out.predictionCorrect =
+            out.predictionUsed &&
+            (pp.pred.isValue() ? pp.pred.value == out.value
+                               : g.chance(0.7));
+        p.train(out);
+        p.onRetire(1);
+    };
+
+    std::size_t i = 0;
+    while (probes < events) {
+        const MicroOp &op = ops[i];
+        i = (i + 1) % ops.size();
+        if (op.isBranch()) {
+            p.notifyBranch(op.pc, op.taken, op.target);
+            continue;
+        }
+        if (!op.isPredictableLoad())
+            continue;
+
+        pipe::LoadProbe probe;
+        probe.pc = op.pc;
+        probe.token = nextToken++;
+        probe.inflightSamePc = unsigned(g.below(3));
+        PendingProbe pp;
+        pp.token = probe.token;
+        pp.op = &op;
+        pp.pred = p.predict(probe);
+        p.notifyLoad(op.pc);
+        pending.push_back(pp);
+        ++probes;
+
+        // Retire a prefix, sometimes squash a suffix (youngest
+        // first, like a flush), and never let the window grow past
+        // a plausible ROB's worth of loads.
+        while (pending.size() > 72 ||
+               (!pending.empty() && g.chance(0.45)))
+            trainOldest();
+        if (!pending.empty() && g.chance(0.03)) {
+            const std::size_t squash = 1 + g.below(pending.size());
+            for (std::size_t k = 0; k < squash; ++k) {
+                p.abandon(pending.back().token);
+                pending.pop_back();
+            }
+        }
+
+        if (probes % 1000 == 0)
+            expectConfidencesInRange(p, "mid-stream");
+    }
+    while (!pending.empty())
+        trainOldest();
+}
+
+} // anonymous namespace
+
+TEST(PredictorBoundsFuzz, SingleComponentsStayInRange)
+{
+    for (const auto id :
+         {pipe::ComponentId::LVP, pipe::ComponentId::SAP,
+          pipe::ComponentId::CVP, pipe::ComponentId::CAP}) {
+        auto p = vp::makeSinglePredictor(id, 512);
+        qa::Gen g(qa::caseSeed(0xb0b, std::uint64_t(id)));
+        fuzzPredictor(*p, g, 10000);
+        expectConfidencesInRange(*p, pipe::componentName(id));
+        EXPECT_EQ(p->pendingSnapshots(), 0u)
+            << pipe::componentName(id);
+    }
+}
+
+TEST(PredictorBoundsFuzz, CompositeStaysInRange)
+{
+    vp::CompositePredictor p(vp::CompositeConfig::homogeneous(2048));
+    qa::Gen g(qa::caseSeed(0xc0c0, 1));
+    fuzzPredictor(p, g, 10000);
+    expectConfidencesInRange(p, "composite");
+    EXPECT_EQ(p.pendingSnapshots(), 0u);
+}
+
+TEST(PredictorBoundsFuzz, BestOfCompositeStaysInRange)
+{
+    // AM + smart training + fusion all on, with epochs short enough
+    // that fusion actually fires inside the fuzz run.
+    auto cfg = vp::CompositeConfig::bestOf(2048);
+    cfg.epochInstrs = 2000;
+    vp::CompositePredictor p(cfg);
+    qa::Gen g(qa::caseSeed(0xc0c0, 2));
+    fuzzPredictor(p, g, 10000);
+    expectConfidencesInRange(p, "bestOf");
+    EXPECT_EQ(p.pendingSnapshots(), 0u);
+}

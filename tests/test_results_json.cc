@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "core/composite.hh"
 #include "sim/experiment.hh"
@@ -242,4 +243,55 @@ TEST(ResultsJson, DocumentMatchesDocumentedSchema)
         });
     for (const char *k : {"ipc", "coverage", "accuracy"})
         EXPECT_TRUE(base->find(k)) << k;
+}
+
+TEST(ResultsJson, EmptySuiteSerializesToValidJson)
+{
+    // Regression: an empty suite's aggregates (geomean over zero
+    // rows) used to abort inside geoMean; they must instead emit
+    // explicit nulls and the document must stay parseable.
+    sim::SuiteResult empty;
+    empty.label = "empty";
+    JsonValue doc = sim::resultsToJson({empty}, sim::ReportMeta{});
+    std::ostringstream os;
+    doc.dump(os, 2);
+
+    std::string err;
+    JsonValue back = sim::parseJson(os.str(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(back.isObject());
+
+    const JsonValue &s = back.find("suites")->items()[0];
+    EXPECT_TRUE(s.find("geomean_speedup")->isNull());
+    EXPECT_TRUE(s.find("mean_coverage")->isNull());
+    EXPECT_TRUE(s.find("mean_accuracy")->isNull());
+
+    std::vector<sim::SuiteResult> suites;
+    EXPECT_TRUE(sim::resultsFromJson(back, suites, nullptr));
+    ASSERT_EQ(suites.size(), 1u);
+    EXPECT_TRUE(suites[0].rows.empty());
+}
+
+TEST(ResultsJson, DegenerateRowEmitsNullNotNanOrInf)
+{
+    // A zero-cycle row makes speedup 0/0 (NaN); JSON cannot encode
+    // that, so the writer must clamp the derived metrics to null.
+    sim::SuiteResult s;
+    s.label = "degenerate";
+    s.rows.emplace_back();
+    s.rows.back().workload = "w";
+
+    JsonValue doc = sim::toJson(s);
+    EXPECT_TRUE(doc.find("geomean_speedup")->isNull());
+    const JsonValue &row = doc.find("workloads")->items()[0];
+    EXPECT_TRUE(row.find("speedup")->isNull());
+
+    std::ostringstream os;
+    doc.dump(os, 2);
+    const std::string text = os.str();
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    std::string err;
+    sim::parseJson(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
 }

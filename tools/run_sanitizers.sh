@@ -1,0 +1,65 @@
+#!/bin/sh
+# Build and run the sanitizer configurations:
+#
+#   build-asan   AddressSanitizer + UndefinedBehaviorSanitizer
+#   build-tsan   ThreadSanitizer
+#
+# Each tree builds with LVPSIM_ASSERTIONS=ON (so the qa invariant
+# checks run under the sanitizer too) and then runs the labeled ctest
+# subsets:
+#
+#   -L smoke   fast unit/harness tests, including the --jobs 4
+#              parallel suite run (the TSan target of interest)
+#   -L fuzz    seeded property tests (fixed seeds, deterministic)
+#
+# Usage: tools/run_sanitizers.sh [source-dir]
+#   LVPSIM_SAN_JOBS=<n>   build/test parallelism (default: nproc)
+#   LVPSIM_SAN_ONLY=asan|tsan   run just one configuration
+set -eu
+
+src_dir=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+jobs=${LVPSIM_SAN_JOBS:-$(nproc 2>/dev/null || echo 4)}
+only=${LVPSIM_SAN_ONLY:-}
+
+# Only the targets the smoke/fuzz labels actually run: building the
+# whole tree (benches, examples, every test binary) under a
+# sanitizer takes many times longer for no extra coverage.
+targets="test_common test_trace test_harness test_qa test_fuzz \
+lvpsim_cli"
+
+run_config() {
+    name=$1
+    sanitizers=$2
+    build_dir="$src_dir/build-$name"
+
+    echo "== [$name] configure ($sanitizers) =="
+    cmake -B "$build_dir" -S "$src_dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLVPSIM_ASSERTIONS=ON \
+        -DLVPSIM_SANITIZE="$sanitizers" >/dev/null
+
+    echo "== [$name] build =="
+    # shellcheck disable=SC2086  # word-splitting is intended
+    cmake --build "$build_dir" -j "$jobs" --target $targets
+
+    echo "== [$name] ctest -L smoke =="
+    (cd "$build_dir" && ctest -L smoke --output-on-failure -j "$jobs")
+
+    echo "== [$name] ctest -L fuzz =="
+    (cd "$build_dir" && ctest -L fuzz --output-on-failure -j "$jobs")
+}
+
+case $only in
+    asan) run_config asan address,undefined ;;
+    tsan) run_config tsan thread ;;
+    "")
+        run_config asan address,undefined
+        run_config tsan thread
+        ;;
+    *)
+        echo "unknown LVPSIM_SAN_ONLY='$only' (want asan or tsan)" >&2
+        exit 2
+        ;;
+esac
+
+echo "== all sanitizer runs clean =="
