@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "microbench_main.hh"
+
 #include "branch/tage.hh"
 #include "common/random.hh"
 #include "core/composite.hh"
@@ -97,3 +99,9 @@ BENCHMARK(BM_CacheHierarchyHit);
 BENCHMARK(BM_CacheHierarchyStream);
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PipelineWithComposite)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    return lvpsim::bench::microbenchMain(argc, argv, "micro_uarch");
+}

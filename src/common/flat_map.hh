@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Open-addressing hash map for the simulator's hot per-token /
+ * per-PC bookkeeping (see docs/performance.md).
+ *
+ * std::unordered_map allocates one node per insert and chases a
+ * pointer per lookup; the core and the predictors insert and erase
+ * such entries on nearly every fetched load. This map keeps
+ * key/value pairs inline in one power-of-two slot array with linear
+ * probing, so a pre-sized (reserve()d) map does zero heap
+ * allocations in steady state and lookups touch one or two cache
+ * lines.
+ *
+ * Design points:
+ *  - power-of-two capacity, SplitMix64-mixed key hash (common/
+ *    bitutils.hh mix64) so low-entropy keys (tokens, PCs, trace
+ *    indices) spread over the table;
+ *  - max load factor 3/4; rehash doubles (growth still works when a
+ *    caller under-reserves -- only steadiness, not correctness,
+ *    depends on reserve());
+ *  - erase uses backward-shift deletion (Knuth Algorithm R), so
+ *    there are no tombstones and probe chains never rot.
+ *
+ * API subset used by the simulator: find / operator[] / emplace /
+ * erase(key) / erase(iterator) / size / empty / clear / reserve and
+ * forward iteration. Keys must be integral (or trivially castable to
+ * std::uint64_t via the Hash functor); values must be default-
+ * constructible for operator[].
+ */
+
+#ifndef LVPSIM_COMMON_FLAT_MAP_HH
+#define LVPSIM_COMMON_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+
+/** Default hash: SplitMix64 finalizer over the key's integer value. */
+struct FlatHash
+{
+    template <typename K>
+    std::uint64_t operator()(const K &k) const
+    {
+        static_assert(std::is_integral<K>::value,
+                      "FlatHash needs an integral key");
+        return mix64(static_cast<std::uint64_t>(k));
+    }
+};
+
+template <typename K, typename V, typename Hash = FlatHash>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<K, V>;
+
+    FlatMap() = default;
+
+    /** Pre-size for @p expected live entries (no rehash below that). */
+    explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+    /**
+     * Ensure capacity for @p expected entries without rehashing:
+     * slots = next power of two holding @p expected at load <= 3/4.
+     */
+    void reserve(std::size_t expected)
+    {
+        std::size_t want = minSlots;
+        while (expected * 4 > want * 3)
+            want <<= 1;
+        if (want > slotCount())
+            rehash(want);
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    /** Physical slot count (0 until first insert/reserve). */
+    std::size_t capacity() const { return slotCount(); }
+
+    void clear()
+    {
+        std::fill(used.begin(), used.end(), std::uint8_t(0));
+        count = 0;
+    }
+
+    template <bool Const>
+    class Iter
+    {
+        using MapPtr =
+            std::conditional_t<Const, const FlatMap *, FlatMap *>;
+
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = FlatMap::value_type;
+        using difference_type = std::ptrdiff_t;
+        using reference =
+            std::conditional_t<Const, const value_type &, value_type &>;
+        using pointer =
+            std::conditional_t<Const, const value_type *, value_type *>;
+
+        Iter() = default;
+        Iter(MapPtr m, std::size_t s) : map(m), slot(s) {}
+        template <bool C = Const, typename = std::enable_if_t<C>>
+        Iter(const Iter<false> &o) : map(o.map), slot(o.slot)
+        {
+        }
+
+        reference operator*() const { return map->slots[slot]; }
+        pointer operator->() const { return &map->slots[slot]; }
+
+        Iter &operator++()
+        {
+            ++slot;
+            skipFree();
+            return *this;
+        }
+        Iter operator++(int)
+        {
+            Iter t = *this;
+            ++*this;
+            return t;
+        }
+
+        friend bool operator==(const Iter &a, const Iter &b)
+        {
+            return a.slot == b.slot;
+        }
+        friend bool operator!=(const Iter &a, const Iter &b)
+        {
+            return a.slot != b.slot;
+        }
+
+      private:
+        friend class FlatMap;
+        friend class Iter<true>;
+        void skipFree()
+        {
+            while (slot < map->slotCount() && !map->used[slot])
+                ++slot;
+        }
+        MapPtr map = nullptr;
+        std::size_t slot = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator begin()
+    {
+        iterator it(this, 0);
+        it.skipFree();
+        return it;
+    }
+    iterator end() { return {this, slotCount()}; }
+    const_iterator begin() const
+    {
+        const_iterator it(this, 0);
+        it.skipFree();
+        return it;
+    }
+    const_iterator end() const { return {this, slotCount()}; }
+
+    iterator find(const K &key)
+    {
+        const std::size_t s = findSlot(key);
+        return s == npos ? end() : iterator(this, s);
+    }
+
+    const_iterator find(const K &key) const
+    {
+        const std::size_t s = findSlot(key);
+        return s == npos ? end() : const_iterator(this, s);
+    }
+
+    bool contains(const K &key) const { return findSlot(key) != npos; }
+
+    V &operator[](const K &key)
+    {
+        return slots[insertSlot(key)].second;
+    }
+
+    /** Insert (key, V(args...)) if absent; first = entry, second =
+     *  true iff inserted. */
+    template <typename... Args>
+    std::pair<iterator, bool> emplace(const K &key, Args &&...args)
+    {
+        const std::size_t before = count;
+        const std::size_t s = insertSlot(key);
+        const bool inserted = count != before;
+        if (inserted)
+            slots[s].second = V(std::forward<Args>(args)...);
+        return {iterator(this, s), inserted};
+    }
+
+    /** Erase by key; returns the number of entries removed (0 or 1). */
+    std::size_t erase(const K &key)
+    {
+        const std::size_t s = findSlot(key);
+        if (s == npos)
+            return 0;
+        eraseSlot(s);
+        return 1;
+    }
+
+    /**
+     * Erase the entry at @p it (must be valid and dereferenceable).
+     * Backward-shift deletion moves later chain members, so any other
+     * outstanding iterator is invalidated -- callers here erase the
+     * iterator they just find()'d and keep nothing else.
+     */
+    void erase(iterator it)
+    {
+        lvp_assert(it.map == this && it.slot < slotCount() &&
+                       used[it.slot],
+                   "erase of invalid flat map iterator");
+        eraseSlot(it.slot);
+    }
+
+  private:
+    static constexpr std::size_t npos = ~std::size_t(0);
+    static constexpr std::size_t minSlots = 16;
+
+    std::size_t slotCount() const { return slots.size(); }
+
+    std::size_t homeOf(const K &key) const
+    {
+        return std::size_t(Hash{}(key)) & maskBits;
+    }
+
+    /** Slot holding @p key, or npos. */
+    std::size_t findSlot(const K &key) const
+    {
+        if (count == 0)
+            return npos;
+        std::size_t s = homeOf(key);
+        while (used[s]) {
+            if (slots[s].first == key)
+                return s;
+            s = (s + 1) & maskBits;
+        }
+        return npos;
+    }
+
+    /** Slot holding @p key, inserting a default entry if absent. */
+    std::size_t insertSlot(const K &key)
+    {
+        if ((count + 1) * 4 > slotCount() * 3)
+            rehash(slotCount() ? slotCount() * 2 : minSlots);
+        std::size_t s = homeOf(key);
+        while (used[s]) {
+            if (slots[s].first == key)
+                return s;
+            s = (s + 1) & maskBits;
+        }
+        used[s] = 1;
+        slots[s].first = key;
+        slots[s].second = V{};
+        ++count;
+        return s;
+    }
+
+    void eraseSlot(std::size_t s)
+    {
+        // Backward-shift deletion: pull every displaced chain member
+        // whose home precedes the hole back over it, leaving no
+        // tombstone (Knuth TAOCP vol. 3, Algorithm R).
+        std::size_t hole = s;
+        std::size_t probe = s;
+        while (true) {
+            probe = (probe + 1) & maskBits;
+            if (!used[probe])
+                break;
+            const std::size_t home = homeOf(slots[probe].first);
+            // probe's entry may move into the hole iff its home lies
+            // at or before the hole along the probe path.
+            if (((probe - home) & maskBits) >=
+                ((probe - hole) & maskBits)) {
+                slots[hole] = std::move(slots[probe]);
+                hole = probe;
+            }
+        }
+        used[hole] = 0;
+        --count;
+    }
+
+    void rehash(std::size_t new_slots)
+    {
+        lvp_assert(isPowerOf2(new_slots), "flat map slots not pow2");
+        std::vector<value_type> old_slots = std::move(slots);
+        std::vector<std::uint8_t> old_used = std::move(used);
+        slots.assign(new_slots, value_type{});
+        used.assign(new_slots, 0);
+        maskBits = new_slots - 1;
+        count = 0;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            const std::size_t s = insertSlotNoGrow(old_slots[i].first);
+            slots[s].second = std::move(old_slots[i].second);
+        }
+    }
+
+    std::size_t insertSlotNoGrow(const K &key)
+    {
+        std::size_t s = homeOf(key);
+        while (used[s])
+            s = (s + 1) & maskBits;
+        used[s] = 1;
+        slots[s].first = key;
+        ++count;
+        return s;
+    }
+
+    std::vector<value_type> slots;
+    std::vector<std::uint8_t> used;
+    std::size_t maskBits = 0;
+    std::size_t count = 0;
+};
+
+} // namespace lvpsim
+
+#endif // LVPSIM_COMMON_FLAT_MAP_HH

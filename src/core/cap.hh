@@ -17,9 +17,8 @@
 #ifndef LVPSIM_VP_CAP_HH
 #define LVPSIM_VP_CAP_HH
 
-#include <unordered_map>
-
 #include "common/bitutils.hh"
+#include "common/flat_map.hh"
 #include "common/random.hh"
 #include "common/tagged_table.hh"
 #include "core/component.hh"
@@ -40,6 +39,7 @@ class Cap : public ComponentPredictor
     {
         if (entries > 0)
             table.configure(entries, 1);
+        snapshots.reserve(512); // in-flight window; see composite
     }
 
     ComponentPrediction
@@ -168,7 +168,7 @@ class Cap : public ComponentPredictor
     }
 
     TaggedTable<Entry> table;
-    std::unordered_map<std::uint64_t, Snapshot> snapshots;
+    FlatMap<std::uint64_t, Snapshot> snapshots;
     Xoshiro256 rng;
     unsigned confThreshold;
     std::uint64_t path = 0;

@@ -35,6 +35,10 @@ constexpr unsigned trainingOrder[numComponents] = {cLVP, cCVP, cSAP,
 CompositePredictor::CompositePredictor(const CompositeConfig &config)
     : cfg(config)
 {
+    // Live snapshots are bounded by the pipeline's in-flight window
+    // plus its refetch stash (a few hundred for the paper's core);
+    // pre-size so steady-state probes never allocate.
+    snapshots.reserve(512);
     if (cfg.sharedValueArray) {
         std::size_t pool = cfg.sharedPoolEntries;
         if (pool == 0) {
@@ -138,6 +142,8 @@ CompositePredictor::predict(const pipe::LoadProbe &probe)
         }
     }
     snapshots[probe.token] = snap;
+    if (snapshots.size() > peakSnapshots)
+        peakSnapshots = snapshots.size();
     return result;
 }
 

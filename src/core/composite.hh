@@ -19,8 +19,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "core/accuracy_monitor.hh"
 #include "core/component.hh"
 #include "core/value_store.hh"
@@ -153,6 +153,14 @@ class CompositePredictor : public pipe::LoadValuePredictor
 
     /** Probes not yet resolved by train()/abandon(); 0 when idle. */
     std::size_t pendingSnapshots() const { return snapshots.size(); }
+    std::size_t pendingProbes() const override
+    {
+        return snapshots.size();
+    }
+    std::size_t pendingProbesPeak() const override
+    {
+        return peakSnapshots;
+    }
 
     /**
      * Visit every live confidence counter across all configured
@@ -180,7 +188,8 @@ class CompositePredictor : public pipe::LoadValuePredictor
     std::array<std::unique_ptr<ComponentPredictor>, numComponents>
         comp;
     std::unique_ptr<AccuracyMonitor> am;
-    std::unordered_map<std::uint64_t, Snapshot> snapshots;
+    FlatMap<std::uint64_t, Snapshot> snapshots;
+    std::size_t peakSnapshots = 0;
     CompositeStats cstats;
 
     // Fusion machinery (Section V-E).

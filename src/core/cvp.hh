@@ -16,10 +16,10 @@
 #define LVPSIM_VP_CVP_HH
 
 #include <array>
-#include <unordered_map>
 
 #include "branch/history.hh"
 #include "common/bitutils.hh"
+#include "common/flat_map.hh"
 #include "common/random.hh"
 #include "common/tagged_table.hh"
 #include "core/component.hh"
@@ -70,6 +70,7 @@ class Cvp : public ComponentPredictor
             }
             configured = true;
         }
+        snapshots.reserve(512); // in-flight window; see composite
     }
 
     ComponentPrediction
@@ -261,7 +262,7 @@ class Cvp : public ComponentPredictor
     std::vector<branch::FoldedHistory> foldTag2;
     branch::HistoryRing ring;
     std::uint64_t pathHist = 0;
-    std::unordered_map<std::uint64_t, Snapshot> snapshots;
+    FlatMap<std::uint64_t, Snapshot> snapshots;
     Xoshiro256 rng;
     unsigned confThreshold;
     InlineValueStore inlineValues;

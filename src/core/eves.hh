@@ -19,10 +19,10 @@
 
 #include <array>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "branch/history.hh"
+#include "common/flat_map.hh"
 #include "common/random.hh"
 #include "common/sat_counter.hh"
 #include "common/tagged_table.hh"
@@ -137,7 +137,10 @@ class EvesPredictor : public pipe::LoadValuePredictor
     branch::HistoryRing ring;
     std::uint64_t pathHist = 0;
 
-    std::unordered_map<std::uint64_t, Snapshot> snapshots;
+    // Flat like every other per-token map; note the Snapshot's
+    // history vectors still allocate per probe (EVES is a comparison
+    // baseline, not hot-path).
+    FlatMap<std::uint64_t, Snapshot> snapshots;
 };
 
 } // namespace vp

@@ -22,10 +22,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -92,6 +92,9 @@ class SharedValueStore : public ValueStore
         : pool(slots)
     {
         lvp_assert(isPowerOf2(slots), "pool slots must be pow2");
+        // At most one byValue entry per valid pool slot, so a
+        // one-time reserve makes store() allocation-free.
+        byValue.reserve(slots);
     }
 
     Ref
@@ -177,7 +180,7 @@ class SharedValueStore : public ValueStore
     }
 
     std::vector<Slot> pool;
-    std::unordered_map<Value, std::uint32_t> byValue;
+    FlatMap<Value, std::uint32_t> byValue;
     std::uint32_t clockHand = 0;
     std::uint64_t numEvictions = 0;
 };

@@ -22,28 +22,61 @@ Core::Core(const CoreConfig &config,
       tage(cfg.tage, cfg.seed ^ 0x7a9e),
       ittage(cfg.ittage, cfg.seed ^ 0x177a9e), ras(cfg.rasDepth)
 {
+    rob.configure(cfg.robSize);
+    fetchBuf.configure(2 * cfg.fetchWidth);
+    paq.configure(cfg.paqSize);
+    ldq.configure(cfg.ldqSize);
+    stq.configure(cfg.stqSize);
+    // Both maps are bounded by the in-flight window (the stash only
+    // ever holds trace indices that are still ahead of fetchIdx, see
+    // squashYoungerThan); pre-sizing makes them allocation-free.
+    inflightLoadPcs.reserve(inflightWindow());
+    refetchStash.reserve(inflightWindow());
+}
+
+std::size_t
+Core::robIndexOfSeq(InstSeqNum seq) const
+{
+    // ROB seqs are strictly increasing but not contiguous (a squash
+    // never rewinds nextSeq), so rob[i].seq >= rob.front().seq + i.
+    // Hence seq can only live at index <= seq - front.seq: probe that
+    // slot directly (an O(1) hit whenever no squash gap sits below
+    // it), else bisect the prefix to its left.
+    constexpr std::size_t npos = ~std::size_t(0);
+    if (rob.empty())
+        return npos;
+    const InstSeqNum front_seq = rob.front().seq;
+    if (seq < front_seq || seq > rob.back().seq)
+        return npos;
+    std::size_t hi = std::size_t(seq - front_seq);
+    if (hi >= rob.size())
+        hi = rob.size() - 1;
+    if (rob[hi].seq == seq)
+        return hi;
+    // rob[hi].seq > seq here, so the match (if any) is in [0, hi).
+    std::size_t lo = 0;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (rob[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return rob[lo].seq == seq ? lo : npos;
 }
 
 Core::Inflight *
 Core::findBySeq(InstSeqNum seq)
 {
-    auto it = std::lower_bound(
-        rob.begin(), rob.end(), seq,
-        [](const Inflight &f, InstSeqNum s) { return f.seq < s; });
-    if (it == rob.end() || it->seq != seq)
-        return nullptr;
-    return &*it;
+    const std::size_t i = robIndexOfSeq(seq);
+    return i == ~std::size_t(0) ? nullptr : &rob[i];
 }
 
 const Core::Inflight *
 Core::findBySeqConst(InstSeqNum seq) const
 {
-    auto it = std::lower_bound(
-        rob.begin(), rob.end(), seq,
-        [](const Inflight &f, InstSeqNum s) { return f.seq < s; });
-    if (it == rob.end() || it->seq != seq)
-        return nullptr;
-    return &*it;
+    const std::size_t i = robIndexOfSeq(seq);
+    return i == ~std::size_t(0) ? nullptr : &rob[i];
 }
 
 bool
@@ -126,6 +159,8 @@ Core::commitStage()
             lvp_assert(!ldq.empty() && ldq.front().seq == f.seq,
                        "LDQ out of sync");
             ldq.pop_front();
+            if (f.speculativeLoad)
+                --specLoadsInFlight;
             auto it = inflightLoadPcs.find(op.pc);
             if (it != inflightLoadPcs.end() && --it->second == 0)
                 inflightLoadPcs.erase(it);
@@ -288,6 +323,7 @@ Core::issueStage(unsigned &ls_used)
                     if (memdep.shouldWait(op.pc))
                         continue; // hold the load in the IQ
                     f.speculativeLoad = true;
+                    ++specLoadsInFlight;
                     const auto res =
                         memory.dataAccess(op.pc, op.effAddr, false);
                     lat = 1 + res.latency;
@@ -323,13 +359,20 @@ Core::issueStage(unsigned &ls_used)
 void
 Core::checkStoreOrderViolation(const Inflight &store)
 {
-    const MicroOp &sop = opOf(store);
     // A younger load that already executed speculatively past this
     // then-unresolved store read stale data: memory-order flush,
-    // replaying from the load itself.
-    for (const MemQEntry &e : ldq) {
-        if (e.seq <= store.seq)
-            continue;
+    // replaying from the load itself. Only loads flagged speculative
+    // at issue can violate, so the scan is skipped entirely while
+    // none are in flight (the common case).
+    if (specLoadsInFlight == 0)
+        return;
+    const MicroOp &sop = opOf(store);
+    // The LDQ is seq-sorted; start at the first younger load.
+    auto it = std::lower_bound(
+        ldq.begin(), ldq.end(), store.seq,
+        [](const MemQEntry &e, InstSeqNum s) { return e.seq <= s; });
+    for (; it != ldq.end(); ++it) {
+        const MemQEntry &e = *it;
         if (!rangesOverlap(e.addr, e.size, sop.effAddr, sop.memSize))
             continue;
         Inflight *ld = findBySeq(e.seq);
@@ -596,6 +639,8 @@ Core::squashYoungerThan(InstSeqNum oldest_squashed,
             --iqCount;
         if (f.issued && !f.done)
             --issuedNotDone;
+        if (f.speculativeLoad)
+            --specLoadsInFlight;
         drop_load_bookkeeping(f);
         ++stats.squashedOps;
         rob.pop_back();
@@ -610,11 +655,14 @@ Core::squashYoungerThan(InstSeqNum oldest_squashed,
         ++stats.squashedOps;
         fetchBuf.pop_back();
     }
-    paq.erase(std::remove_if(paq.begin(), paq.end(),
-                             [&](const PaqEntry &e) {
-                                 return e.seq >= oldest_squashed;
-                             }),
-              paq.end());
+    // The PAQ is filled in dispatch order and drained at the front,
+    // so it is always seq-sorted and the squashed entries are exactly
+    // its tail.
+    while (!paq.empty() && paq.back().seq >= oldest_squashed)
+        paq.pop_back();
+
+    if (refetchStash.size() > stats.refetchStashPeak)
+        stats.refetchStashPeak = refetchStash.size();
 
     rebuildRenameMap();
     fetchIdx = new_fetch_idx;
@@ -671,6 +719,17 @@ Core::checkCycleInvariants() const
                  "issued-not-done %llu exceeds ROB occupancy %zu",
                  static_cast<unsigned long long>(issuedNotDone),
                  rob.size());
+    LVPSIM_CHECK(specLoadsInFlight <= ldq.size(),
+                 "speculative-load count %llu exceeds LDQ occupancy "
+                 "%zu",
+                 static_cast<unsigned long long>(specLoadsInFlight),
+                 ldq.size());
+    // The refetch stash holds only trace indices ahead of fetchIdx
+    // that were in flight when squashed, so it can never outgrow the
+    // in-flight window.
+    LVPSIM_CHECK(refetchStash.size() <= inflightWindow(),
+                 "refetch stash overflow: %zu > %zu",
+                 refetchStash.size(), inflightWindow());
 }
 
 void
@@ -681,12 +740,16 @@ Core::checkFullInvariants() const
     InstSeqNum prev = 0;
     unsigned in_iq = 0;
     std::uint64_t issued_not_done = 0;
+    std::uint64_t spec_loads = 0;
     std::size_t n_loads = 0, n_stores = 0;
+    std::size_t live_tokens = 0;
     for (const Inflight &f : rob) {
         LVPSIM_CHECK(f.seq > prev, "ROB not in seq order");
         prev = f.seq;
         in_iq += f.inIQ ? 1 : 0;
         issued_not_done += (f.issued && !f.done) ? 1 : 0;
+        spec_loads += f.speculativeLoad ? 1 : 0;
+        live_tokens += f.token != 0 ? 1 : 0;
         LVPSIM_CHECK(!(f.inIQ && f.issued),
                      "op both in IQ and issued (seq %llu)",
                      static_cast<unsigned long long>(f.seq));
@@ -694,6 +757,8 @@ Core::checkFullInvariants() const
         n_loads += op.isLoad() ? 1 : 0;
         n_stores += op.isStore() ? 1 : 0;
     }
+    for (const Inflight &f : fetchBuf)
+        live_tokens += f.token != 0 ? 1 : 0;
     LVPSIM_CHECK(in_iq == iqCount,
                  "IQ count drift: cached %u, actual %u", iqCount,
                  in_iq);
@@ -701,6 +766,18 @@ Core::checkFullInvariants() const
                  "issuedNotDone drift: cached %llu, actual %llu",
                  static_cast<unsigned long long>(issuedNotDone),
                  static_cast<unsigned long long>(issued_not_done));
+    LVPSIM_CHECK(spec_loads == specLoadsInFlight,
+                 "specLoadsInFlight drift: cached %llu, actual %llu",
+                 static_cast<unsigned long long>(specLoadsInFlight),
+                 static_cast<unsigned long long>(spec_loads));
+    // Every pending predictor snapshot belongs to a live token: one
+    // held by an in-flight load, or one parked in the refetch stash.
+    LVPSIM_CHECK(vp->pendingProbes() <=
+                     live_tokens + refetchStash.size(),
+                 "predictor snapshot leak: %zu pending, %zu live "
+                 "tokens + %zu stashed",
+                 vp->pendingProbes(), live_tokens,
+                 refetchStash.size());
     // Every ROB load/store has exactly one LDQ/STQ entry, in order.
     LVPSIM_CHECK(ldq.size() == n_loads,
                  "LDQ/ROB drift: %zu entries, %zu loads", ldq.size(),
@@ -788,6 +865,17 @@ Core::run(std::uint64_t max_instrs)
     stats.cycles = now;
     stats.l1dMisses = memory.l1d().misses() - l1d_miss0;
     stats.l2Misses = memory.l2().misses() - l2_miss0;
+    if (refetchStash.size() > stats.refetchStashPeak)
+        stats.refetchStashPeak = refetchStash.size();
+    stats.vpSnapshotsPeak = vp->pendingProbesPeak();
+    // At natural trace exhaustion every stashed prediction must have
+    // been consumed by its re-fetch (the stash only holds indices
+    // ahead of fetchIdx); an early max_instrs stop may leave some.
+    LVPSIM_CHECK(fetchIdx < code.size() || !rob.empty() ||
+                     !fetchBuf.empty() || refetchStash.empty(),
+                 "refetch stash leak: %zu entries at trace "
+                 "exhaustion",
+                 refetchStash.size());
     return stats;
 }
 

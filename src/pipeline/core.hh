@@ -28,13 +28,13 @@
 #include <cstdint>
 #include <functional>
 #include <ostream>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "branch/ittage.hh"
 #include "branch/ras.hh"
 #include "branch/tage.hh"
+#include "common/flat_map.hh"
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "memory/hierarchy.hh"
 #include "memory/memdep.hh"
@@ -153,6 +153,7 @@ class Core
     bool fetchStage();
 
     // Helpers.
+    std::size_t robIndexOfSeq(InstSeqNum seq) const;
     Inflight *findBySeq(InstSeqNum seq);
     const Inflight *findBySeqConst(InstSeqNum seq) const;
     bool depsReady(Inflight &f) const;
@@ -203,14 +204,21 @@ class Core
     std::uint64_t committed = 0;
     std::uint64_t issuedNotDone = 0;
 
-    std::deque<Inflight> rob;
-    std::deque<Inflight> fetchBuf;
-    std::deque<PaqEntry> paq;
-    std::deque<MemQEntry> ldq;
-    std::deque<MemQEntry> stq;
+    // Pipeline queues: fixed-capacity rings sized from cfg in the
+    // constructor, so the steady-state cycle loop never allocates
+    // (see docs/performance.md).
+    RingBuffer<Inflight> rob;
+    RingBuffer<Inflight> fetchBuf;
+    RingBuffer<PaqEntry> paq;
+    RingBuffer<MemQEntry> ldq;
+    RingBuffer<MemQEntry> stq;
     unsigned iqCount = 0;
+    /// Issued loads that speculated past an unresolved older store
+    /// and have not yet committed or squashed. Store issue only needs
+    /// to scan the LDQ for order violations while this is non-zero.
+    std::uint64_t specLoadsInFlight = 0;
     std::array<InstSeqNum, numArchRegs> lastWriter{};
-    std::unordered_map<Addr, unsigned> inflightLoadPcs;
+    FlatMap<Addr, unsigned> inflightLoadPcs;
 
     /**
      * Predictions of squashed loads, keyed by trace index. Real
@@ -225,7 +233,18 @@ class Core
         std::uint64_t token = 0;
         Prediction pred{};
     };
-    std::unordered_map<std::uint64_t, StashedPrediction> refetchStash;
+    FlatMap<std::uint64_t, StashedPrediction> refetchStash;
+
+    /**
+     * Upper bound on in-flight instructions (ROB plus fetch buffer):
+     * sizes inflightLoadPcs/refetchStash and bounds the predictor's
+     * pending-snapshot count (every live token belongs to an
+     * in-flight or stashed load).
+     */
+    std::size_t inflightWindow() const
+    {
+        return cfg.robSize + 2 * std::size_t(cfg.fetchWidth);
+    }
 
     CommitHook commitHook;
 

@@ -13,6 +13,7 @@
 #ifndef LVPSIM_PIPE_LVP_INTERFACE_HH
 #define LVPSIM_PIPE_LVP_INTERFACE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 
@@ -108,6 +109,17 @@ class LoadValuePredictor
 
     /** @p n more instructions retired (drives epoch machinery). */
     virtual void onRetire(std::uint64_t n) { (void)n; }
+
+    /**
+     * Outstanding probes: tokens seen by predict() but not yet
+     * resolved by train()/abandon(). Bounded by the core's in-flight
+     * window plus its refetch stash; the core cross-checks that in
+     * its full-invariant pass.
+     */
+    virtual std::size_t pendingProbes() const { return 0; }
+
+    /** Lifetime high-water mark of pendingProbes(). */
+    virtual std::size_t pendingProbesPeak() const { return 0; }
 
     /** Bit-exact storage cost of all prediction state. */
     virtual std::uint64_t storageBits() const = 0;

@@ -43,6 +43,8 @@ SimStats::dump(std::ostream &os) const
     row("vp_flushes", vpFlushes);
     row("mem_order_flushes", memOrderFlushes);
     row("squashed_ops", squashedOps);
+    row("refetch_stash_peak", refetchStashPeak);
+    row("vp_snapshots_peak", vpSnapshotsPeak);
     row("l1d_misses", l1dMisses);
     row("l2_misses", l2Misses);
     for (std::size_t c = 0; c < usedByComponent.size(); ++c) {
@@ -81,6 +83,8 @@ visitScalars(StatsT &s, Fn &&fn)
     fn("vp_flushes", s.vpFlushes);
     fn("mem_order_flushes", s.memOrderFlushes);
     fn("squashed_ops", s.squashedOps);
+    fn("refetch_stash_peak", s.refetchStashPeak);
+    fn("vp_snapshots_peak", s.vpSnapshotsPeak);
     fn("l1d_misses", s.l1dMisses);
     fn("l2_misses", s.l2Misses);
 }

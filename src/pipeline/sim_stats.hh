@@ -46,6 +46,14 @@ struct SimStats
     std::uint64_t memOrderFlushes = 0;
     std::uint64_t squashedOps = 0;
 
+    /// High-water marks of the bounded hot-path maps (see
+    /// docs/performance.md): the core's squashed-prediction stash
+    /// and the predictor's pending per-token snapshots. Both must
+    /// stay within the in-flight window; the peaks make the margin
+    /// observable in results JSON.
+    std::uint64_t refetchStashPeak = 0;
+    std::uint64_t vpSnapshotsPeak = 0;
+
     std::uint64_t l1dMisses = 0;
     std::uint64_t l2Misses = 0;
 

@@ -12,6 +12,7 @@ Asm::Asm(std::vector<MicroOp> &out, std::size_t max_ops,
     : buf(out), maxOps(max_ops), rngState(seed)
 {
     buf.reserve(max_ops);
+    callStack.reserve(64); // deeper nesting than any kernel emits
 }
 
 Addr

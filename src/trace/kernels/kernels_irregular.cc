@@ -270,6 +270,9 @@ class SortQsortKernel : public SynthKernel
         }
         // Iterative quicksort (explicit stack in kernel C++).
         std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+        // Both halves are pushed unordered, so the worst-case live
+        // depth is linear, not logarithmic.
+        stack.reserve(numElems);
         stack.emplace_back(0, std::int64_t(numElems) - 1);
         while (!stack.empty() && !a.done()) {
             auto [lo, hi] = stack.back();

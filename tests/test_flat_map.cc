@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for common/flat_map.hh: insert/find/erase semantics,
+ * reserve() pre-sizing, growth, iteration, and -- via a degenerate
+ * hash functor that forces probe clusters -- the backward-shift
+ * deletion paths (erase inside a probe chain, chains wrapping the
+ * table end).
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flat_map.hh"
+
+using lvpsim::FlatMap;
+
+TEST(FlatMap, EmptyMapBehaves)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), 0u); // no allocation until first use
+    EXPECT_EQ(m.find(42), m.end());
+    EXPECT_FALSE(m.contains(42));
+    EXPECT_EQ(m.erase(42), 0u);
+    EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatMap, InsertFindEraseRoundTrip)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[7] = 70;
+    m[9] = 90;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), m.end());
+    EXPECT_EQ(m.find(7)->second, 70);
+    EXPECT_EQ(m.find(9)->second, 90);
+    m[7] = 71; // overwrite through operator[]
+    EXPECT_EQ(m.find(7)->second, 71);
+    EXPECT_EQ(m.erase(7), 1u);
+    EXPECT_EQ(m.find(7), m.end());
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EmplaceOnlyInsertsWhenAbsent)
+{
+    FlatMap<std::uint64_t, int> m;
+    auto r1 = m.emplace(5, 50);
+    EXPECT_TRUE(r1.second);
+    EXPECT_EQ(r1.first->second, 50);
+    auto r2 = m.emplace(5, 99); // present: value untouched
+    EXPECT_FALSE(r2.second);
+    EXPECT_EQ(r2.first->second, 50);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseByIterator)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 8; ++k)
+        m[k] = int(k);
+    auto it = m.find(3);
+    ASSERT_NE(it, m.end());
+    m.erase(it);
+    EXPECT_EQ(m.size(), 7u);
+    EXPECT_FALSE(m.contains(3));
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_EQ(m.contains(k), k != 3) << k;
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.reserve(100);
+    const std::size_t cap = m.capacity();
+    EXPECT_GE(cap * 3, 100u * 4); // load factor <= 3/4 at 100 live
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m[k * 977] = int(k);
+    EXPECT_EQ(m.capacity(), cap); // no growth below the reserve
+    EXPECT_EQ(m.size(), 100u);
+}
+
+TEST(FlatMap, GrowsWhenUnderReserved)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m[k] = int(2 * k);
+    EXPECT_EQ(m.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_TRUE(m.contains(k)) << k;
+        EXPECT_EQ(m.find(k)->second, int(2 * k));
+    }
+    // Load factor bound held through every doubling.
+    EXPECT_GE(m.capacity() * 3, m.size() * 4);
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint64_t, int> m;
+    std::set<std::uint64_t> want;
+    for (std::uint64_t k = 10; k < 40; k += 3) {
+        m[k] = int(k);
+        want.insert(k);
+    }
+    std::set<std::uint64_t> got;
+    for (const auto &kv : m) {
+        EXPECT_EQ(kv.second, int(kv.first));
+        EXPECT_TRUE(got.insert(kv.first).second) << "dup key";
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> m(64);
+    const std::size_t cap = m.capacity();
+    for (std::uint64_t k = 0; k < 50; ++k)
+        m[k] = 1;
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.begin(), m.end());
+    m[3] = 4;
+    EXPECT_EQ(m.find(3)->second, 4);
+}
+
+namespace
+{
+
+/** Degenerate hash: collapses groups of 4 keys onto one home slot,
+ *  forcing long probe chains deterministically. */
+struct ClusterHash
+{
+    std::uint64_t operator()(std::uint64_t k) const { return k / 4; }
+};
+
+using ClusterMap = FlatMap<std::uint64_t, int, ClusterHash>;
+
+} // anonymous namespace
+
+TEST(FlatMap, EraseInsideProbeChainKeepsLaterMembersReachable)
+{
+    // Keys 0..3 share home slot 0, 4..7 share home slot 1: one long
+    // displaced chain. Erasing an early member must backward-shift
+    // the rest, not orphan them behind a hole.
+    ClusterMap m(16);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        m[k] = int(100 + k);
+    ASSERT_EQ(m.size(), 8u);
+    m.erase(std::uint64_t(1));
+    for (std::uint64_t k = 0; k < 8; ++k) {
+        if (k == 1) {
+            EXPECT_FALSE(m.contains(k));
+            continue;
+        }
+        ASSERT_TRUE(m.contains(k)) << k;
+        EXPECT_EQ(m.find(k)->second, int(100 + k)) << k;
+    }
+    // Erase from the middle and the tail of the shifted chain too.
+    m.erase(std::uint64_t(5));
+    m.erase(std::uint64_t(7));
+    for (std::uint64_t k : {0u, 2u, 3u, 4u, 6u})
+        EXPECT_TRUE(m.contains(k)) << k;
+    EXPECT_EQ(m.size(), 5u);
+}
+
+TEST(FlatMap, EraseDuringWrappedProbeChain)
+{
+    // Home the cluster at the last slot so its probe chain wraps
+    // around the table end; backward shift must honor the wrap.
+    ClusterMap m(16); // 32 physical slots after reserve(16)
+    const std::uint64_t last_home = m.capacity() - 1;
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        keys.push_back(last_home * 4 + i); // all home at last slot
+    for (std::uint64_t k : keys)
+        m[k] = int(k);
+    m.erase(keys[0]); // hole at the end; survivors live past the wrap
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        ASSERT_TRUE(m.contains(keys[i])) << i;
+        EXPECT_EQ(m.find(keys[i])->second, int(keys[i]));
+    }
+    EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(FlatMap, RepeatedInsertEraseAtFixedSizeIsStable)
+{
+    // The hot-path pattern: per-token snapshots inserted and erased
+    // at a bounded live count. Size and content must stay exact and
+    // the table must not degrade (no tombstone rot by construction).
+    FlatMap<std::uint64_t, std::uint64_t> m(64);
+    const std::size_t cap = m.capacity();
+    std::uint64_t next = 1;
+    for (std::uint64_t k = next; k <= 48; ++k)
+        m[k] = k * 3;
+    for (int round = 0; round < 2000; ++round) {
+        ASSERT_EQ(m.erase(next), 1u);
+        ++next;
+        const std::uint64_t fresh = next + 47;
+        m[fresh] = fresh * 3;
+        ASSERT_EQ(m.size(), 48u);
+    }
+    EXPECT_EQ(m.capacity(), cap);
+    for (std::uint64_t k = next; k < next + 48; ++k) {
+        ASSERT_TRUE(m.contains(k)) << k;
+        EXPECT_EQ(m.find(k)->second, k * 3);
+    }
+}

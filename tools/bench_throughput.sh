@@ -1,0 +1,31 @@
+#!/bin/sh
+# Measure end-to-end simulator throughput over the full workload
+# suite with the optimized build (the `bench-release` CMake preset:
+# Release, -O3, LVPSIM_ASSERTIONS=OFF) and write the result as
+# BENCH_throughput.json so the repo keeps a perf trajectory to
+# regress against (see docs/performance.md).
+#
+# Usage: tools/bench_throughput.sh [output.json]
+#   LVPSIM_BENCH_REPEAT=<n>  simulation passes per workload, fastest
+#                            kept (default 3)
+#   LVPSIM_BENCH_JOBS=<n>    worker threads (default 1 — single-
+#                            threaded numbers are the comparable ones)
+#   LVPSIM_INSTRS / LVPSIM_SUITE scale the run as everywhere else.
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-$src_dir/BENCH_throughput.json}
+repeat=${LVPSIM_BENCH_REPEAT:-3}
+jobs=${LVPSIM_BENCH_JOBS:-1}
+build_jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure (bench-release preset) =="
+cmake -S "$src_dir" --preset bench-release >/dev/null
+
+echo "== build micro_throughput =="
+cmake --build "$src_dir/build-release" -j "$build_jobs" \
+    --target micro_throughput
+
+echo "== measure (repeat=$repeat jobs=$jobs) =="
+"$src_dir/build-release/bench/micro_throughput" \
+    --repeat "$repeat" --jobs "$jobs" --json "$out"

@@ -24,8 +24,8 @@ only=${LVPSIM_SAN_ONLY:-}
 # Only the targets the smoke/fuzz labels actually run: building the
 # whole tree (benches, examples, every test binary) under a
 # sanitizer takes many times longer for no extra coverage.
-targets="test_common test_trace test_harness test_qa test_fuzz \
-lvpsim_cli"
+targets="test_containers test_common test_trace test_harness \
+test_qa test_fuzz lvpsim_cli"
 
 run_config() {
     name=$1
