@@ -16,8 +16,7 @@
  *   LVPSIM_SUITE=smoke|full  workload list (default full, 28 kernels)
  */
 
-#ifndef LVPSIM_BENCH_COMMON_HH
-#define LVPSIM_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdlib>
 #include <cstring>
@@ -240,4 +239,3 @@ evesFactory(const vp::EvesConfig &cfg)
 } // namespace bench
 } // namespace lvpsim
 
-#endif // LVPSIM_BENCH_COMMON_HH

@@ -16,8 +16,7 @@
  * native --benchmark_* flags keep working.
  */
 
-#ifndef LVPSIM_BENCH_MICROBENCH_MAIN_HH
-#define LVPSIM_BENCH_MICROBENCH_MAIN_HH
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -87,4 +86,3 @@ microbenchMain(int argc, char **argv, const char *tag)
 } // namespace bench
 } // namespace lvpsim
 
-#endif // LVPSIM_BENCH_MICROBENCH_MAIN_HH

@@ -8,8 +8,7 @@
  * small index/tag width, exactly as in Seznec's TAGE implementations.
  */
 
-#ifndef LVPSIM_BRANCH_HISTORY_HH
-#define LVPSIM_BRANCH_HISTORY_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -91,4 +90,3 @@ class FoldedHistory
 } // namespace branch
 } // namespace lvpsim
 
-#endif // LVPSIM_BRANCH_HISTORY_HH

@@ -5,8 +5,7 @@
  * 2-bit hysteresis counter.
  */
 
-#ifndef LVPSIM_BRANCH_ITTAGE_HH
-#define LVPSIM_BRANCH_ITTAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -80,4 +79,3 @@ class Ittage
 } // namespace branch
 } // namespace lvpsim
 
-#endif // LVPSIM_BRANCH_ITTAGE_HH

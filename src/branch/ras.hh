@@ -3,8 +3,7 @@
  * Return address stack (paper Table III: 16 entries).
  */
 
-#ifndef LVPSIM_BRANCH_RAS_HH
-#define LVPSIM_BRANCH_RAS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -55,4 +54,3 @@ class ReturnAddressStack
 } // namespace branch
 } // namespace lvpsim
 
-#endif // LVPSIM_BRANCH_RAS_HH

@@ -8,8 +8,7 @@
  * predict(pc) then update(pc, taken) in fetch order.
  */
 
-#ifndef LVPSIM_BRANCH_TAGE_HH
-#define LVPSIM_BRANCH_TAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -98,4 +97,3 @@ class Tage
 } // namespace branch
 } // namespace lvpsim
 
-#endif // LVPSIM_BRANCH_TAGE_HH

@@ -3,8 +3,7 @@
  * Bit-manipulation helpers used throughout the predictor and cache models.
  */
 
-#ifndef LVPSIM_COMMON_BITUTILS_HH
-#define LVPSIM_COMMON_BITUTILS_HH
+#pragma once
 
 #include <cstdint>
 
@@ -109,4 +108,3 @@ mix64(std::uint64_t x)
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_BITUTILS_HH

@@ -28,8 +28,7 @@
  * constructible for operator[].
  */
 
-#ifndef LVPSIM_COMMON_FLAT_MAP_HH
-#define LVPSIM_COMMON_FLAT_MAP_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -327,4 +326,3 @@ class FlatMap
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_FLAT_MAP_HH

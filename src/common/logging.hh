@@ -8,8 +8,7 @@
  * inform() - plain status output.
  */
 
-#ifndef LVPSIM_COMMON_LOGGING_HH
-#define LVPSIM_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdarg>
 
@@ -52,4 +51,3 @@ void informImpl(const char *fmt, ...)
                                      __VA_OPT__(,) __VA_ARGS__);        \
     } while (0)
 
-#endif // LVPSIM_COMMON_LOGGING_HH

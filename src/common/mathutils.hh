@@ -4,8 +4,7 @@
  * arithmetic mean across workloads, geometric mean for IPC.
  */
 
-#ifndef LVPSIM_COMMON_MATHUTILS_HH
-#define LVPSIM_COMMON_MATHUTILS_HH
+#pragma once
 
 #include <cmath>
 #include <vector>
@@ -47,4 +46,3 @@ speedup(double x, double base)
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_MATHUTILS_HH

@@ -7,8 +7,7 @@
  * of Xoshiro256** so that every simulation is bit-for-bit reproducible.
  */
 
-#ifndef LVPSIM_COMMON_RANDOM_HH
-#define LVPSIM_COMMON_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 
@@ -124,4 +123,3 @@ class Xoshiro256
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_RANDOM_HH

@@ -24,8 +24,7 @@
  *    sorted ring works and is fast (contiguous probes).
  */
 
-#ifndef LVPSIM_COMMON_RING_BUFFER_HH
-#define LVPSIM_COMMON_RING_BUFFER_HH
+#pragma once
 
 #include <cstddef>
 #include <iterator>
@@ -232,4 +231,3 @@ class RingBuffer
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_RING_BUFFER_HH

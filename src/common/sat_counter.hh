@@ -5,8 +5,7 @@
  * predictor confidence counter (Section III-B, Table IV).
  */
 
-#ifndef LVPSIM_COMMON_SAT_COUNTER_HH
-#define LVPSIM_COMMON_SAT_COUNTER_HH
+#pragma once
 
 #include <cstdint>
 #include <initializer_list>
@@ -147,4 +146,3 @@ class FpcCounter
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_SAT_COUNTER_HH

@@ -5,8 +5,7 @@
  * StatGroup and can be dumped as aligned text.
  */
 
-#ifndef LVPSIM_COMMON_STATS_HH
-#define LVPSIM_COMMON_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -112,4 +111,3 @@ class StatGroup
 } // namespace stats
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_STATS_HH

@@ -10,8 +10,7 @@
  * donor tables on as extra ways.
  */
 
-#ifndef LVPSIM_COMMON_TAGGED_TABLE_HH
-#define LVPSIM_COMMON_TAGGED_TABLE_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -205,4 +204,3 @@ class TaggedTable
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_TAGGED_TABLE_HH

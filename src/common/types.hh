@@ -3,8 +3,7 @@
  * Fundamental scalar types shared by every lvpsim library.
  */
 
-#ifndef LVPSIM_COMMON_TYPES_HH
-#define LVPSIM_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -34,4 +33,3 @@ constexpr RegId numArchRegs = 64;
 
 } // namespace lvpsim
 
-#endif // LVPSIM_COMMON_TYPES_HH

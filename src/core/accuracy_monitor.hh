@@ -15,16 +15,15 @@
  *  - PcAmInfinite: PC-AM with unbounded entries (limit study).
  */
 
-#ifndef LVPSIM_VP_ACCURACY_MONITOR_HH
-#define LVPSIM_VP_ACCURACY_MONITOR_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace lvpsim
@@ -193,7 +192,7 @@ class PcAm : public AccuracyMonitor
                 e.tag = tagOf(pc);
             }
         } else {
-            infinite.try_emplace(pc >> 2);
+            infinite.emplace(pc >> 2);
         }
     }
 
@@ -254,10 +253,9 @@ class PcAm : public AccuracyMonitor
     std::size_t numEntries;
     double accThreshold;
     std::vector<Entry> table;
-    std::unordered_map<Addr, Entry> infinite;
+    FlatMap<Addr, Entry> infinite;
 };
 
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_ACCURACY_MONITOR_HH

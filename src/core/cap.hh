@@ -14,8 +14,7 @@
  * CAP can distinguish (and predict) only the first ~16 iterations.
  */
 
-#ifndef LVPSIM_VP_CAP_HH
-#define LVPSIM_VP_CAP_HH
+#pragma once
 
 #include "common/bitutils.hh"
 #include "common/flat_map.hh"
@@ -178,4 +177,3 @@ class Cap : public ComponentPredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_CAP_HH

@@ -11,8 +11,7 @@
  * per-token snapshots of their fetch-time indices/tags.
  */
 
-#ifndef LVPSIM_VP_COMPONENT_HH
-#define LVPSIM_VP_COMPONENT_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -111,4 +110,3 @@ class ComponentPredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_COMPONENT_HH

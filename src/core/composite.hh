@@ -13,8 +13,7 @@
  *   - epoch-based table fusion (Section V-E).
  */
 
-#ifndef LVPSIM_VP_COMPOSITE_HH
-#define LVPSIM_VP_COMPOSITE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -210,4 +209,3 @@ makeSinglePredictor(pipe::ComponentId id, std::size_t entries,
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_COMPOSITE_HH

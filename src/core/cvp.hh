@@ -12,8 +12,7 @@
  * fetch-time indices/tags are snapshotted per probe token.
  */
 
-#ifndef LVPSIM_VP_CVP_HH
-#define LVPSIM_VP_CVP_HH
+#pragma once
 
 #include <array>
 
@@ -274,4 +273,3 @@ class Cvp : public ComponentPredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_CVP_HH

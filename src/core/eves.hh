@@ -14,8 +14,7 @@
  * required before predicting, as in the original.
  */
 
-#ifndef LVPSIM_VP_EVES_HH
-#define LVPSIM_VP_EVES_HH
+#pragma once
 
 #include <array>
 #include <memory>
@@ -146,4 +145,3 @@ class EvesPredictor : public pipe::LoadValuePredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_EVES_HH

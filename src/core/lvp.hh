@@ -8,8 +8,7 @@
  * observations).
  */
 
-#ifndef LVPSIM_VP_LVP_HH
-#define LVPSIM_VP_LVP_HH
+#pragma once
 
 #include "common/bitutils.hh"
 #include "common/random.hh"
@@ -149,4 +148,3 @@ class Lvp : public ComponentPredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_LVP_HH

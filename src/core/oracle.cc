@@ -1,6 +1,6 @@
 #include "core/oracle.hh"
 
-#include <unordered_map>
+#include "common/flat_map.hh"
 
 namespace lvpsim
 {
@@ -20,7 +20,7 @@ classifyLoadPatterns(const std::vector<trace::MicroOp> &ops)
         bool strideValid = false;
     };
 
-    std::unordered_map<Addr, PcState> state;
+    FlatMap<Addr, PcState> state;
     PatternBreakdown out;
 
     for (const auto &op : ops) {

@@ -12,8 +12,7 @@
  * value/address/stride per static load.
  */
 
-#ifndef LVPSIM_VP_ORACLE_HH
-#define LVPSIM_VP_ORACLE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -57,4 +56,3 @@ classifyLoadPatterns(const std::vector<trace::MicroOp> &ops);
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_ORACLE_HH

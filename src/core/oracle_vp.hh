@@ -16,8 +16,7 @@
  * order are counted in mismatches() and answered with no prediction.
  */
 
-#ifndef LVPSIM_VP_ORACLE_VP_HH
-#define LVPSIM_VP_ORACLE_VP_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,4 +62,3 @@ class OracleVp : public pipe::LoadValuePredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_ORACLE_VP_HH

@@ -9,8 +9,7 @@
  * occurrences of the load, as in EVES's stride predictor.
  */
 
-#ifndef LVPSIM_VP_SAP_HH
-#define LVPSIM_VP_SAP_HH
+#pragma once
 
 #include "common/bitutils.hh"
 #include "common/random.hh"
@@ -179,4 +178,3 @@ class Sap : public ComponentPredictor
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_SAP_HH

@@ -17,8 +17,7 @@
  *    stale value - the generation tag models the same outcome).
  */
 
-#ifndef LVPSIM_VP_VALUE_STORE_HH
-#define LVPSIM_VP_VALUE_STORE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -188,4 +187,3 @@ class SharedValueStore : public ValueStore
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_VALUE_STORE_HH

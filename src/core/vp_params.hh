@@ -13,8 +13,7 @@
  *   CAP: 2-bit counter, threshold 3, effective  4 observations
  */
 
-#ifndef LVPSIM_VP_PARAMS_HH
-#define LVPSIM_VP_PARAMS_HH
+#pragma once
 
 #include <cstdint>
 
@@ -97,4 +96,3 @@ constexpr unsigned cvpHistLengths[3] = {5, 16, 64};
 } // namespace vp
 } // namespace lvpsim
 
-#endif // LVPSIM_VP_PARAMS_HH

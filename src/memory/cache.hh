@@ -5,8 +5,7 @@
  * the trace's memory image; the pipeline needs hit/miss and latency.
  */
 
-#ifndef LVPSIM_MEM_CACHE_HH
-#define LVPSIM_MEM_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -92,4 +91,3 @@ class Cache
 } // namespace mem
 } // namespace lvpsim
 
-#endif // LVPSIM_MEM_CACHE_HH

@@ -8,8 +8,7 @@
  *   Memory: 200-cycle; 512-entry 8-way TLB; stride prefetchers
  */
 
-#ifndef LVPSIM_MEM_HIERARCHY_HH
-#define LVPSIM_MEM_HIERARCHY_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -90,4 +89,3 @@ class MemoryHierarchy
 } // namespace mem
 } // namespace lvpsim
 
-#endif // LVPSIM_MEM_HIERARCHY_HH

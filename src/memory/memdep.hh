@@ -7,8 +7,7 @@
  * whole table is cleared periodically so stale conservatism decays.
  */
 
-#ifndef LVPSIM_MEM_MEMDEP_HH
-#define LVPSIM_MEM_MEMDEP_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -59,4 +58,3 @@ class MemDepPredictor
 } // namespace mem
 } // namespace lvpsim
 
-#endif // LVPSIM_MEM_MEMDEP_HH

@@ -5,8 +5,7 @@
  * addresses to prefetch into the cache it is attached to.
  */
 
-#ifndef LVPSIM_MEM_PREFETCHER_HH
-#define LVPSIM_MEM_PREFETCHER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,4 +82,3 @@ class StridePrefetcher
 } // namespace mem
 } // namespace lvpsim
 
-#endif // LVPSIM_MEM_PREFETCHER_HH

@@ -4,8 +4,7 @@
  * costs a fixed page-walk latency.
  */
 
-#ifndef LVPSIM_MEM_TLB_HH
-#define LVPSIM_MEM_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,4 +82,3 @@ class Tlb
 } // namespace mem
 } // namespace lvpsim
 
-#endif // LVPSIM_MEM_TLB_HH

@@ -21,8 +21,7 @@
  *    governed by the 21264-style wait-table predictor.
  */
 
-#ifndef LVPSIM_PIPE_CORE_HH
-#define LVPSIM_PIPE_CORE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -254,4 +253,3 @@ class Core
 } // namespace pipe
 } // namespace lvpsim
 
-#endif // LVPSIM_PIPE_CORE_HH

@@ -4,8 +4,7 @@
  * (Skylake-like).
  */
 
-#ifndef LVPSIM_PIPE_CORE_CONFIG_HH
-#define LVPSIM_PIPE_CORE_CONFIG_HH
+#pragma once
 
 #include "branch/ittage.hh"
 #include "branch/tage.hh"
@@ -57,4 +56,3 @@ struct CoreConfig
 } // namespace pipe
 } // namespace lvpsim
 
-#endif // LVPSIM_PIPE_CORE_CONFIG_HH

@@ -10,8 +10,7 @@
  * snapshots.
  */
 
-#ifndef LVPSIM_PIPE_LVP_INTERFACE_HH
-#define LVPSIM_PIPE_LVP_INTERFACE_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -143,4 +142,3 @@ class NullPredictor : public LoadValuePredictor
 } // namespace pipe
 } // namespace lvpsim
 
-#endif // LVPSIM_PIPE_LVP_INTERFACE_HH

@@ -3,8 +3,7 @@
  * Per-run statistics produced by the core model.
  */
 
-#ifndef LVPSIM_PIPE_SIM_STATS_HH
-#define LVPSIM_PIPE_SIM_STATS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -107,4 +106,3 @@ bool statsEqual(const SimStats &a, const SimStats &b);
 } // namespace pipe
 } // namespace lvpsim
 
-#endif // LVPSIM_PIPE_SIM_STATS_HH

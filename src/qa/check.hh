@@ -14,8 +14,7 @@
  * library.
  */
 
-#ifndef LVPSIM_QA_CHECK_HH
-#define LVPSIM_QA_CHECK_HH
+#pragma once
 
 #include "common/logging.hh"
 
@@ -45,4 +44,3 @@ checksEnabled()
 } // namespace qa
 } // namespace lvpsim
 
-#endif // LVPSIM_QA_CHECK_HH

@@ -20,16 +20,15 @@
  * a flush-free run is faster, not *provably* faster, cycle-by-cycle.
  */
 
-#ifndef LVPSIM_QA_DIFFERENTIAL_HH
-#define LVPSIM_QA_DIFFERENTIAL_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/composite.hh"
 #include "pipeline/core_config.hh"
 #include "pipeline/sim_stats.hh"
-#include "core/composite.hh"
 #include "trace/instruction.hh"
 
 namespace lvpsim
@@ -94,4 +93,3 @@ DifferentialResult runDifferential(const pipe::CoreConfig &ccfg,
 } // namespace qa
 } // namespace lvpsim
 
-#endif // LVPSIM_QA_DIFFERENTIAL_HH

@@ -12,8 +12,7 @@
  * See docs/testing.md for the workflow.
  */
 
-#ifndef LVPSIM_QA_GENERATORS_HH
-#define LVPSIM_QA_GENERATORS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -111,4 +110,3 @@ pipe::CoreConfig genCoreConfig(Gen &g);
 } // namespace qa
 } // namespace lvpsim
 
-#endif // LVPSIM_QA_GENERATORS_HH

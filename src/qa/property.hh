@@ -14,8 +14,7 @@
  * asserts on.
  */
 
-#ifndef LVPSIM_QA_PROPERTY_HH
-#define LVPSIM_QA_PROPERTY_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -80,4 +79,3 @@ std::uint64_t caseSeed(std::uint64_t base_seed, std::uint64_t index);
 } // namespace qa
 } // namespace lvpsim
 
-#endif // LVPSIM_QA_PROPERTY_HH

@@ -14,8 +14,7 @@
  * always shrink to the same counterexample.
  */
 
-#ifndef LVPSIM_QA_SHRINK_HH
-#define LVPSIM_QA_SHRINK_HH
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -53,4 +52,3 @@ shrinkTrace(std::vector<trace::MicroOp> failing,
 } // namespace qa
 } // namespace lvpsim
 
-#endif // LVPSIM_QA_SHRINK_HH

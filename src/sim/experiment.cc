@@ -15,6 +15,8 @@ namespace sim
 namespace
 {
 
+// lvplint: allow(determinism) -- feeds only the *_seconds timing
+// fields, which check_determinism.sh strips before diffing
 using Clock = std::chrono::steady_clock;
 
 double

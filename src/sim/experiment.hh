@@ -12,8 +12,7 @@
  * is bit-identical to a serial run regardless of completion order.
  */
 
-#ifndef LVPSIM_SIM_EXPERIMENT_HH
-#define LVPSIM_SIM_EXPERIMENT_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -115,7 +114,10 @@ class SuiteRunner
     /// helpers return it by value).
     std::unique_ptr<std::mutex> baselineMx =
         std::make_unique<std::mutex>();
+    // lvplint: allow(determinism) -- string-keyed lookup caches,
+    // never iterated; results are read per workload in suite order
     std::unordered_map<std::string, pipe::SimStats> baselines;
+    // lvplint: allow(determinism) -- same: find/insert only
     std::unordered_map<std::string, double> baselineSeconds;
     std::function<void(const SuiteResult &)> observer;
 };
@@ -123,4 +125,3 @@ class SuiteRunner
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_EXPERIMENT_HH

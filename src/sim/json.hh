@@ -16,8 +16,7 @@
  * container must build with no third-party deps beyond the toolchain.
  */
 
-#ifndef LVPSIM_SIM_JSON_HH
-#define LVPSIM_SIM_JSON_HH
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -115,4 +114,3 @@ JsonValue parseJson(std::string_view text, std::string *err = nullptr);
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_JSON_HH

@@ -7,8 +7,7 @@
  *   LVPSIM_SUITE=smoke|full which workload list the benches sweep
  */
 
-#ifndef LVPSIM_SIM_OPTIONS_HH
-#define LVPSIM_SIM_OPTIONS_HH
+#pragma once
 
 #include <cstdlib>
 #include <string>
@@ -45,4 +44,3 @@ suiteFromEnv()
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_OPTIONS_HH

@@ -14,8 +14,7 @@
  * docs/architecture.md §"Simulation harness".
  */
 
-#ifndef LVPSIM_SIM_PARALLEL_EXECUTOR_HH
-#define LVPSIM_SIM_PARALLEL_EXECUTOR_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -99,4 +98,3 @@ class ParallelExecutor
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_PARALLEL_EXECUTOR_HH

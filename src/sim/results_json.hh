@@ -11,8 +11,7 @@
  * tools/check_determinism.sh relies on.
  */
 
-#ifndef LVPSIM_SIM_RESULTS_JSON_HH
-#define LVPSIM_SIM_RESULTS_JSON_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,4 +69,3 @@ bool readResultsFile(const std::string &path,
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_RESULTS_JSON_HH

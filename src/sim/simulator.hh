@@ -4,8 +4,7 @@
  * caches generated traces (the expensive part) across runs.
  */
 
-#ifndef LVPSIM_SIM_SIMULATOR_HH
-#define LVPSIM_SIM_SIMULATOR_HH
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -78,6 +77,8 @@ class TraceCache
     };
 
     mutable std::shared_mutex mapMx;
+    // lvplint: allow(determinism) -- keyed lookup cache, never
+    // iterated; each trace is produced by a seeded generator
     std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
     std::atomic<std::uint64_t> generated{0};
 };
@@ -90,4 +91,3 @@ pipe::SimStats runWorkload(const std::string &workload,
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_SIMULATOR_HH

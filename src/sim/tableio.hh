@@ -4,8 +4,7 @@
  * tables plus machine-readable CSV (every bench emits both).
  */
 
-#ifndef LVPSIM_SIM_TABLEIO_HH
-#define LVPSIM_SIM_TABLEIO_HH
+#pragma once
 
 #include <iomanip>
 #include <iostream>
@@ -107,4 +106,3 @@ fmtKB(double kb, int prec = 2)
 } // namespace sim
 } // namespace lvpsim
 
-#endif // LVPSIM_SIM_TABLEIO_HH

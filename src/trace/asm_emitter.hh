@@ -11,8 +11,7 @@
  * stored there.
  */
 
-#ifndef LVPSIM_TRACE_ASM_EMITTER_HH
-#define LVPSIM_TRACE_ASM_EMITTER_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -114,6 +113,9 @@ class Asm
     MemoryImage image;
     Xoshiro256 rngState;
     std::array<Value, numArchRegs> regs{};
+    // lvplint: allow(determinism) -- label -> site-index intern
+    // table, find/insert only; indices are handed out in first-use
+    // order, never by iterating the map
     std::unordered_map<std::string, unsigned> sites;
     std::vector<Addr> callStack;
 };
@@ -121,4 +123,3 @@ class Asm
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_ASM_EMITTER_HH

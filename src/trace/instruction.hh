@@ -10,8 +10,7 @@
  * flush, which is exactly the recovery model the paper assumes.
  */
 
-#ifndef LVPSIM_TRACE_INSTRUCTION_HH
-#define LVPSIM_TRACE_INSTRUCTION_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -100,4 +99,3 @@ struct MicroOp
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_INSTRUCTION_HH

@@ -10,8 +10,7 @@
  *   }
  */
 
-#ifndef LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH
-#define LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH
+#pragma once
 
 #include <cstddef>
 
@@ -47,4 +46,3 @@ class MemsetLoopKernel : public SynthKernel
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_KERNELS_MEMSET_LOOP_HH

@@ -5,8 +5,7 @@
  * initializers) keep registration reliable inside a static library.
  */
 
-#ifndef LVPSIM_TRACE_KERNELS_REGISTER_HH
-#define LVPSIM_TRACE_KERNELS_REGISTER_HH
+#pragma once
 
 namespace lvpsim
 {
@@ -26,4 +25,3 @@ void registerStreamKernels(WorkloadRegistry &reg);
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_KERNELS_REGISTER_HH

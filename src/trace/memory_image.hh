@@ -7,8 +7,7 @@
  * the traces arises from program behaviour, not from scripted answers.
  */
 
-#ifndef LVPSIM_TRACE_MEMORY_IMAGE_HH
-#define LVPSIM_TRACE_MEMORY_IMAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -78,10 +77,11 @@ class MemoryImage
     }
 
     // make_unique<T[]>(n) value-initializes, so fresh pages read as 0.
+    // lvplint: allow(determinism) -- page store probed by address,
+    // never iterated (FlatMap cannot hold move-only values)
     std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages;
 };
 
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_MEMORY_IMAGE_HH

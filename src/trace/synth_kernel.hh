@@ -8,8 +8,7 @@
  * natural length simply run again over the same (warm) memory image.
  */
 
-#ifndef LVPSIM_TRACE_SYNTH_KERNEL_HH
-#define LVPSIM_TRACE_SYNTH_KERNEL_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -72,4 +71,3 @@ class SynthKernel
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_SYNTH_KERNEL_HH

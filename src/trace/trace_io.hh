@@ -10,8 +10,7 @@
  * fixed-size little-endian records, one per MicroOp.
  */
 
-#ifndef LVPSIM_TRACE_TRACE_IO_HH
-#define LVPSIM_TRACE_TRACE_IO_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -48,4 +47,3 @@ bool loadTraceFile(const std::string &path,
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_TRACE_IO_HH

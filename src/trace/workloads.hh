@@ -4,8 +4,7 @@
  * stand-in; see DESIGN.md for the kernel-to-benchmark mapping).
  */
 
-#ifndef LVPSIM_TRACE_WORKLOADS_HH
-#define LVPSIM_TRACE_WORKLOADS_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -65,4 +64,3 @@ std::vector<MicroOp> generateWorkload(const std::string &name,
 } // namespace trace
 } // namespace lvpsim
 
-#endif // LVPSIM_TRACE_WORKLOADS_HH

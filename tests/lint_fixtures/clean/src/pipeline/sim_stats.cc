@@ -1,0 +1,35 @@
+/** Fixture: counter registrations in sync with docs/results_schema.md. */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fixture
+{
+
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t usedByComponent[2] = {0, 0};
+};
+
+std::string
+componentCounterName(const char *prefix, std::size_t i)
+{
+    return std::string(prefix) + std::to_string(i);
+}
+
+void
+forEachCounter(
+    const SimStats &s,
+    const std::function<void(std::string, std::uint64_t)> &fn)
+{
+    fn("cycles", s.cycles);
+    fn("loads", s.loads);
+    for (std::size_t i = 0; i < 2; ++i)
+        fn(componentCounterName("used_by_component_", i),
+           s.usedByComponent[i]);
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+/** Fixture: header says ROB 224; DESIGN.md says ROB 200. */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 8;
+    unsigned lsLanes = 2;
+    unsigned retireWidth = 8;
+
+    unsigned robSize = 224;
+    unsigned iqSize = 97;
+    unsigned ldqSize = 72;
+    unsigned stqSize = 56;
+
+    unsigned fetchToExecute = 13;
+};
+
+} // namespace fixture

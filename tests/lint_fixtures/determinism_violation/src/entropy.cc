@@ -1,0 +1,24 @@
+/** Fixture: seeded determinism violations (ambient entropy and a
+ *  wall-clock read), nothing else. */
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture
+{
+
+unsigned
+ambientEntropy()
+{
+    std::random_device rd;
+    return rd() ^ unsigned(rand());
+}
+
+long
+wallClockNanos()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+/** Fixture: classic include guard, unsorted includes, and a
+ *  namespace-scope using-directive. */
+
+#ifndef FIXTURE_UNTIDY_HH
+#define FIXTURE_UNTIDY_HH
+
+#include <vector>
+#include <cstdint>
+#include "untidy_support.hh"
+#include <string>
+
+namespace fixture
+{
+
+using namespace std;
+
+inline uint64_t
+twice(uint64_t v)
+{
+    return 2 * v;
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_UNTIDY_HH

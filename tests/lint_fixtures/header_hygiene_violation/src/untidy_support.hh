@@ -1,0 +1,16 @@
+/** Fixture support header (itself clean). */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+inline std::uint64_t
+once(std::uint64_t v)
+{
+    return v;
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+/** Fixture: node-based containers as pipeline state, no suppression. */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+
+namespace fixture
+{
+
+struct NodeQueues
+{
+    std::deque<std::uint64_t> rob;
+    std::list<std::uint64_t> freeList;
+};
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+/** Fixture: one registered-but-undocumented counter and one
+ *  documented-but-unregistered counter. */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fixture
+{
+
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t secretCounter = 0;
+};
+
+void
+forEachCounter(
+    const SimStats &s,
+    const std::function<void(std::string, std::uint64_t)> &fn)
+{
+    fn("cycles", s.cycles);
+    fn("secret_counter", s.secretCounter);
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+/** Fixture: suppressions that do not carry their weight — one with
+ *  no justification, one naming a check that does not exist. */
+
+#include <cstdint>
+
+namespace fixture
+{
+
+// lvplint: allow(determinism)
+std::uint64_t counterA = 0;
+
+// lvplint: allow(no-such-check) -- confidently wrong
+std::uint64_t counterB = 0;
+
+} // namespace fixture

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Formatting gate over the C++ tree (.clang-format at the repo root).
+#
+#   tools/check_format.sh --check   fail if any file needs reformatting
+#   tools/check_format.sh --fix     reformat in place
+#
+# clang-format is an *opportunistic* dependency: where it is not
+# installed the --check mode exits 77, which the `lint_format` ctest
+# maps to SKIP (SKIP_RETURN_CODE), so the lint label stays green on
+# minimal containers.  Run the real check on a machine that has it
+# before committing formatting-sensitive changes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:---check}"
+case "$mode" in
+    --check|--fix) ;;
+    *)
+        echo "usage: $0 [--check|--fix]" >&2
+        exit 2
+        ;;
+esac
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "check_format: $CLANG_FORMAT not found; skipping (exit 77)" >&2
+    exit 77
+fi
+
+# Tracked sources only; fixtures keep their seeded shapes.
+files=$(git ls-files 'src/*.cc' 'src/*.hh' 'bench/*.cc' 'bench/*.hh' \
+        'tests/*.cc' 'tools/*.cc' | grep -v '^tests/lint_fixtures/')
+
+if [ "$mode" = "--fix" ]; then
+    # shellcheck disable=SC2086
+    "$CLANG_FORMAT" -i $files
+    echo "check_format: reformatted $(echo "$files" | wc -l) files"
+    exit 0
+fi
+
+# shellcheck disable=SC2086
+if "$CLANG_FORMAT" --dry-run --Werror $files; then
+    echo "check_format: clean"
+else
+    echo "check_format: run tools/check_format.sh --fix" >&2
+    exit 1
+fi

@@ -1,0 +1,35 @@
+#!/bin/sh
+# The pre-PR gate, in one command (documented in README.md):
+#
+#   configure -> build -> ctest (smoke + lint labels) -> lvplint
+#
+#   tools/ci.sh [build-dir]            default build dir: ./build
+#
+# The smoke label covers the fast correctness suites; the lint label
+# covers lvplint (repo + fixtures) and the formatting check.  The
+# final explicit lvplint run is belt-and-braces so the gate still
+# bites when ctest filtering is misconfigured, and prints findings in
+# the terminal where they are easiest to read.
+#
+# Extended gates (run before large or concurrency-touching PRs):
+#   tools/run_sanitizers.sh       ASan+UBSan and TSan trees
+#   ctest --test-dir build        the full 700+ test suite
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+echo "== configure =="
+cmake -B "$build" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "== build =="
+cmake --build "$build" -j"$(nproc)"
+
+echo "== ctest: smoke + lint =="
+ctest --test-dir "$build" -L 'smoke|lint' --output-on-failure \
+      -j"$(nproc)"
+
+echo "== lvplint =="
+python3 tools/lint/lvplint.py --root .
+
+echo "ci.sh: all gates green"

@@ -1,0 +1,911 @@
+#!/usr/bin/env python3
+"""lvplint — project-specific static analysis for lvpsim.
+
+The simulator's value rests on properties the C++ compiler cannot
+check: bit-identical results across runs and ``--jobs N`` (the
+determinism gate), zero steady-state allocations in the cycle loop
+(the throughput work in docs/performance.md), and a stats schema that
+stays in sync between ``pipe::SimStats`` and
+``docs/results_schema.md``.  lvplint turns those invariants into a
+static gate that runs in milliseconds, with no network access and no
+libclang dependency — plain lexical analysis over the tree.
+
+Checks (see docs/static_analysis.md for the rationale of each):
+
+  determinism     banned nondeterminism sources in src/: C rand(),
+                  std::random_device, wall-clock reads, iteration
+                  hazards from std::unordered_map/set declarations,
+                  pointer-keyed containers.
+  hotpath-alloc   node-based containers (std::deque/list/map/
+                  unordered_*) in src/pipeline/ and src/core/; the
+                  hot path must use ring_buffer.hh / flat_map.hh.
+  stats-schema    every counter registered in
+                  src/pipeline/sim_stats.cc documented in
+                  docs/results_schema.md, and vice versa.
+  config-sync     the Table III constants in
+                  src/pipeline/core_config.hh match every statement
+                  of them in DESIGN.md.
+  header-hygiene  #pragma once, no `using namespace` at namespace
+                  scope in headers, include-order sanity.
+
+Findings print as ``file:line: [check-id] message`` and the tool
+exits nonzero; ``--json`` emits the machine-readable equivalent.
+
+Suppressions: append ``// lvplint: allow(check-id) -- justification``
+to the offending line (or put it on the line directly above).  The
+justification is mandatory; a suppression without one is itself a
+finding (check-id ``suppression``), so every exception in the tree
+documents why it is sound.
+
+Adding a check: subclass Check, set ``check_id``/``description``,
+implement ``run(tree)`` yielding Finding tuples, and decorate with
+``@register``.  The fixture suite under tests/lint_fixtures/ expects
+one seeded-violation fixture per check — add one for yours.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+SCAN_DIRS = ("src", "bench", "tests")
+CXX_EXTENSIONS = (".cc", ".hh")
+
+# ---------------------------------------------------------------------------
+# Source model
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based; 0 = whole file
+    check: str
+    message: str
+
+
+class Suppression(NamedTuple):
+    line: int
+    target: int  # line the suppression covers (== line, or the first
+    #              code line after a comment-only suppression)
+    checks: Tuple[str, ...]
+    justification: str
+
+
+SUPPRESS_RE = re.compile(
+    r"//\s*lvplint:\s*allow\(([^)]*)\)(?:\s*--\s*(.*\S))?\s*$"
+)
+
+
+class SourceFile:
+    """One scanned file: raw text, comment/string-stripped text (line
+    structure preserved), and its lvplint suppressions."""
+
+    def __init__(self, path: str, relpath: str):
+        self.relpath = relpath
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.code = strip_comments_and_strings(self.text)
+        self.code_lines = self.code.splitlines()
+        self.suppressions: List[Suppression] = []
+        for i, line in enumerate(self.lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            checks = tuple(
+                c.strip() for c in m.group(1).split(",") if c.strip()
+            )
+            # A suppression on a comment-only line covers the first
+            # code line below it (continuation comment lines in the
+            # justification are skipped); one written at the end of a
+            # code line covers that line.
+            target = i
+            while (
+                target <= len(self.code_lines)
+                and not self.code_lines[target - 1].strip()
+            ):
+                target += 1
+            self.suppressions.append(
+                Suppression(i, target, checks, (m.group(2) or "").strip())
+            )
+
+    def is_header(self) -> bool:
+        return self.relpath.endswith(".hh")
+
+    def suppressed(self, check_id: str, line: int) -> bool:
+        for s in self.suppressions:
+            if check_id in s.checks and line in (s.line, s.target):
+                return True
+        return False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literal contents, keeping
+    newlines so line numbers survive.  Good enough for C++ that does
+    not hide quotes in macros."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                if text[i - 1 : i] == "R" and (
+                    i < 2 or not text[i - 2].isalnum()
+                ):
+                    m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = "raw"
+                        out.append('"')
+                        i += 1
+                        continue
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            elif c == "\\" and nxt == "\n":
+                out.append(" \n")
+                i += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            else:
+                out.append(c if c == "\n" else " ")
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                out.append(raw_delim)
+                i += len(raw_delim)
+                state = "code"
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+class Tree:
+    """The scanned tree plus lazy file access for checks that read
+    files outside the scan set (DESIGN.md, docs/)."""
+
+    def __init__(self, root: str, files: List[SourceFile]):
+        self.root = root
+        self.files = files
+
+    def read(self, relpath: str) -> Optional[str]:
+        path = os.path.join(self.root, relpath)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            return f.read()
+
+
+# ---------------------------------------------------------------------------
+# Check framework
+
+CHECKS: List["Check"] = []
+
+
+def register(cls):
+    CHECKS.append(cls())
+    return cls
+
+
+class Check:
+    check_id = "?"
+    description = "?"
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def grep_findings(
+    sf: SourceFile,
+    patterns: Iterable[Tuple[re.Pattern, str]],
+    check_id: str,
+) -> Iterator[Finding]:
+    for lineno, line in enumerate(sf.code_lines, start=1):
+        for pat, why in patterns:
+            if pat.search(line):
+                yield Finding(sf.relpath, lineno, check_id, why)
+
+
+# ---------------------------------------------------------------------------
+# Check 1: determinism
+
+
+@register
+class DeterminismCheck(Check):
+    """Simulation results must be a pure function of (workload, seed,
+    config).  Ban ambient-entropy and wall-clock sources, plus the
+    iteration-order hazard of unordered containers, in src/.  Only
+    the seeded xoshiro RNG in common/random.hh is legal."""
+
+    check_id = "determinism"
+    description = (
+        "no rand()/random_device/wall-clock/unordered-iteration "
+        "hazards in src/ (seeded common/random.hh RNG only)"
+    )
+
+    ALLOWLIST = ("src/common/random.hh",)
+
+    PATTERNS = [
+        (
+            re.compile(r"(?<![\w:])s?rand\s*\("),
+            "C rand()/srand() is ambient state; use the seeded RNG "
+            "in common/random.hh",
+        ),
+        (
+            re.compile(r"std\s*::\s*random_device"),
+            "std::random_device draws ambient entropy; use the "
+            "seeded RNG in common/random.hh",
+        ),
+        (
+            re.compile(
+                r"std\s*::\s*chrono\s*::\s*"
+                r"(system_clock|steady_clock|high_resolution_clock)"
+            ),
+            "wall-clock reads make results run-dependent; only "
+            "timing fields excluded from determinism diffs may use "
+            "them (suppress with justification)",
+        ),
+        (
+            re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\b"),
+            "wall-clock reads make results run-dependent",
+        ),
+        (
+            re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+            "time() is a wall-clock read",
+        ),
+        (
+            re.compile(r"std\s*::\s*unordered_(map|set|multimap|multiset)\s*<"),
+            "std::unordered_* iteration order is unspecified and can "
+            "leak into output; use FlatMap/sorted containers, or "
+            "suppress with proof the container is never iterated",
+        ),
+        (
+            re.compile(
+                r"std\s*::\s*(map|set|multimap|multiset)\s*<"
+                r"[^<>]*\*\s*[,>]"
+            ),
+            "pointer-keyed container: iteration order depends on "
+            "allocation addresses",
+        ),
+    ]
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        for sf in tree.files:
+            if not sf.relpath.startswith("src/"):
+                continue
+            if sf.relpath in self.ALLOWLIST:
+                continue
+            yield from grep_findings(sf, self.PATTERNS, self.check_id)
+
+
+# ---------------------------------------------------------------------------
+# Check 2: hot-path allocation
+
+
+@register
+class HotPathAllocCheck(Check):
+    """The cycle loop is allocation-free in steady state (see
+    docs/performance.md and tests/test_alloc_free.cc).  Node-based
+    standard containers allocate per insert; the pipeline and
+    predictor state must use ring_buffer.hh / flat_map.hh."""
+
+    check_id = "hotpath-alloc"
+    description = (
+        "no node-based std:: containers (deque/list/map/unordered_*) "
+        "in src/pipeline/ and src/core/; use ring_buffer.hh / "
+        "flat_map.hh"
+    )
+
+    HOT_DIRS = ("src/pipeline/", "src/core/")
+
+    PATTERNS = [
+        (
+            re.compile(r"std\s*::\s*deque\s*<"),
+            "std::deque allocates per block; use "
+            "common/ring_buffer.hh",
+        ),
+        (
+            re.compile(r"std\s*::\s*list\s*<"),
+            "std::list allocates per node; use a vector or "
+            "common/ring_buffer.hh",
+        ),
+        (
+            re.compile(r"std\s*::\s*(map|multimap|multiset)\s*<"),
+            "node-based ordered container allocates per insert; use "
+            "common/flat_map.hh or a sorted vector",
+        ),
+        (
+            re.compile(r"std\s*::\s*unordered_(map|set|multimap|multiset)\s*<"),
+            "node-based std::unordered_* allocates per insert; use "
+            "common/flat_map.hh",
+        ),
+    ]
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        for sf in tree.files:
+            if not sf.relpath.startswith(self.HOT_DIRS):
+                continue
+            yield from grep_findings(sf, self.PATTERNS, self.check_id)
+
+
+# ---------------------------------------------------------------------------
+# Check 3: stats-schema sync
+
+
+@register
+class StatsSchemaCheck(Check):
+    """docs/results_schema.md documents every counter that
+    pipe::forEachCounter enumerates (visitScalars registrations plus
+    the componentCounterName-prefixed arrays), and documents nothing
+    that does not exist.  Keeps the JSON results contract honest."""
+
+    check_id = "stats-schema"
+    description = (
+        "counter registrations in src/pipeline/sim_stats.cc match "
+        "docs/results_schema.md in both directions"
+    )
+
+    STATS_CC = "src/pipeline/sim_stats.cc"
+    SCHEMA_MD = "docs/results_schema.md"
+    # Recomputable from the raw counters; documented but never
+    # registered (see the schema doc's "derived" paragraph).
+    DERIVED = ("ipc", "coverage", "accuracy")
+
+    REG_RE = re.compile(r'\bfn\(\s*"([a-z0-9_]+)"')
+    PREFIX_RE = re.compile(r'componentCounterName\(\s*"([a-z0-9_]+_)"')
+    KEY_RE = re.compile(r'^\s*"([a-z0-9_]+)"\s*:', re.M)
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        cc = tree.read(self.STATS_CC)
+        md = tree.read(self.SCHEMA_MD)
+        if cc is None or md is None:
+            # Cross-file checks are inert in trees that lack their
+            # subjects (the seeded fixtures under tests/lint_fixtures
+            # rely on this; the real repo always has both files).
+            return
+        cc_code = strip_comments_and_strings(cc)  # only for line lookup
+        registered = self.REG_RE.findall(cc)
+        prefixes = set(self.PREFIX_RE.findall(cc))
+
+        block = self.stats_object_block(md)
+        if block is None:
+            yield Finding(
+                self.SCHEMA_MD, 0, self.check_id,
+                'no ```json block under a "## Stats object" heading; '
+                "cannot cross-check counters",
+            )
+            return
+        block_text, block_line = block
+        doc_keys = self.KEY_RE.findall(block_text)
+
+        doc_plain = []
+        doc_prefixed: Dict[str, List[int]] = {}
+        for k in doc_keys:
+            m = re.fullmatch(r"([a-z0-9_]+_)(\d+)", k)
+            if m and m.group(1) in prefixes:
+                doc_prefixed.setdefault(m.group(1), []).append(
+                    int(m.group(2))
+                )
+            else:
+                doc_plain.append(k)
+
+        for name in registered:
+            if name not in doc_plain:
+                yield Finding(
+                    self.STATS_CC,
+                    self.line_of(cc_code, 'fn( "{0}"'.format(name))
+                    or self.line_of(cc, '"%s"' % name),
+                    self.check_id,
+                    "counter '%s' is registered but missing from the "
+                    "%s stats object" % (name, self.SCHEMA_MD),
+                )
+        for name in doc_plain:
+            if name in self.DERIVED:
+                continue
+            if name not in registered:
+                yield Finding(
+                    self.SCHEMA_MD, block_line, self.check_id,
+                    "documented counter '%s' has no registration in "
+                    "%s" % (name, self.STATS_CC),
+                )
+        for prefix in prefixes:
+            idxs = sorted(doc_prefixed.get(prefix, []))
+            if not idxs:
+                yield Finding(
+                    self.SCHEMA_MD, block_line, self.check_id,
+                    "component counter family '%sN' is registered but "
+                    "not documented" % prefix,
+                )
+            elif idxs != list(range(len(idxs))):
+                yield Finding(
+                    self.SCHEMA_MD, block_line, self.check_id,
+                    "documented '%sN' indices %s are not contiguous "
+                    "from 0" % (prefix, idxs),
+                )
+        for prefix in doc_prefixed:
+            if prefix not in prefixes:
+                yield Finding(
+                    self.SCHEMA_MD, block_line, self.check_id,
+                    "documented counter family '%sN' has no "
+                    "componentCounterName registration" % prefix,
+                )
+
+    @staticmethod
+    def stats_object_block(md: str) -> Optional[Tuple[str, int]]:
+        lines = md.splitlines()
+        in_section = False
+        start = None
+        for i, line in enumerate(lines):
+            if line.startswith("## "):
+                in_section = line.strip().lower().startswith(
+                    "## stats object"
+                )
+                continue
+            if not in_section:
+                continue
+            if start is None and line.strip().startswith("```json"):
+                start = i + 1
+                continue
+            if start is not None and line.strip().startswith("```"):
+                return "\n".join(lines[start:i]), start + 1
+        return None
+
+    @staticmethod
+    def line_of(text: str, needle: str) -> Optional[int]:
+        compact = needle.replace(" ", "")
+        for i, line in enumerate(text.splitlines(), start=1):
+            if compact in line.replace(" ", ""):
+                return i
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Check 4: config-paper sync
+
+
+@register
+class ConfigSyncCheck(Check):
+    """The paper's Table III core parameters live in
+    src/pipeline/core_config.hh and are restated in DESIGN.md prose.
+    Every restatement must match the header's defaults, and the
+    headline parameters must actually be stated somewhere."""
+
+    check_id = "config-sync"
+    description = (
+        "Table III constants in src/pipeline/core_config.hh match "
+        "every statement of them in DESIGN.md"
+    )
+
+    CONFIG_HH = "src/pipeline/core_config.hh"
+    DESIGN_MD = "DESIGN.md"
+
+    FIELDS = (
+        "fetchWidth",
+        "issueWidth",
+        "lsLanes",
+        "retireWidth",
+        "robSize",
+        "iqSize",
+        "ldqSize",
+        "stqSize",
+        "fetchToExecute",
+    )
+
+    # (field, regex with one capture group, required-in-DESIGN.md)
+    PROSE = [
+        ("robSize", re.compile(r"\bROB\s+(\d+)\b"), True),
+        ("iqSize", re.compile(r"\bIQ\s+(\d+)\b"), True),
+        ("ldqSize", re.compile(r"\bLDQ\s+(\d+)\b"), True),
+        ("stqSize", re.compile(r"\bSTQ\s+(\d+)\b"), True),
+        ("fetchWidth", re.compile(r"\b(\d+)-wide\s+fetch"), True),
+        ("issueWidth", re.compile(r"\b(\d+)-wide\s+issue"), True),
+        ("lsLanes", re.compile(r"\b(\d+)\s+LS\s+lanes"), True),
+        (
+            "fetchToExecute",
+            re.compile(r"\b(\d+)-cycle\s+fetch-to-execute"),
+            True,
+        ),
+        (
+            "fetchToExecute",
+            re.compile(r"\b(\d+)-cycle\s+front\s+end"),
+            False,
+        ),
+    ]
+
+    FIELD_RE = re.compile(
+        r"^\s*(?:unsigned|Cycle|std::uint\d+_t|int)\s+(\w+)\s*=\s*(\d+)\s*;",
+        re.M,
+    )
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        hh = tree.read(self.CONFIG_HH)
+        md = tree.read(self.DESIGN_MD)
+        if hh is None or md is None:
+            # Inert without both subjects (see StatsSchemaCheck.run).
+            return
+        values: Dict[str, int] = {}
+        for m in self.FIELD_RE.finditer(strip_comments_and_strings(hh)):
+            values[m.group(1)] = int(m.group(2))
+        for field in self.FIELDS:
+            if field not in values:
+                yield Finding(
+                    self.CONFIG_HH, 0, self.check_id,
+                    "Table III field '%s' not found (integer "
+                    "member with literal default expected)" % field,
+                )
+
+        md_lines = md.splitlines()
+        for field, pat, required in self.PROSE:
+            if field not in values:
+                continue
+            seen = False
+            for lineno, line in enumerate(md_lines, start=1):
+                for m in pat.finditer(line):
+                    seen = True
+                    stated = int(m.group(1))
+                    if stated != values[field]:
+                        yield Finding(
+                            self.DESIGN_MD, lineno, self.check_id,
+                            "%s states %s = %d but %s has %s = %d"
+                            % (
+                                self.DESIGN_MD, m.group(0), stated,
+                                self.CONFIG_HH, field, values[field],
+                            ),
+                        )
+            if required and not seen:
+                yield Finding(
+                    self.DESIGN_MD, 0, self.check_id,
+                    "Table III parameter %s (= %d) is never stated "
+                    "(pattern %r not found)"
+                    % (field, values[field], pat.pattern),
+                )
+
+
+# ---------------------------------------------------------------------------
+# Check 5: header hygiene
+
+
+@register
+class HeaderHygieneCheck(Check):
+    """Headers: #pragma once (no classic guards), no `using
+    namespace` at namespace scope, and include-order sanity — in a
+    contiguous run of #include lines, <angle> includes precede
+    "quote" includes and each group is alphabetically sorted."""
+
+    check_id = "header-hygiene"
+    description = (
+        "#pragma once, no using-namespace at namespace scope in "
+        "headers, include-order sanity"
+    )
+
+    INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+    USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        for sf in tree.files:
+            if not sf.is_header():
+                continue
+            if "#pragma once" not in sf.code:
+                yield Finding(
+                    sf.relpath, 1, self.check_id,
+                    "header does not use #pragma once",
+                )
+            yield from self.check_using(sf)
+            yield from self.check_include_order(sf)
+
+    NS_TAIL_RE = re.compile(r"(^|\s)(inline\s+)?namespace(\s+[\w:]+)?\s*$")
+    NS_LINE_RE = re.compile(r"^(inline\s+)?namespace(\s+[\w:]+)?$")
+
+    def check_using(self, sf: SourceFile) -> Iterator[Finding]:
+        # Stack of open braces: True = opened by a namespace, False =
+        # anything else (class, function, enum, ...).  `using
+        # namespace` is only a finding when every enclosing brace is
+        # a namespace (file scope counts: empty stack).
+        stack: List[bool] = []
+        pending_ns = False
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            if self.USING_RE.match(line) and all(stack):
+                yield Finding(
+                    sf.relpath, lineno, self.check_id,
+                    "`using namespace` at namespace scope in a "
+                    "header leaks into every includer",
+                )
+            for i, ch in enumerate(line):
+                if ch == "{":
+                    stack.append(
+                        pending_ns
+                        or bool(self.NS_TAIL_RE.search(line[:i]))
+                    )
+                    pending_ns = False
+                elif ch == "}":
+                    if stack:
+                        stack.pop()
+            stripped = line.strip()
+            if stripped:
+                pending_ns = bool(self.NS_LINE_RE.match(stripped))
+
+    def check_include_order(self, sf: SourceFile) -> Iterator[Finding]:
+        # A "block" is a contiguous run of #include lines; any other
+        # line (blank included) ends it, so the conventional layout —
+        # own header / blank / <system> block / blank / "project"
+        # block — is three independently checked blocks.
+        run: List[Tuple[int, str, str]] = []  # (line, kind, path)
+        for lineno, raw in enumerate(sf.lines, start=1):
+            # Parse the raw line (the stripper blanks "quoted" paths)
+            # but only count it when the stripped line is still a
+            # preprocessor directive, so commented-out includes are
+            # ignored.
+            code = sf.code_lines[lineno - 1]
+            m = self.INCLUDE_RE.match(raw)
+            if m and code.lstrip().startswith("#"):
+                kind = "angle" if m.group(1) == "<" else "quote"
+                run.append((lineno, kind, m.group(2)))
+                continue
+            yield from self.check_run(sf, run)
+            run = []
+        yield from self.check_run(sf, run)
+
+    def check_run(
+        self, sf: SourceFile, run: List[Tuple[int, str, str]]
+    ) -> Iterator[Finding]:
+        if len(run) < 2:
+            return
+        seen_quote = False
+        prev: Dict[str, Tuple[int, str]] = {}
+        for lineno, kind, path in run:
+            if kind == "quote":
+                seen_quote = True
+            elif seen_quote:
+                yield Finding(
+                    sf.relpath, lineno, self.check_id,
+                    "<%s> after a \"quoted\" include in the same "
+                    "block; put system headers first or split the "
+                    "blocks" % path,
+                )
+            if kind in prev and path.lower() < prev[kind][1].lower():
+                yield Finding(
+                    sf.relpath, lineno, self.check_id,
+                    "include %r breaks alphabetical order (after "
+                    "%r); sort the block" % (path, prev[kind][1]),
+                )
+            prev[kind] = (lineno, path)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def collect_files(root: str) -> List[SourceFile]:
+    files: List[SourceFile] = []
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            rel_dir = os.path.relpath(dirpath, root)
+            if "lint_fixtures" in rel_dir.split(os.sep):
+                # Fixtures *below this root* contain seeded
+                # violations by design; they are linted one at a
+                # time via --root (which may itself be a fixture).
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                files.append(SourceFile(path, rel))
+    return files
+
+
+def apply_suppressions(
+    tree: Tree, findings: List[Finding]
+) -> List[Finding]:
+    by_path = {sf.relpath: sf for sf in tree.files}
+    kept = []
+    for f in findings:
+        sf = by_path.get(f.path)
+        if sf is not None and sf.suppressed(f.check, f.line):
+            continue
+        kept.append(f)
+    # Malformed suppressions are findings themselves: a justification
+    # is mandatory, and the check-id must exist.
+    known = {c.check_id for c in CHECKS}
+    for sf in tree.files:
+        for s in sf.suppressions:
+            if not s.justification:
+                kept.append(
+                    Finding(
+                        sf.relpath, s.line, "suppression",
+                        "suppression without justification; write "
+                        "`// lvplint: allow(%s) -- <why this is "
+                        "sound>`" % ", ".join(s.checks),
+                    )
+                )
+            for c in s.checks:
+                if c not in known:
+                    kept.append(
+                        Finding(
+                            sf.relpath, s.line, "suppression",
+                            "unknown check-id %r in suppression "
+                            "(known: %s)" % (c, ", ".join(sorted(known))),
+                        )
+                    )
+    return sorted(kept)
+
+
+def run_checks(root: str, only: Optional[List[str]]) -> List[Finding]:
+    tree = Tree(root, collect_files(root))
+    findings: List[Finding] = []
+    for check in CHECKS:
+        if only and check.check_id not in only:
+            continue
+        findings.extend(check.run(tree))
+    return apply_suppressions(tree, findings)
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="lvplint", description=__doc__.splitlines()[0]
+    )
+    ap.add_argument(
+        "--root",
+        default=os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "..")
+        ),
+        help="tree to lint (default: the repo containing this script)",
+    )
+    ap.add_argument(
+        "--check",
+        action="append",
+        metavar="ID",
+        help="run only this check (repeatable)",
+    )
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON on stdout",
+    )
+    ap.add_argument(
+        "--list-checks", action="store_true",
+        help="list check ids and exit",
+    )
+    ap.add_argument(
+        "--expect",
+        metavar="ID",
+        help="fixture mode: succeed iff there is at least one finding "
+        "and every finding has this check-id",
+    )
+    ap.add_argument(
+        "--expect-clean",
+        action="store_true",
+        help="fixture mode: succeed iff there are no findings",
+    )
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for c in CHECKS:
+            print("%-16s %s" % (c.check_id, c.description))
+        return 0
+
+    # "suppression" is the framework's own finding class (malformed
+    # `lvplint: allow` comments), valid for --expect but not --check.
+    known = {c.check_id for c in CHECKS} | {"suppression"}
+    for cid in (args.check or []) + ([args.expect] if args.expect else []):
+        if cid not in known:
+            print("lvplint: unknown check id %r" % cid, file=sys.stderr)
+            return 2
+
+    findings = run_checks(args.root, args.check)
+
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "tool": "lvplint",
+            "root": args.root,
+            "checks": sorted(
+                c.check_id
+                for c in CHECKS
+                if not args.check or c.check_id in args.check
+            ),
+            "findings": [
+                {
+                    "file": f.path,
+                    "line": f.line,
+                    "check": f.check,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=False))
+    else:
+        for f in findings:
+            print("%s:%d: [%s] %s" % (f.path, f.line, f.check, f.message))
+        if findings:
+            print(
+                "lvplint: %d finding%s"
+                % (len(findings), "" if len(findings) == 1 else "s"),
+                file=sys.stderr,
+            )
+
+    if args.expect_clean:
+        if findings:
+            print(
+                "lvplint: expected a clean tree, got %d finding(s)"
+                % len(findings),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.expect:
+        bad = [f for f in findings if f.check != args.expect]
+        if not findings:
+            print(
+                "lvplint: expected at least one [%s] finding, got none"
+                % args.expect,
+                file=sys.stderr,
+            )
+            return 1
+        if bad:
+            print(
+                "lvplint: expected only [%s] findings, also got: %s"
+                % (args.expect, ", ".join(sorted({f.check for f in bad}))),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

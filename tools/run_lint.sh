@@ -1,0 +1,37 @@
+#!/bin/sh
+# Full static-analysis pass: lvplint (always), then clang-tidy
+# (opportunistically — only when the binary and a compile database
+# exist, so it never becomes a hard dependency).
+#
+#   tools/run_lint.sh [build-dir]      default build dir: ./build
+#
+# lvplint findings are the gate and fail this script; clang-tidy
+# output is advisory unless CLANG_TIDY_STRICT=1.
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+echo "== lvplint =="
+python3 tools/lint/lvplint.py --root .
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+    echo "== clang-tidy: not installed, skipping =="
+    exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "== clang-tidy: no $build/compile_commands.json, skipping =="
+    echo "   (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+    exit 0
+fi
+
+echo "== clang-tidy (config: .clang-tidy) =="
+status=0
+git ls-files 'src/*.cc' | while read -r f; do
+    "$CLANG_TIDY" -p "$build" --quiet "$f" || status=1
+done
+if [ "${CLANG_TIDY_STRICT:-0}" = "1" ]; then
+    exit "$status"
+fi
+exit 0
