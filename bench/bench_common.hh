@@ -10,9 +10,13 @@
  *                (0 or "auto" = one per hardware thread; default 1)
  *   --json FILE  write every SuiteResult produced by the bench to
  *                FILE in the documented JSON schema
+ *   --warmup N   warm each workload for N instructions before the
+ *                measured region (default LVPSIM_WARMUP or 0); see
+ *                RunConfig.warmupInstrs
  *
  * Run scaling:
  *   LVPSIM_INSTRS=<n>        instructions per workload (default 150K)
+ *   LVPSIM_WARMUP=<n>        warmup instructions (default 0)
  *   LVPSIM_SUITE=smoke|full  workload list (default full, 28 kernels)
  */
 
@@ -40,18 +44,11 @@ namespace lvpsim
 namespace bench
 {
 
-inline sim::RunConfig
-benchRunConfig()
-{
-    sim::RunConfig rc;
-    rc.maxInstrs = sim::instrsFromEnv(150000);
-    return rc;
-}
-
 /** Per-binary state configured by initBench(). */
 struct BenchOptions
 {
     std::size_t jobs = 1;
+    std::size_t warmup = sim::warmupFromEnv();
     std::string jsonPath;
     std::string tag; ///< bench name, recorded in the JSON meta
     std::vector<sim::SuiteResult> recorded;
@@ -62,6 +59,15 @@ benchOptions()
 {
     static BenchOptions o;
     return o;
+}
+
+inline sim::RunConfig
+benchRunConfig()
+{
+    sim::RunConfig rc;
+    rc.maxInstrs = sim::instrsFromEnv(150000);
+    rc.warmupInstrs = benchOptions().warmup;
+    return rc;
 }
 
 /**
@@ -91,10 +97,21 @@ initBench(int argc, char **argv, const std::string &tag)
             }
         } else if (a == "--json") {
             o.jsonPath = next("--json");
+        } else if (a == "--warmup") {
+            const std::string v = next("--warmup");
+            const long long n = std::atoll(v.c_str());
+            if (n < 0) {
+                std::cerr << "bad --warmup value '" << v
+                          << "' (want a count >= 0)\n";
+                std::exit(2);
+            }
+            o.warmup = std::size_t(n);
         } else if (a == "--help" || a == "-h") {
             std::cout << tag
-                      << " [--jobs N|auto] [--json FILE]\n"
-                         "env: LVPSIM_INSTRS, LVPSIM_SUITE\n";
+                      << " [--jobs N|auto] [--json FILE]"
+                         " [--warmup N]\n"
+                         "env: LVPSIM_INSTRS, LVPSIM_WARMUP,"
+                         " LVPSIM_SUITE\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option '" << a
@@ -144,6 +161,7 @@ finishBench()
     sim::ReportMeta meta;
     meta.jobs = o.jobs;
     meta.maxInstrs = sim::instrsFromEnv(150000);
+    meta.warmupInstrs = o.warmup;
     meta.traceSeed = 1;
     meta.suite = o.tag;
     std::string err;

@@ -17,12 +17,17 @@
  *   --json FILE    write the measurement in the BENCH_throughput.json
  *                  schema (docs/performance.md)
  *   --repeat N     simulate each workload N times, report the
- *                  fastest pass (default 1; use 3+ for committed
- *                  baselines)
+ *                  median pass (default 1; use 3+ for committed
+ *                  baselines — the median rejects one-sided load
+ *                  spikes without the minimum's optimistic bias)
+ *   --warmup N     warm each workload for N instructions before the
+ *                  measured region (default LVPSIM_WARMUP or 0)
  *
- * Run scaling: LVPSIM_INSTRS (default 150000), LVPSIM_SUITE.
+ * Run scaling: LVPSIM_INSTRS (default 150000), LVPSIM_WARMUP,
+ * LVPSIM_SUITE.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -59,7 +64,8 @@ struct WorkloadMeasurement
     std::uint64_t instructions = 0; ///< simulated, both pipelines
     std::uint64_t cycles = 0;       ///< simulated, both pipelines
     double genSeconds = 0.0;        ///< trace synthesis (first pass)
-    double simSeconds = 0.0;        ///< fastest simulation pass
+    double simSeconds = 0.0;        ///< median simulation pass
+    std::vector<double> passSeconds; ///< one entry per --repeat pass
 
     double kips() const
     {
@@ -69,6 +75,18 @@ struct WorkloadMeasurement
     }
 };
 
+/** Median of the samples (mean of the middle two when even). */
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t mid = xs.size() / 2;
+    return xs.size() % 2 ? xs[mid]
+                         : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
 } // anonymous namespace
 
 int
@@ -77,6 +95,7 @@ main(int argc, char **argv)
     std::size_t jobs = 1;
     std::string json_path;
     unsigned repeat = 1;
+    std::size_t warmup = sim::warmupFromEnv();
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](const char *what) -> const char * {
@@ -98,10 +117,18 @@ main(int argc, char **argv)
             repeat = unsigned(std::atoi(next("--repeat")));
             if (repeat == 0)
                 repeat = 1;
+        } else if (a == "--warmup") {
+            const long long n = std::atoll(next("--warmup"));
+            if (n < 0) {
+                std::cerr << "bad --warmup value (want >= 0)\n";
+                std::exit(2);
+            }
+            warmup = std::size_t(n);
         } else if (a == "--help" || a == "-h") {
             std::cout << "micro_throughput [--jobs N|auto] "
-                         "[--json FILE] [--repeat N]\n"
-                         "env: LVPSIM_INSTRS, LVPSIM_SUITE\n";
+                         "[--json FILE] [--repeat N] [--warmup N]\n"
+                         "env: LVPSIM_INSTRS, LVPSIM_WARMUP, "
+                         "LVPSIM_SUITE\n";
             return 0;
         } else {
             std::cerr << "unknown option '" << a
@@ -114,25 +141,31 @@ main(int argc, char **argv)
     const auto workloads = sim::suiteFromEnv();
     sim::RunConfig rc;
     rc.maxInstrs = instrs;
+    rc.warmupInstrs = warmup;
 
     const auto vp_cfg = bench::scaleEpochs(
         vp::CompositeConfig::homogeneous(1024), instrs);
 
     std::cout << "simulator throughput: " << workloads.size()
               << " workloads x " << instrs
-              << " instructions (no-VP + composite), best of "
+              << " instructions (no-VP + composite), median of "
               << repeat << (repeat == 1 ? " pass" : " passes")
-              << ", jobs=" << jobs << "\n";
+              << ", jobs=" << jobs;
+    if (warmup)
+        std::cout << ", warmup " << warmup;
+    std::cout << "\n";
 
     // Phase 1: trace synthesis (timed separately — it also runs on
-    // every suite invocation, but is not the cycle loop).
+    // every suite invocation, but is not the cycle loop). Traces are
+    // long enough to cover the warmup region plus the measurement.
     std::vector<WorkloadMeasurement> rows(workloads.size());
     sim::ParallelExecutor pool(jobs);
     const auto gen_t0 = Clock::now();
     pool.parallelFor(workloads.size(), [&](std::size_t i) {
         const auto t0 = Clock::now();
         auto ops = sim::TraceCache::instance().get(
-            workloads[i], rc.maxInstrs, rc.traceSeed);
+            workloads[i], rc.maxInstrs + rc.warmupInstrs,
+            rc.traceSeed);
         rows[i].workload = workloads[i];
         rows[i].genSeconds = secondsSince(t0);
         (void)ops;
@@ -140,31 +173,36 @@ main(int argc, char **argv)
     const double gen_wall = secondsSince(gen_t0);
 
     // Phase 2: simulation. Each pass runs the full no-VP + composite
-    // pair per workload; the fastest pass is kept (load spikes only
-    // ever make a pass slower, never faster).
-    double sim_wall = 0.0;
+    // pair per workload; the median pass is reported (robust to load
+    // spikes in either direction, unlike the minimum, which is biased
+    // toward lucky scheduling). Instruction and cycle counts come
+    // from the first pass — simulation is deterministic, so every
+    // pass counts the same work.
+    std::vector<double> pass_walls;
+    pass_walls.reserve(repeat);
     for (unsigned pass = 0; pass < repeat; ++pass) {
         const auto t0 = Clock::now();
         pool.parallelFor(workloads.size(), [&](std::size_t i) {
             auto ops = sim::TraceCache::instance().get(
-                workloads[i], rc.maxInstrs, rc.traceSeed);
+                workloads[i], rc.maxInstrs + rc.warmupInstrs,
+                rc.traceSeed);
             const auto w0 = Clock::now();
             const auto base = sim::runTrace(*ops, nullptr, rc);
             vp::CompositePredictor pred(vp_cfg);
             const auto with_vp = sim::runTrace(*ops, &pred, rc);
-            const double secs = secondsSince(w0);
             WorkloadMeasurement &m = rows[i];
-            if (pass == 0 || secs < m.simSeconds) {
-                m.simSeconds = secs;
+            m.passSeconds.push_back(secondsSince(w0));
+            if (pass == 0) {
                 m.instructions =
                     base.instructions + with_vp.instructions;
                 m.cycles = base.cycles + with_vp.cycles;
             }
         });
-        const double wall = secondsSince(t0);
-        if (pass == 0 || wall < sim_wall)
-            sim_wall = wall;
+        pass_walls.push_back(secondsSince(t0));
     }
+    for (auto &m : rows)
+        m.simSeconds = median(m.passSeconds);
+    const double sim_wall = median(pass_walls);
 
     std::uint64_t total_instrs = 0, total_cycles = 0;
     double sum_sim_seconds = 0.0;
@@ -205,7 +243,11 @@ main(int argc, char **argv)
     meta.set("bench", "micro_throughput");
     meta.set("jobs", std::uint64_t(jobs));
     meta.set("instructions", std::uint64_t(instrs));
+    meta.set("warmup_instructions", std::uint64_t(warmup));
     meta.set("repeat", std::uint64_t(repeat));
+    // Which statistic sim_seconds / sim_wall_seconds report across
+    // the --repeat passes (the minimum before schema consumers care).
+    meta.set("statistic", "median");
     meta.set("suite", std::getenv("LVPSIM_SUITE")
                           ? std::getenv("LVPSIM_SUITE")
                           : "full");

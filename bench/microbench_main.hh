@@ -11,6 +11,9 @@
  *                  (--benchmark_out=FILE --benchmark_out_format=json;
  *                  NOT the docs/results_schema.md format -- these
  *                  binaries measure wall time, not simulations)
+ *   --warmup N     exported as LVPSIM_WARMUP so benchmark fixtures
+ *                  that build a RunConfig pick up the warmup length
+ *
  *
  * Unrecognized arguments pass through to google-benchmark, so the
  * native --benchmark_* flags keep working.
@@ -57,10 +60,13 @@ microbenchMain(int argc, char **argv, const char *tag)
         } else if (a == "--json") {
             fwd.push_back("--benchmark_out=" + next("--json"));
             fwd.push_back("--benchmark_out_format=json");
+        } else if (a == "--warmup") {
+            const std::string v = next("--warmup");
+            ::setenv("LVPSIM_WARMUP", v.c_str(), 1);
         } else if (a == "--help" || a == "-h") {
             std::cout << tag
                       << " [--jobs N|auto] [--json FILE]"
-                         " [--benchmark_* ...]\n"
+                         " [--warmup N] [--benchmark_* ...]\n"
                          "--json writes google-benchmark's JSON"
                          " report; native --benchmark_* flags pass"
                          " through.\n";

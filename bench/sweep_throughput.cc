@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Sweep-engine benchmark: how much faster does a configuration sweep
+ * run with warmup checkpointing and baseline memoization than with
+ * the naive per-configuration loop? The measured sweep is the
+ * fig03-style shape every figure harness shares — a grid of component
+ * predictors x table sizes, each evaluated against the same no-VP
+ * baseline over the whole workload suite — with a warmup region in
+ * front of every measurement (default 2x the measured instructions,
+ * the regime warmup checkpointing is designed for).
+ *
+ * Two phases simulate the identical sweep:
+ *
+ *   cold  models the pre-checkpoint engine: every configuration
+ *         re-simulates the warmup region inline via runTrace(), and
+ *         the baseline is simulated once per workload (also with
+ *         inline warmup).
+ *   warm  the real sweep engine (SuiteRunner): the post-warmup
+ *         checkpoint is built once per workload (CheckpointCache),
+ *         every configuration restores from it and simulates only
+ *         the measured region, and the no-VP baseline is memoized
+ *         process-wide (BaselineCache).
+ *
+ * Every (configuration, workload) SimStats pair is compared counter
+ * by counter across the phases; any mismatch aborts with exit 3, so
+ * the reported speedup can only come from work that provably did not
+ * change the results. tools/bench_sweep.sh runs this binary on the
+ * bench-release preset and commits BENCH_sweep.json.
+ *
+ * Command line (harness conventions, like every bench binary):
+ *   --jobs N|auto  worker threads for both phases (default 1)
+ *   --json FILE    write the measurement as BENCH_sweep.json
+ *   --warmup N     warmup instructions (default LVPSIM_WARMUP, or
+ *                  2x LVPSIM_INSTRS when unset)
+ *
+ * Run scaling: LVPSIM_INSTRS (default 20000), LVPSIM_SUITE.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/options.hh"
+#include "sim/parallel_executor.hh"
+#include "sim/simulator.hh"
+#include "sim/tableio.hh"
+#include "trace/workloads.hh"
+
+#include "bench_common.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Every raw counter as (name, value), in declaration order. */
+std::vector<std::pair<std::string, std::uint64_t>>
+flatCounters(const pipe::SimStats &s)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    pipe::forEachCounter(
+        s, [&](std::string_view name, std::uint64_t v) {
+            out.emplace_back(std::string(name), v);
+        });
+    return out;
+}
+
+/** True when every counter matches; prints the first divergence. */
+bool
+statsIdentical(const std::string &what, const pipe::SimStats &cold,
+               const pipe::SimStats &warm)
+{
+    const auto a = flatCounters(cold);
+    const auto b = flatCounters(warm);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].second != b[i].second) {
+            std::cerr << "MISMATCH " << what << ": " << a[i].first
+                      << " cold=" << a[i].second
+                      << " warm=" << b[i].second << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t jobs = 1;
+    std::string json_path;
+    const std::size_t instrs = sim::instrsFromEnv(20000);
+    std::size_t warmup = sim::warmupFromEnv(2 * instrs);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << what << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            const std::string v = next("--jobs");
+            if (!sim::ParallelExecutor::parseJobs(v, jobs)) {
+                std::cerr << "bad --jobs value '" << v << "'\n";
+                std::exit(2);
+            }
+        } else if (a == "--json") {
+            json_path = next("--json");
+        } else if (a == "--warmup") {
+            const long long n = std::atoll(next("--warmup"));
+            if (n < 0) {
+                std::cerr << "bad --warmup value (want >= 0)\n";
+                std::exit(2);
+            }
+            warmup = std::size_t(n);
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "sweep_throughput [--jobs N|auto] "
+                         "[--json FILE] [--warmup N]\n"
+                         "env: LVPSIM_INSTRS, LVPSIM_WARMUP, "
+                         "LVPSIM_SUITE\n";
+            return 0;
+        } else {
+            std::cerr << "unknown option '" << a
+                      << "' (try --help)\n";
+            return 2;
+        }
+    }
+
+    sim::RunConfig rc;
+    rc.maxInstrs = instrs;
+    rc.warmupInstrs = warmup;
+
+    const auto workloads = sim::suiteFromEnv();
+    const pipe::ComponentId comps[] = {
+        pipe::ComponentId::LVP, pipe::ComponentId::SAP,
+        pipe::ComponentId::CVP, pipe::ComponentId::CAP};
+    const std::size_t sizes[] = {256, 1024, 4096};
+    std::vector<std::pair<std::string, sim::PredictorFactory>> configs;
+    for (pipe::ComponentId id : comps)
+        for (std::size_t n : sizes)
+            configs.emplace_back(std::string(pipe::componentName(id)) +
+                                     "-" + std::to_string(n),
+                                 bench::singleFactory(id, n));
+
+    const std::size_t W = workloads.size();
+    const std::size_t C = configs.size();
+    std::cout << "sweep throughput: " << C << " configurations x "
+              << W << " workloads, " << instrs
+              << " instructions after " << warmup
+              << " warmup, jobs=" << jobs << "\n";
+
+    // Trace synthesis is identical work in both engines; run it
+    // up front so neither phase is charged for it.
+    sim::ParallelExecutor pool(jobs);
+    pool.parallelFor(W, [&](std::size_t i) {
+        sim::TraceCache::instance().get(
+            workloads[i], rc.maxInstrs + rc.warmupInstrs,
+            rc.traceSeed);
+    });
+
+    // -------- cold: inline warmup for every simulation --------
+    std::vector<pipe::SimStats> cold_base(W);
+    std::vector<std::vector<pipe::SimStats>> cold(
+        C, std::vector<pipe::SimStats>(W));
+    const auto cold_t0 = Clock::now();
+    pool.parallelFor(W, [&](std::size_t w) {
+        auto ops = sim::TraceCache::instance().get(
+            workloads[w], rc.maxInstrs + rc.warmupInstrs,
+            rc.traceSeed);
+        pipe::NullPredictor none;
+        cold_base[w] = sim::runTrace(*ops, &none, rc);
+    });
+    pool.parallelFor(C * W, [&](std::size_t i) {
+        const std::size_t c = i / W, w = i % W;
+        auto ops = sim::TraceCache::instance().get(
+            workloads[w], rc.maxInstrs + rc.warmupInstrs,
+            rc.traceSeed);
+        auto vp = configs[c].second();
+        cold[c][w] = sim::runTrace(*ops, vp.get(), rc);
+    });
+    const double cold_wall = secondsSince(cold_t0);
+    std::cout << "cold (inline warmup):       "
+              << sim::fmtF(cold_wall, 3) << " s\n";
+
+    // -------- warm: the checkpointing sweep engine --------
+    // Start from empty caches so the phase pays its own checkpoint
+    // and baseline builds (the honest end-to-end sweep cost).
+    sim::CheckpointCache::instance().clear();
+    sim::BaselineCache::instance().clear();
+    std::vector<sim::SuiteResult> warm(C);
+    const auto warm_t0 = Clock::now();
+    sim::SuiteRunner runner(workloads, rc, jobs);
+    for (std::size_t c = 0; c < C; ++c)
+        warm[c] = runner.run(configs[c].first, configs[c].second);
+    const double warm_wall = secondsSince(warm_t0);
+
+    double checkpoint_seconds = 0.0;
+    if (!warm.empty())
+        for (const auto &row : warm.front().rows)
+            checkpoint_seconds += row.checkpointSeconds;
+    std::cout << "warm (checkpointed sweep):  "
+              << sim::fmtF(warm_wall, 3) << " s (of which "
+              << sim::fmtF(checkpoint_seconds, 3)
+              << " s checkpoint builds)\n";
+
+    // -------- self-check: identical results, then report --------
+    bool identical = true;
+    for (std::size_t c = 0; c < C; ++c) {
+        for (std::size_t w = 0; w < W; ++w) {
+            const auto &row = warm[c].rows[w];
+            identical &= statsIdentical(
+                configs[c].first + "/" + workloads[w] + "/base",
+                cold_base[w], row.base);
+            identical &= statsIdentical(
+                configs[c].first + "/" + workloads[w], cold[c][w],
+                row.withVp);
+        }
+    }
+    if (!identical) {
+        std::cerr << "sweep results diverged between engines; "
+                     "refusing to report a speedup\n";
+        return 3;
+    }
+
+    const double speedup =
+        warm_wall > 0.0 ? cold_wall / warm_wall : 0.0;
+    std::cout << "identical results: yes\n"
+              << "sweep speedup: " << sim::fmtF(speedup, 2)
+              << "x\n";
+
+    if (json_path.empty())
+        return 0;
+
+    sim::JsonValue doc = sim::JsonValue::object();
+    doc.set("schema_version", std::uint64_t(1));
+    doc.set("tool", "lvpsim");
+    sim::JsonValue meta = sim::JsonValue::object();
+    meta.set("bench", "sweep_throughput");
+    meta.set("jobs", std::uint64_t(jobs));
+    meta.set("instructions", std::uint64_t(instrs));
+    meta.set("warmup_instructions", std::uint64_t(warmup));
+    meta.set("suite", std::getenv("LVPSIM_SUITE")
+                          ? std::getenv("LVPSIM_SUITE")
+                          : "full");
+    meta.set("configs", std::uint64_t(C));
+    meta.set("workloads", std::uint64_t(W));
+    doc.set("meta", std::move(meta));
+    sim::JsonValue cold_j = sim::JsonValue::object();
+    cold_j.set("wall_seconds", cold_wall);
+    doc.set("cold", std::move(cold_j));
+    sim::JsonValue warm_j = sim::JsonValue::object();
+    warm_j.set("wall_seconds", warm_wall);
+    warm_j.set("checkpoint_build_seconds", checkpoint_seconds);
+    doc.set("warm", std::move(warm_j));
+    doc.set("speedup", speedup);
+    doc.set("identical", true);
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    doc.dump(os);
+    os << "\n";
+    std::cout << "results: " << json_path << "\n";
+    return 0;
+}

@@ -136,5 +136,37 @@ Ittage::update(Addr pc, Addr target)
     }
 }
 
+void
+Ittage::saveState(Snapshot &s) const
+{
+    s.base = base;
+    s.tables = tables;
+    s.foldIdx = foldIdx;
+    s.foldTag = foldTag;
+    s.ring = ring;
+    s.rng = rng;
+    s.providerTable = providerTable;
+    s.lastPrediction = lastPrediction;
+    s.lastPc = lastPc;
+    s.numLookups = numLookups;
+    s.numMispredicts = numMispredicts;
+}
+
+void
+Ittage::restoreState(const Snapshot &s)
+{
+    base = s.base;
+    tables = s.tables;
+    foldIdx = s.foldIdx;
+    foldTag = s.foldTag;
+    ring = s.ring;
+    rng = s.rng;
+    providerTable = s.providerTable;
+    lastPrediction = s.lastPrediction;
+    lastPc = s.lastPc;
+    numLookups = s.numLookups;
+    numMispredicts = s.numMispredicts;
+}
+
 } // namespace branch
 } // namespace lvpsim

@@ -59,9 +59,11 @@ class Ittage
     unsigned tableIndex(Addr pc, unsigned t) const;
     std::uint16_t tableTag(Addr pc, unsigned t) const;
 
+    // lvplint: allow(state-snapshot) -- construction-time config, immutable
     IttageConfig cfg;
     std::vector<Addr> base;
     std::vector<std::vector<Entry>> tables;
+    // lvplint: allow(state-snapshot) -- derived from cfg, immutable
     std::vector<unsigned> histLen;
     std::vector<FoldedHistory> foldIdx;
     std::vector<FoldedHistory> foldTag;
@@ -74,6 +76,26 @@ class Ittage
 
     std::uint64_t numLookups = 0;
     std::uint64_t numMispredicts = 0;
+
+  public:
+    /** Mutable state only; table geometry comes from the config. */
+    struct Snapshot
+    {
+        std::vector<Addr> base;
+        std::vector<std::vector<Entry>> tables;
+        std::vector<FoldedHistory> foldIdx;
+        std::vector<FoldedHistory> foldTag;
+        HistoryRing ring;
+        Xoshiro256 rng;
+        int providerTable = -1;
+        Addr lastPrediction = 0;
+        Addr lastPc = 0;
+        std::uint64_t numLookups = 0;
+        std::uint64_t numMispredicts = 0;
+    };
+
+    void saveState(Snapshot &s) const;
+    void restoreState(const Snapshot &s);
 };
 
 } // namespace branch

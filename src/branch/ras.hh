@@ -45,6 +45,30 @@ class ReturnAddressStack
 
     std::size_t depth() const { return count; }
 
+    /** The stack is all mutable state; capacity rides in entries. */
+    struct Snapshot
+    {
+        std::vector<Addr> entries;
+        std::size_t top = 0;
+        std::size_t count = 0;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        s.entries = entries;
+        s.top = top;
+        s.count = count;
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        entries = s.entries;
+        top = s.top;
+        count = s.count;
+    }
+
   private:
     std::vector<Addr> entries;
     std::size_t top;

@@ -71,9 +71,11 @@ class Tage
     std::uint16_t tableTag(Addr pc, unsigned t) const;
     void pushHistory(Addr pc, bool taken);
 
+    // lvplint: allow(state-snapshot) -- construction-time config, immutable
     TageConfig cfg;
     std::vector<std::int8_t> base; ///< 2-bit bimodal, taken if >= 0
     std::vector<std::vector<TaggedEntry>> tables;
+    // lvplint: allow(state-snapshot) -- derived from cfg, immutable
     std::vector<unsigned> histLen;
     std::vector<FoldedHistory> foldIdx;
     std::vector<FoldedHistory> foldTag1;
@@ -92,6 +94,31 @@ class Tage
 
     std::uint64_t numLookups = 0;
     std::uint64_t numMispredicts = 0;
+
+  public:
+    /** Mutable state only; table geometry comes from the config. */
+    struct Snapshot
+    {
+        std::vector<std::int8_t> base;
+        std::vector<std::vector<TaggedEntry>> tables;
+        std::vector<FoldedHistory> foldIdx;
+        std::vector<FoldedHistory> foldTag1;
+        std::vector<FoldedHistory> foldTag2;
+        HistoryRing ring;
+        std::uint64_t pathHist = 0;
+        Xoshiro256 rng;
+        int providerTable = -1;
+        int altTable = -1;
+        bool providerPred = false;
+        bool altPred = false;
+        bool lastPrediction = false;
+        Addr lastPc = 0;
+        std::uint64_t numLookups = 0;
+        std::uint64_t numMispredicts = 0;
+    };
+
+    void saveState(Snapshot &s) const;
+    void restoreState(const Snapshot &s);
 };
 
 } // namespace branch

@@ -79,13 +79,44 @@ class Cache
     }
     Addr tagOf(Addr a) const { return a >> blockShift; }
 
+    // lvplint: allow(state-snapshot) -- construction-time config, immutable
     CacheConfig cfg;
+    // lvplint: allow(state-snapshot) -- derived from cfg, immutable
     unsigned blockShift;
+    // lvplint: allow(state-snapshot) -- derived from cfg, immutable
     std::size_t numSets;
     std::vector<Line> lines;
     std::uint64_t useClock = 0;
     std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;
+
+  public:
+    /** Mutable state only; geometry comes from the owning config. */
+    struct Snapshot
+    {
+        std::vector<Line> lines;
+        std::uint64_t useClock = 0;
+        std::uint64_t numHits = 0;
+        std::uint64_t numMisses = 0;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        s.lines = lines;
+        s.useClock = useClock;
+        s.numHits = numHits;
+        s.numMisses = numMisses;
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        lines = s.lines;
+        useClock = s.useClock;
+        numHits = s.numHits;
+        numMisses = s.numMisses;
+    }
 };
 
 } // namespace mem

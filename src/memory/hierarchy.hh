@@ -72,10 +72,44 @@ class MemoryHierarchy
 
     std::uint64_t prefetchesIssued() const { return pf.issued(); }
 
+    /** Aggregate of every component's mutable state. */
+    struct Snapshot
+    {
+        Cache::Snapshot icache;
+        Cache::Snapshot dcache;
+        Cache::Snapshot l2cache;
+        Cache::Snapshot l3cache;
+        Tlb::Snapshot dtlb;
+        StridePrefetcher::Snapshot pf;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        icache.saveState(s.icache);
+        dcache.saveState(s.dcache);
+        l2cache.saveState(s.l2cache);
+        l3cache.saveState(s.l3cache);
+        dtlb.saveState(s.dtlb);
+        pf.saveState(s.pf);
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        icache.restoreState(s.icache);
+        dcache.restoreState(s.dcache);
+        l2cache.restoreState(s.l2cache);
+        l3cache.restoreState(s.l3cache);
+        dtlb.restoreState(s.dtlb);
+        pf.restoreState(s.pf);
+    }
+
   private:
     /** Walk L2/L3/memory after an L1 miss; fills on the way back. */
     Cycle fillFromBeyond(Addr addr, AccessResult &res);
 
+    // lvplint: allow(state-snapshot) -- construction-time config, immutable
     HierarchyConfig cfg;
     Cache icache;
     Cache dcache;
@@ -83,6 +117,7 @@ class MemoryHierarchy
     Cache l3cache;
     Tlb dtlb;
     StridePrefetcher pf;
+    // lvplint: allow(state-snapshot) -- scratch buffer, cleared per observe()
     std::vector<Addr> pfAddrs;
 };
 

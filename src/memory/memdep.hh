@@ -50,9 +50,35 @@ class MemDepPredictor
     std::size_t index(Addr pc) const { return (pc >> 2) % waitBits.size(); }
 
     std::vector<bool> waitBits;
+    // lvplint: allow(state-snapshot) -- construction-time config
     std::uint64_t clearInterval;
     std::uint64_t accesses = 0;
     std::uint64_t numViolations = 0;
+
+  public:
+    /** Mutable state only; clear interval comes from the constructor. */
+    struct Snapshot
+    {
+        std::vector<bool> waitBits;
+        std::uint64_t accesses = 0;
+        std::uint64_t numViolations = 0;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        s.waitBits = waitBits;
+        s.accesses = accesses;
+        s.numViolations = numViolations;
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        waitBits = s.waitBits;
+        accesses = s.accesses;
+        numViolations = s.numViolations;
+    }
 };
 
 } // namespace mem

@@ -75,8 +75,31 @@ class StridePrefetcher
     };
 
     std::vector<Entry> table;
+    // lvplint: allow(state-snapshot) -- construction-time config
     unsigned prefetchDegree;
     std::uint64_t numIssued = 0;
+
+  public:
+    /** Mutable state only; degree comes from the constructor. */
+    struct Snapshot
+    {
+        std::vector<Entry> table;
+        std::uint64_t numIssued = 0;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        s.table = table;
+        s.numIssued = numIssued;
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        table = s.table;
+        numIssued = s.numIssued;
+    }
 };
 
 } // namespace mem

@@ -69,14 +69,46 @@ class Tlb
         std::uint64_t lastUse = 0;
     };
 
+    // lvplint: allow(state-snapshot) -- construction-time geometry
     std::size_t numSets;
+    // lvplint: allow(state-snapshot) -- construction-time geometry
     unsigned numWays;
+    // lvplint: allow(state-snapshot) -- construction-time geometry
     unsigned pageShift;
+    // lvplint: allow(state-snapshot) -- construction-time latency
     Cycle walkLat;
     std::vector<Way> sets;
     std::uint64_t useClock = 0;
     std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;
+
+  public:
+    /** Mutable state only; geometry comes from the constructor. */
+    struct Snapshot
+    {
+        std::vector<Way> sets;
+        std::uint64_t useClock = 0;
+        std::uint64_t numHits = 0;
+        std::uint64_t numMisses = 0;
+    };
+
+    void
+    saveState(Snapshot &s) const
+    {
+        s.sets = sets;
+        s.useClock = useClock;
+        s.numHits = numHits;
+        s.numMisses = numMisses;
+    }
+
+    void
+    restoreState(const Snapshot &s)
+    {
+        sets = s.sets;
+        useClock = s.useClock;
+        numHits = s.numHits;
+        numMisses = s.numMisses;
+    }
 };
 
 } // namespace mem

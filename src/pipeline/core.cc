@@ -189,7 +189,8 @@ Core::commitStage()
                 out.value = op.memValue;
                 out.predictionUsed = used;
                 out.predictionCorrect = used && !f.vpWrong;
-                vp->train(out);
+                if (vpActive)
+                    vp->train(out);
             } else if (f.token != 0) {
                 vp->abandon(f.token);
             }
@@ -215,7 +216,7 @@ Core::commitStage()
         ++committed;
         ++n;
     }
-    if (n > 0)
+    if (n > 0 && vpActive)
         vp->onRetire(n);
     return n > 0;
 }
@@ -542,14 +543,18 @@ Core::fetchOne()
               default:
                 break;
             }
-            vp->notifyBranch(op.pc, op.taken, op.target);
+            if (vpActive)
+                vp->notifyBranch(op.pc, op.taken, op.target);
             if (mispredict)
                 ++stats.branchMispredicts;
         }
         f.branchMispredicted = mispredict;
         if (mispredict)
             fetchHalted = true;
-    } else if (op.isPredictableLoad()) {
+    } else if (op.isPredictableLoad() && vpActive) {
+        // During warmup (vpActive == false) predictable loads behave
+        // like plain loads: no probe, no token, no notifies — the VP
+        // sees nothing until the measurement region begins.
         auto stash = refetchStash.find(fetchIdx);
         if (stash != refetchStash.end()) {
             // Re-fetch after a flush: restore the first-fetch
@@ -589,7 +594,7 @@ Core::fetchOne()
 bool
 Core::fetchStage()
 {
-    if (now < fetchResumeCycle || fetchHalted)
+    if (now < fetchResumeCycle || fetchHalted || fetchFrozen)
         return false;
     unsigned n = 0;
     while (n < cfg.fetchWidth && fetchIdx < code.size() &&
@@ -825,16 +830,12 @@ Core::nextEventCycle() const
     return next;
 }
 
-SimStats
-Core::run(std::uint64_t max_instrs)
+void
+Core::simulate(std::uint64_t commit_target)
 {
-    stats = SimStats{};
-    const std::uint64_t l1d_miss0 = memory.l1d().misses();
-    const std::uint64_t l2_miss0 = memory.l2().misses();
-
-    while (fetchIdx < code.size() || !rob.empty() ||
+    while ((!fetchFrozen && fetchIdx < code.size()) || !rob.empty() ||
            !fetchBuf.empty()) {
-        if (max_instrs && committed >= max_instrs)
+        if (commit_target && committed >= commit_target)
             break;
         ++now;
         bool any = false;
@@ -861,8 +862,43 @@ Core::run(std::uint64_t max_instrs)
                 now = next - 1; // the loop header will ++now
         }
     }
+}
 
-    stats.cycles = now;
+void
+Core::warmup(std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    vpActive = false;
+    simulate(committed + n);
+    // Drain: freeze fetch and run the in-flight window dry so the
+    // measurement (or checkpoint) boundary is quiescent. A squash
+    // during the drain may rewind fetchIdx; those instructions are
+    // simply re-fetched once measurement resumes fetch.
+    fetchFrozen = true;
+    simulate(0);
+    fetchFrozen = false;
+    vpActive = true;
+    LVPSIM_CHECK(rob.empty() && fetchBuf.empty() &&
+                     refetchStash.empty(),
+                 "warmup drain left %zu ROB + %zu fetch-buffer + %zu "
+                 "stashed entries",
+                 rob.size(), fetchBuf.size(), refetchStash.size());
+}
+
+SimStats
+Core::run(std::uint64_t max_instrs)
+{
+    // Measure relative to the current (possibly post-warmup) state so
+    // warmup cycles and misses never pollute the reported run.
+    stats = SimStats{};
+    const std::uint64_t l1d_miss0 = memory.l1d().misses();
+    const std::uint64_t l2_miss0 = memory.l2().misses();
+    const Cycle cycle0 = now;
+
+    simulate(max_instrs ? committed + max_instrs : 0);
+
+    stats.cycles = now - cycle0;
     stats.l1dMisses = memory.l1d().misses() - l1d_miss0;
     stats.l2Misses = memory.l2().misses() - l2_miss0;
     if (refetchStash.size() > stats.refetchStashPeak)
@@ -907,6 +943,80 @@ Core::dumpSubstrateStats(std::ostream &os) const
        << "  ittage: " << ittage.lookups() << " lookups, "
        << ittage.mispredicts() << " mispredicts\n"
        << "  memdep violations: " << memdep.violations() << "\n";
+}
+
+// --------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------
+
+void
+Core::saveState(Snapshot &s) const
+{
+    memory.saveState(s.memory);
+    memdep.saveState(s.memdep);
+    tage.saveState(s.tage);
+    ittage.saveState(s.ittage);
+    ras.saveState(s.ras);
+
+    s.now = now;
+    s.fetchIdx = fetchIdx;
+    s.contextIdx = contextIdx;
+    s.fetchResumeCycle = fetchResumeCycle;
+    s.fetchHalted = fetchHalted;
+    s.fetchFrozen = fetchFrozen;
+    s.vpActive = vpActive;
+    s.nextSeq = nextSeq;
+    s.nextToken = nextToken;
+    s.committed = committed;
+    s.issuedNotDone = issuedNotDone;
+
+    s.rob = rob;
+    s.fetchBuf = fetchBuf;
+    s.paq = paq;
+    s.ldq = ldq;
+    s.stq = stq;
+    s.iqCount = iqCount;
+    s.specLoadsInFlight = specLoadsInFlight;
+    s.lastWriter = lastWriter;
+    s.inflightLoadPcs = inflightLoadPcs;
+    s.refetchStash = refetchStash;
+
+    s.stats = stats;
+}
+
+void
+Core::restoreState(const Snapshot &s)
+{
+    memory.restoreState(s.memory);
+    memdep.restoreState(s.memdep);
+    tage.restoreState(s.tage);
+    ittage.restoreState(s.ittage);
+    ras.restoreState(s.ras);
+
+    now = s.now;
+    fetchIdx = s.fetchIdx;
+    contextIdx = s.contextIdx;
+    fetchResumeCycle = s.fetchResumeCycle;
+    fetchHalted = s.fetchHalted;
+    fetchFrozen = s.fetchFrozen;
+    vpActive = s.vpActive;
+    nextSeq = s.nextSeq;
+    nextToken = s.nextToken;
+    committed = s.committed;
+    issuedNotDone = s.issuedNotDone;
+
+    rob = s.rob;
+    fetchBuf = s.fetchBuf;
+    paq = s.paq;
+    ldq = s.ldq;
+    stq = s.stq;
+    iqCount = s.iqCount;
+    specLoadsInFlight = s.specLoadsInFlight;
+    lastWriter = s.lastWriter;
+    inflightLoadPcs = s.inflightLoadPcs;
+    refetchStash = s.refetchStash;
+
+    stats = s.stats;
 }
 
 } // namespace pipe

@@ -82,9 +82,23 @@ class Core
 
     /**
      * Simulate until the trace is exhausted (or @p max_instrs have
-     * committed) and return the run statistics.
+     * committed) and return the run statistics. May be called after
+     * warmup() (or restoreState()); statistics then cover only the
+     * measurement region.
      */
     SimStats run(std::uint64_t max_instrs = 0);
+
+    /**
+     * Run the first @p n instructions with value prediction disabled
+     * — caches, TLB, branch predictors and the memory dependence
+     * predictor train normally, but the VP is never probed, notified
+     * or trained — then freeze fetch and drain the pipeline so the
+     * machine is quiescent (empty ROB/queues) at the measurement
+     * boundary. A subsequent run() measures from this point; the
+     * post-warmup state can also be captured with saveState() and
+     * replayed into other cores (see sim::CheckpointCache).
+     */
+    void warmup(std::uint64_t n);
 
     /** Substrate statistics (caches, TLB, branch predictors). */
     void dumpSubstrateStats(std::ostream &os) const;
@@ -143,6 +157,11 @@ class Core
         return code[f.traceIdx];
     }
 
+    /** The cycle loop shared by run() and warmup(); simulates until
+     *  the trace is exhausted and the machine is empty, or @p
+     *  commit_target total instructions have committed (0 = no cap). */
+    void simulate(std::uint64_t commit_target);
+
     // Pipeline stages (called once per cycle, oldest work first).
     bool commitStage();
     bool completeStage();
@@ -182,9 +201,13 @@ class Core
         return a < b + bsz && b < a + asz;
     }
 
+    // lvplint: allow(state-snapshot) -- construction-time config, immutable
     CoreConfig cfg;
+    // lvplint: allow(state-snapshot) -- trace reference, owned by caller
     const std::vector<trace::MicroOp> &code;
+    // lvplint: allow(state-snapshot) -- external wiring, not model state
     LoadValuePredictor *vp;
+    // lvplint: allow(state-snapshot) -- stateless sink for vp calls
     NullPredictor nullVp;
 
     mem::MemoryHierarchy memory;
@@ -198,6 +221,8 @@ class Core
     std::uint64_t contextIdx = 0; ///< history advanced for idx < this
     Cycle fetchResumeCycle = 0;
     bool fetchHalted = false; ///< mispredicted branch in flight
+    bool fetchFrozen = false; ///< warmup drain: no new fetches
+    bool vpActive = true;     ///< false during the warmup region
     InstSeqNum nextSeq = 1;
     std::uint64_t nextToken = 1;
     std::uint64_t committed = 0;
@@ -245,9 +270,56 @@ class Core
         return cfg.robSize + 2 * std::size_t(cfg.fetchWidth);
     }
 
+    // lvplint: allow(state-snapshot) -- external wiring, not model state
     CommitHook commitHook;
 
     SimStats stats;
+
+  public:
+    /**
+     * The complete mutable state of the core and its substrate
+     * (memory hierarchy, branch predictors, queues, rename map,
+     * statistics). restoreState() into a core built with the *same*
+     * CoreConfig and trace resumes execution bit-identically; the
+     * attached value predictor is external wiring and is not part of
+     * the snapshot. See sim::SimCheckpoint.
+     */
+    struct Snapshot
+    {
+        mem::MemoryHierarchy::Snapshot memory;
+        mem::MemDepPredictor::Snapshot memdep;
+        branch::Tage::Snapshot tage;
+        branch::Ittage::Snapshot ittage;
+        branch::ReturnAddressStack::Snapshot ras;
+
+        Cycle now = 0;
+        std::uint64_t fetchIdx = 0;
+        std::uint64_t contextIdx = 0;
+        Cycle fetchResumeCycle = 0;
+        bool fetchHalted = false;
+        bool fetchFrozen = false;
+        bool vpActive = true;
+        InstSeqNum nextSeq = 1;
+        std::uint64_t nextToken = 1;
+        std::uint64_t committed = 0;
+        std::uint64_t issuedNotDone = 0;
+
+        RingBuffer<Inflight> rob;
+        RingBuffer<Inflight> fetchBuf;
+        RingBuffer<PaqEntry> paq;
+        RingBuffer<MemQEntry> ldq;
+        RingBuffer<MemQEntry> stq;
+        unsigned iqCount = 0;
+        std::uint64_t specLoadsInFlight = 0;
+        std::array<InstSeqNum, numArchRegs> lastWriter{};
+        FlatMap<Addr, unsigned> inflightLoadPcs;
+        FlatMap<std::uint64_t, StashedPrediction> refetchStash;
+
+        SimStats stats;
+    };
+
+    void saveState(Snapshot &s) const;
+    void restoreState(const Snapshot &s);
 };
 
 } // namespace pipe

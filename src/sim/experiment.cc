@@ -88,52 +88,85 @@ SuiteRunner::setJobs(std::size_t n)
     jobCount = n ? n : ParallelExecutor::hardwareJobs();
 }
 
+BaselineCache &
+BaselineCache::instance()
+{
+    static BaselineCache c;
+    return c;
+}
+
+BaselineCache::EntryPtr
+BaselineCache::get(const std::string &workload, const RunConfig &rc)
+{
+    const std::string key = runConfigKey(rc) + "#" + workload;
+
+    std::shared_ptr<Slot> slot;
+    {
+        std::shared_lock rd(mapMx);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            slot = it->second;
+    }
+    if (!slot) {
+        std::unique_lock wr(mapMx);
+        // Re-check: another worker may have inserted meanwhile.
+        auto [it, inserted] =
+            cache.try_emplace(key, std::make_shared<Slot>());
+        slot = it->second;
+        (void)inserted;
+    }
+
+    // Exactly one caller simulates the baseline; concurrent callers
+    // for the same key block here until the entry is ready.
+    std::call_once(slot->once, [&] {
+        auto e = std::make_shared<Entry>();
+        // Build the warmup checkpoint first so `seconds` measures
+        // only the baseline's measurement region (the build cost is
+        // reported separately as checkpointSeconds).
+        if (rc.warmupInstrs)
+            e->checkpointSeconds =
+                CheckpointCache::instance().get(workload, rc)
+                    ->buildSeconds;
+        const auto t0 = Clock::now();
+        pipe::NullPredictor none;
+        e->stats = runWorkload(workload, &none, rc);
+        e->seconds = secondsSince(t0);
+        slot->entry = std::move(e);
+        generated.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot->entry;
+}
+
+void
+BaselineCache::clear()
+{
+    std::unique_lock wr(mapMx);
+    cache.clear();
+}
+
 const pipe::SimStats &
 SuiteRunner::baseline(const std::string &workload)
 {
-    std::lock_guard lk(*baselineMx);
-    auto it = baselines.find(workload);
-    if (it == baselines.end()) {
-        const auto t0 = Clock::now();
-        pipe::NullPredictor none;
-        it = baselines
-                 .emplace(workload, runWorkload(workload, &none, rc))
-                 .first;
-        baselineSeconds[workload] = secondsSince(t0);
-    }
-    return it->second;
+    // The cache keeps the entry alive behind a shared_ptr until
+    // clear(), so handing out a reference is safe for the lifetime
+    // of any realistic run.
+    return BaselineCache::instance().get(workload, rc)->stats;
 }
 
 void
 SuiteRunner::ensureBaselines()
 {
-    std::vector<std::string> missing;
-    {
-        std::lock_guard lk(*baselineMx);
+    // BaselineCache's per-key once_flag already dedupes concurrent
+    // same-key builders, so the fan-out can simply request every
+    // workload; hits return immediately.
+    if (jobCount <= 1 || workloadNames.size() <= 1) {
         for (const auto &w : workloadNames)
-            if (!baselines.count(w) &&
-                std::find(missing.begin(), missing.end(), w) ==
-                    missing.end())
-                missing.push_back(w);
-    }
-    if (missing.empty())
-        return;
-    if (jobCount <= 1 || missing.size() == 1) {
-        for (const auto &w : missing)
-            baseline(w);
+            BaselineCache::instance().get(w, rc);
         return;
     }
-    ParallelExecutor pool(std::min(jobCount, missing.size()));
-    pool.parallelFor(missing.size(), [&](std::size_t i) {
-        // Simulate outside the lock so distinct workloads overlap;
-        // the lock only guards the map insert.
-        const auto t0 = Clock::now();
-        pipe::NullPredictor none;
-        auto stats = runWorkload(missing[i], &none, rc);
-        const double secs = secondsSince(t0);
-        std::lock_guard lk(*baselineMx);
-        baselines.emplace(missing[i], stats);
-        baselineSeconds[missing[i]] = secs;
+    ParallelExecutor pool(std::min(jobCount, workloadNames.size()));
+    pool.parallelFor(workloadNames.size(), [&](std::size_t i) {
+        BaselineCache::instance().get(workloadNames[i], rc);
     });
 }
 
@@ -152,11 +185,10 @@ SuiteRunner::run(const std::string &label,
     auto runRow = [&](std::size_t i) {
         WorkloadResult &r = out.rows[i];
         r.workload = workloadNames[i];
-        r.base = baseline(r.workload);
-        {
-            std::lock_guard lk(*baselineMx);
-            r.baseSeconds = baselineSeconds[r.workload];
-        }
+        const auto base = BaselineCache::instance().get(r.workload, rc);
+        r.base = base->stats;
+        r.baseSeconds = base->seconds;
+        r.checkpointSeconds = base->checkpointSeconds;
         const auto t0 = Clock::now();
         auto vp = make_vp();
         r.withVp = runWorkload(r.workload, vp.get(), rc);

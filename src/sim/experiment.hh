@@ -14,9 +14,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +43,10 @@ struct WorkloadResult
     /// from determinism comparisons (see tools/check_determinism.sh).
     double baseSeconds = 0.0;
     double vpSeconds = 0.0;
+    /// One-time cost of building this workload's post-warmup
+    /// checkpoint (0 when warmupInstrs == 0 or on later reuse of a
+    /// memoized baseline). Informational, like the fields above.
+    double checkpointSeconds = 0.0;
 
     double speedup() const { return withVp.ipc() / base.ipc() - 1.0; }
     double coverage() const { return withVp.coverage(); }
@@ -69,6 +75,59 @@ struct SuiteResult
  *  Must be callable from worker threads (capture by value). */
 using PredictorFactory =
     std::function<std::unique_ptr<pipe::LoadValuePredictor>()>;
+
+/**
+ * Process-wide, thread-safe memo of no-VP baseline runs, keyed by
+ * runConfigKey() + workload, so a multi-suite binary (e.g. the fig
+ * benches) simulates each baseline exactly once no matter how many
+ * SuiteRunners it creates. Same slot discipline as TraceCache /
+ * CheckpointCache: one builder per key under a `std::once_flag`,
+ * concurrent same-key callers block, other keys proceed.
+ */
+class BaselineCache
+{
+  public:
+    struct Entry
+    {
+        pipe::SimStats stats;
+        /// Wall-clock of the measured baseline run (informational;
+        /// excluded from determinism comparisons).
+        double seconds = 0.0;
+        /// One-time warmup-checkpoint build cost for this key
+        /// (0 when warmupInstrs == 0). Informational.
+        double checkpointSeconds = 0.0;
+    };
+    using EntryPtr = std::shared_ptr<const Entry>;
+
+    /** Run (once) or fetch the no-VP baseline for this key. The
+     *  returned entry stays valid until clear(). */
+    EntryPtr get(const std::string &workload, const RunConfig &rc);
+
+    /** Number of baselines actually simulated (not cache hits). */
+    std::uint64_t generations() const
+    {
+        return generated.load(std::memory_order_relaxed);
+    }
+
+    /** Drop every cached baseline (test hook; not used by benches). */
+    void clear();
+
+    /** The process-wide cache used by SuiteRunner. */
+    static BaselineCache &instance();
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        EntryPtr entry;
+    };
+
+    mutable std::shared_mutex mapMx;
+    // lvplint: allow(determinism) -- keyed lookup cache, never
+    // iterated; entries are deterministic simulation results
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::atomic<std::uint64_t> generated{0};
+};
 
 class SuiteRunner
 {
@@ -100,7 +159,8 @@ class SuiteRunner
     }
     const RunConfig &runConfig() const { return rc; }
 
-    /** The cached no-VP baseline for one workload. */
+    /** The memoized no-VP baseline for one workload (computed on
+     *  first use, process-wide via BaselineCache). */
     const pipe::SimStats &baseline(const std::string &workload);
 
   private:
@@ -110,15 +170,6 @@ class SuiteRunner
     std::vector<std::string> workloadNames;
     RunConfig rc;
     std::size_t jobCount = 1;
-    /// Behind a pointer so SuiteRunner stays movable (factory
-    /// helpers return it by value).
-    std::unique_ptr<std::mutex> baselineMx =
-        std::make_unique<std::mutex>();
-    // lvplint: allow(determinism) -- string-keyed lookup caches,
-    // never iterated; results are read per workload in suite order
-    std::unordered_map<std::string, pipe::SimStats> baselines;
-    // lvplint: allow(determinism) -- same: find/insert only
-    std::unordered_map<std::string, double> baselineSeconds;
     std::function<void(const SuiteResult &)> observer;
 };
 

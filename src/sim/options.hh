@@ -4,6 +4,8 @@
  * examples:
  *
  *   LVPSIM_INSTRS=<n>       dynamic instructions per workload
+ *   LVPSIM_WARMUP=<n>       warmup instructions before measurement
+ *                           (VP disabled; see RunConfig.warmupInstrs)
  *   LVPSIM_SUITE=smoke|full which workload list the benches sweep
  */
 
@@ -26,6 +28,17 @@ instrsFromEnv(std::size_t fallback = 400000)
     if (const char *s = std::getenv("LVPSIM_INSTRS")) {
         const long long v = std::atoll(s);
         if (v > 0)
+            return std::size_t(v);
+    }
+    return fallback;
+}
+
+inline std::size_t
+warmupFromEnv(std::size_t fallback = 0)
+{
+    if (const char *s = std::getenv("LVPSIM_WARMUP")) {
+        const long long v = std::atoll(s);
+        if (v >= 0)
             return std::size_t(v);
     }
     return fallback;

@@ -78,6 +78,7 @@ toJson(const WorkloadResult &r)
     o.set("with_vp", toJson(r.withVp));
     o.set("base_seconds", JsonValue(r.baseSeconds));
     o.set("vp_seconds", JsonValue(r.vpSeconds));
+    o.set("checkpoint_seconds", JsonValue(r.checkpointSeconds));
     return o;
 }
 
@@ -100,6 +101,8 @@ workloadResultFromJson(const JsonValue &v, WorkloadResult &out)
         return false;
     out.baseSeconds = numberOr(v.find("base_seconds"), 0.0);
     out.vpSeconds = numberOr(v.find("vp_seconds"), 0.0);
+    out.checkpointSeconds =
+        numberOr(v.find("checkpoint_seconds"), 0.0);
     return true;
 }
 
@@ -156,6 +159,7 @@ resultsToJson(const std::vector<SuiteResult> &suites,
     JsonValue m = JsonValue::object();
     m.set("jobs", JsonValue(meta.jobs));
     m.set("instructions", JsonValue(meta.maxInstrs));
+    m.set("warmup_instructions", JsonValue(meta.warmupInstrs));
     m.set("trace_seed", JsonValue(meta.traceSeed));
     m.set("suite", JsonValue(meta.suite));
     o.set("meta", std::move(m));
@@ -182,6 +186,8 @@ resultsFromJson(const JsonValue &v, std::vector<SuiteResult> &suites,
                 std::size_t(numberOr(m->find("jobs"), 1.0));
             meta->maxInstrs =
                 std::size_t(numberOr(m->find("instructions"), 0.0));
+            meta->warmupInstrs = std::size_t(
+                numberOr(m->find("warmup_instructions"), 0.0));
             meta->traceSeed =
                 std::uint64_t(numberOr(m->find("trace_seed"), 0.0));
             if (const JsonValue *s = m->find("suite"))

@@ -31,6 +31,7 @@ struct ReportMeta
 {
     std::size_t jobs = 1;
     std::size_t maxInstrs = 0;
+    std::size_t warmupInstrs = 0;
     std::uint64_t traceSeed = 0;
     std::string suite; ///< e.g. "full", "smoke", or a bench tag
 };

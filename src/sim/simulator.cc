@@ -1,5 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
+#include "common/logging.hh"
 #include "trace/workloads.hh"
 
 namespace lvpsim
@@ -7,12 +10,99 @@ namespace lvpsim
 namespace sim
 {
 
+namespace
+{
+
+// lvplint: allow(determinism) -- feeds only the reporting-only
+// SimCheckpoint::buildSeconds field, stripped by determinism diffs
+using WallClock = std::chrono::steady_clock;
+
+double
+secondsSince(WallClock::time_point t0)
+{
+    return std::chrono::duration<double>(WallClock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
 pipe::SimStats
 runTrace(const std::vector<trace::MicroOp> &ops,
          pipe::LoadValuePredictor *vp, const RunConfig &rc)
 {
     pipe::Core core(rc.core, ops, vp);
+    if (rc.warmupInstrs)
+        core.warmup(rc.warmupInstrs);
     return core.run();
+}
+
+std::string
+runConfigKey(const RunConfig &rc)
+{
+    // Every field of RunConfig (and its nested configs) must appear
+    // here: the key is what makes "same key => same results" true for
+    // CheckpointCache and BaselineCache. Append-only, '.'-separated.
+    std::string k;
+    k.reserve(256);
+    const auto add = [&k](std::uint64_t v) {
+        k += std::to_string(v);
+        k += '.';
+    };
+    add(rc.maxInstrs);
+    add(rc.warmupInstrs);
+    add(rc.traceSeed);
+
+    const pipe::CoreConfig &c = rc.core;
+    add(c.fetchWidth);
+    add(c.issueWidth);
+    add(c.lsLanes);
+    add(c.retireWidth);
+    add(c.robSize);
+    add(c.iqSize);
+    add(c.ldqSize);
+    add(c.stqSize);
+    add(c.fetchToExecute);
+    add(c.paqSize);
+    add(c.intAluLat);
+    add(c.intMulLat);
+    add(c.intDivLat);
+    add(c.fpLat);
+    add(c.branchLat);
+    add(c.storeLat);
+    add(c.stlfLat);
+
+    const auto addCache = [&](const mem::CacheConfig &cc) {
+        add(cc.sizeBytes);
+        add(cc.assoc);
+        add(cc.blockSize);
+        add(cc.accessLatency);
+    };
+    addCache(c.memory.l1i);
+    addCache(c.memory.l1d);
+    addCache(c.memory.l2);
+    addCache(c.memory.l3);
+    add(c.memory.memoryLatency);
+    add(c.memory.enablePrefetch ? 1 : 0);
+
+    add(c.tage.numTables);
+    add(c.tage.logBase);
+    add(c.tage.logTagged);
+    add(c.tage.tagBits);
+    add(c.tage.minHist);
+    add(c.tage.maxHist);
+    add(c.tage.counterBits);
+    add(c.tage.usefulBits);
+
+    add(c.ittage.numTables);
+    add(c.ittage.logBase);
+    add(c.ittage.logTagged);
+    add(c.ittage.tagBits);
+    add(c.ittage.minHist);
+    add(c.ittage.maxHist);
+
+    add(c.rasDepth);
+    add(c.seed);
+    return k;
 }
 
 TraceCache &
@@ -65,13 +155,76 @@ TraceCache::clear()
     cache.clear();
 }
 
+CheckpointCache &
+CheckpointCache::instance()
+{
+    static CheckpointCache c;
+    return c;
+}
+
+CheckpointCache::CheckpointPtr
+CheckpointCache::get(const std::string &workload, const RunConfig &rc)
+{
+    lvp_assert(rc.warmupInstrs > 0,
+               "CheckpointCache::get with zero warmup");
+    const std::string key = runConfigKey(rc) + "#" + workload;
+
+    std::shared_ptr<Slot> slot;
+    {
+        std::shared_lock rd(mapMx);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            slot = it->second;
+    }
+    if (!slot) {
+        std::unique_lock wr(mapMx);
+        // Re-check: another worker may have inserted meanwhile.
+        auto [it, inserted] =
+            cache.try_emplace(key, std::make_shared<Slot>());
+        slot = it->second;
+        (void)inserted;
+    }
+
+    // Exactly one caller simulates the warmup region; concurrent
+    // callers for the same key block until the checkpoint is ready.
+    std::call_once(slot->once, [&] {
+        const auto t0 = WallClock::now();
+        auto ops = TraceCache::instance().get(
+            workload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+        auto ck = std::make_shared<SimCheckpoint>();
+        ck->warmupInstrs = rc.warmupInstrs;
+        pipe::Core core(rc.core, *ops, nullptr);
+        core.warmup(rc.warmupInstrs);
+        core.saveState(ck->core);
+        ck->buildSeconds = secondsSince(t0);
+        slot->ckpt = std::move(ck);
+        generated.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot->ckpt;
+}
+
+void
+CheckpointCache::clear()
+{
+    std::unique_lock wr(mapMx);
+    cache.clear();
+}
+
 pipe::SimStats
 runWorkload(const std::string &workload, pipe::LoadValuePredictor *vp,
             const RunConfig &rc)
 {
-    auto ops = TraceCache::instance().get(workload, rc.maxInstrs,
-                                          rc.traceSeed);
-    return runTrace(*ops, vp, rc);
+    auto ops = TraceCache::instance().get(
+        workload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+    if (rc.warmupInstrs == 0)
+        return runTrace(*ops, vp, rc);
+    // Restore the memoized post-warmup state instead of re-simulating
+    // the warmup region; bit-identical to the inline path because the
+    // warmup region never touches the (freshly constructed) VP.
+    auto ckpt = CheckpointCache::instance().get(workload, rc);
+    pipe::Core core(rc.core, *ops, vp);
+    core.restoreState(ckpt->core);
+    return core.run();
 }
 
 } // namespace sim

@@ -29,11 +29,34 @@ namespace sim
 struct RunConfig
 {
     std::size_t maxInstrs = 400000;
+    /**
+     * Instructions simulated with value prediction disabled before
+     * measurement begins (0 = measure from cold state, exactly the
+     * historical behavior). Warmup trains the caches, TLB, branch
+     * predictors and memory dependence predictor; the post-warmup
+     * machine state is memoized per (workload, config) by
+     * CheckpointCache so sweeps pay for it once. The trace used by
+     * runWorkload() covers maxInstrs + warmupInstrs instructions.
+     */
+    std::size_t warmupInstrs = 0;
     std::uint64_t traceSeed = 1;
     pipe::CoreConfig core{};
 };
 
-/** Run one already-generated trace through a fresh core. */
+/**
+ * Deterministic string key covering every RunConfig field (core,
+ * memory, branch-predictor and trace parameters included): two runs
+ * share a key iff their simulated results must be identical. Used by
+ * CheckpointCache and BaselineCache.
+ */
+std::string runConfigKey(const RunConfig &rc);
+
+/**
+ * Run one already-generated trace through a fresh core. When
+ * rc.warmupInstrs > 0 the warmup region is simulated inline (VP
+ * disabled, then a pipeline drain) before the measured run — the
+ * reference semantics that checkpoint restore must match exactly.
+ */
 pipe::SimStats runTrace(const std::vector<trace::MicroOp> &ops,
                         pipe::LoadValuePredictor *vp,
                         const RunConfig &rc);
@@ -83,10 +106,68 @@ class TraceCache
     std::atomic<std::uint64_t> generated{0};
 };
 
-/** Generate the workload trace and run it. */
+/**
+ * Generate the workload trace and run it. With rc.warmupInstrs > 0
+ * the run restores the memoized post-warmup checkpoint (building it
+ * on first use) instead of re-simulating the warmup region —
+ * bit-identical to the inline runTrace() path by construction.
+ */
 pipe::SimStats runWorkload(const std::string &workload,
                            pipe::LoadValuePredictor *vp,
                            const RunConfig &rc);
+
+/**
+ * The post-warmup machine state for one (workload, RunConfig) key,
+ * plus how long it took to build (wall-clock, reporting only).
+ */
+struct SimCheckpoint
+{
+    pipe::Core::Snapshot core;
+    std::uint64_t warmupInstrs = 0;
+    double buildSeconds = 0.0;
+};
+
+/**
+ * Process-wide, thread-safe memo of post-warmup checkpoints, keyed by
+ * runConfigKey() + workload. Same slot discipline as TraceCache: each
+ * distinct key is simulated exactly once under a per-key
+ * `std::once_flag`; concurrent callers for the same key block until
+ * the checkpoint is ready, other keys proceed unimpeded.
+ */
+class CheckpointCache
+{
+  public:
+    using CheckpointPtr = std::shared_ptr<const SimCheckpoint>;
+
+    /** Build (once) or fetch the checkpoint for this key. Requires
+     *  rc.warmupInstrs > 0. */
+    CheckpointPtr get(const std::string &workload, const RunConfig &rc);
+
+    /** Number of checkpoints actually simulated (not cache hits). */
+    std::uint64_t generations() const
+    {
+        return generated.load(std::memory_order_relaxed);
+    }
+
+    /** Drop every cached checkpoint (test hook; not used by benches). */
+    void clear();
+
+    /** The process-wide cache used by runWorkload(). */
+    static CheckpointCache &instance();
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        CheckpointPtr ckpt;
+    };
+
+    mutable std::shared_mutex mapMx;
+    // lvplint: allow(determinism) -- keyed lookup cache, never
+    // iterated; checkpoints are deterministic simulation state
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::atomic<std::uint64_t> generated{0};
+};
 
 } // namespace sim
 } // namespace lvpsim

@@ -1,0 +1,39 @@
+/** Fixture: checkpointable class with a member missing from its
+ *  saveState/restoreState pair (`hits` is the seeded violation). */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture
+{
+
+class Counter
+{
+  public:
+    struct Snapshot
+    {
+        std::vector<std::uint64_t> table;
+        std::uint64_t clock = 0;
+    };
+
+    void saveState(Snapshot &s) const
+    {
+        s.table = table;
+        s.clock = clock;
+    }
+
+    void restoreState(const Snapshot &s)
+    {
+        table = s.table;
+        clock = s.clock;
+    }
+
+  private:
+    std::vector<std::uint64_t> table;
+    std::uint64_t clock = 0;
+    std::uint64_t hits = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Warmup checkpointing and the sweep-engine memo caches
+ * (sim::CheckpointCache / sim::BaselineCache): build-once semantics
+ * under concurrency, restore bit-identity against inline warmup, and
+ * the warmup=0 fast path staying byte-for-byte the pre-checkpoint
+ * engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/composite.hh"
+#include "pipeline/lvp_interface.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+std::vector<std::pair<std::string, std::uint64_t>>
+flat(const pipe::SimStats &s)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    pipe::forEachCounter(
+        s, [&](std::string_view name, std::uint64_t v) {
+            out.emplace_back(std::string(name), v);
+        });
+    return out;
+}
+
+sim::RunConfig
+shortRun(std::size_t warmup)
+{
+    sim::RunConfig rc;
+    rc.maxInstrs = 3000;
+    rc.warmupInstrs = warmup;
+    return rc;
+}
+
+const char *kWorkload = "stream_sum";
+
+} // anonymous namespace
+
+TEST(RunConfigKey, DistinguishesEveryRelevantKnob)
+{
+    const auto base = shortRun(2000);
+    auto a = base;
+    a.maxInstrs += 1;
+    auto b = base;
+    b.warmupInstrs += 1;
+    auto c = base;
+    c.traceSeed += 1;
+    auto d = base;
+    d.core.robSize += 1;
+    auto e = base;
+    e.core.memory.l1d.sizeBytes *= 2;
+    auto f = base;
+    f.core.tage.numTables += 1;
+    const std::string key = sim::runConfigKey(base);
+    for (const auto &other : {a, b, c, d, e, f})
+        EXPECT_NE(key, sim::runConfigKey(other));
+    EXPECT_EQ(key, sim::runConfigKey(base));
+}
+
+TEST(CheckpointCache, ConcurrentSameKeyBuildsOnce)
+{
+    auto &cache = sim::CheckpointCache::instance();
+    cache.clear();
+    const auto rc = shortRun(4000);
+    const std::uint64_t gen0 = cache.generations();
+
+    constexpr int kThreads = 8;
+    std::vector<sim::CheckpointCache::CheckpointPtr> got(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([&, t] {
+                got[t] = cache.get(kWorkload, rc);
+            });
+        for (auto &th : threads)
+            th.join();
+    }
+
+    EXPECT_EQ(cache.generations() - gen0, 1u)
+        << "same-key checkpoint simulated more than once";
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(got[t], nullptr);
+        EXPECT_EQ(got[t], got[0]) << "thread " << t
+                                  << " got a different entry";
+    }
+    EXPECT_EQ(got[0]->warmupInstrs, rc.warmupInstrs);
+}
+
+TEST(CheckpointCache, DistinctKeysBuildSeparately)
+{
+    auto &cache = sim::CheckpointCache::instance();
+    cache.clear();
+    const std::uint64_t gen0 = cache.generations();
+    const auto a = cache.get(kWorkload, shortRun(4000));
+    const auto b = cache.get(kWorkload, shortRun(5000));
+    const auto c = cache.get("hash_probe", shortRun(4000));
+    EXPECT_EQ(cache.generations() - gen0, 3u);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    // Hits after the builds return the identical entries.
+    EXPECT_EQ(cache.get(kWorkload, shortRun(4000)), a);
+    EXPECT_EQ(cache.generations() - gen0, 3u);
+}
+
+TEST(BaselineCache, MemoizesPerKey)
+{
+    auto &cache = sim::BaselineCache::instance();
+    cache.clear();
+    const auto rc = shortRun(0);
+    const std::uint64_t gen0 = cache.generations();
+    const auto a = cache.get(kWorkload, rc);
+    const auto b = cache.get(kWorkload, rc);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(cache.generations() - gen0, 1u);
+
+    auto other = rc;
+    other.maxInstrs += 500;
+    const auto c = cache.get(kWorkload, other);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(cache.generations() - gen0, 2u);
+
+    // The memoized baseline is the plain no-VP simulation.
+    pipe::NullPredictor none;
+    EXPECT_EQ(flat(a->stats),
+              flat(sim::runWorkload(kWorkload, &none, rc)));
+}
+
+TEST(Checkpoint, ZeroWarmupMatchesDirectRun)
+{
+    const auto rc = shortRun(0);
+    auto ops = sim::TraceCache::instance().get(
+        kWorkload, rc.maxInstrs, rc.traceSeed);
+    auto direct_vp = vp::makeSinglePredictor(pipe::ComponentId::LVP,
+                                             256);
+    const auto direct = sim::runTrace(*ops, direct_vp.get(), rc);
+    auto cached_vp = vp::makeSinglePredictor(pipe::ComponentId::LVP,
+                                             256);
+    const auto cached = sim::runWorkload(kWorkload, cached_vp.get(),
+                                         rc);
+    EXPECT_EQ(flat(direct), flat(cached));
+}
+
+TEST(Checkpoint, RestoreMatchesInlineWarmup)
+{
+    const auto rc = shortRun(6000);
+    auto ops = sim::TraceCache::instance().get(
+        kWorkload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+
+    // Reference: one core warms up and measures in a single life.
+    auto inline_vp = vp::makeSinglePredictor(pipe::ComponentId::SAP,
+                                             512);
+    const auto inline_stats =
+        sim::runTrace(*ops, inline_vp.get(), rc);
+
+    // Under test: restore from the process-wide checkpoint.
+    sim::CheckpointCache::instance().clear();
+    auto restored_vp = vp::makeSinglePredictor(pipe::ComponentId::SAP,
+                                               512);
+    const auto restored =
+        sim::runWorkload(kWorkload, restored_vp.get(), rc);
+
+    EXPECT_EQ(flat(inline_stats), flat(restored));
+}

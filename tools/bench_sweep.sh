@@ -1,0 +1,32 @@
+#!/bin/sh
+# Measure the configuration-sweep engine (warmup checkpointing +
+# baseline memoization) against the naive inline-warmup loop with the
+# optimized build (the `bench-release` CMake preset: Release, -O3,
+# LVPSIM_ASSERTIONS=OFF) and write the result as BENCH_sweep.json so
+# the repo keeps a committed record of the sweep speedup (see
+# docs/performance.md). The binary verifies counter-exact result
+# equality between the two engines before reporting anything.
+#
+# Usage: tools/bench_sweep.sh [output.json]
+#   LVPSIM_BENCH_JOBS=<n>  worker threads (default 1 — single-
+#                          threaded numbers are the comparable ones)
+#   LVPSIM_INSTRS / LVPSIM_WARMUP / LVPSIM_SUITE scale the run as
+#   everywhere else (defaults: 20000 instructions, warmup 2x that,
+#   full suite).
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-$src_dir/BENCH_sweep.json}
+jobs=${LVPSIM_BENCH_JOBS:-1}
+build_jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure (bench-release preset) =="
+cmake -S "$src_dir" --preset bench-release >/dev/null
+
+echo "== build sweep_throughput =="
+cmake --build "$src_dir/build-release" -j "$build_jobs" \
+    --target sweep_throughput
+
+echo "== measure (jobs=$jobs) =="
+"$src_dir/build-release/bench/sweep_throughput" \
+    --jobs "$jobs" --json "$out"

@@ -6,7 +6,7 @@
 # regress against (see docs/performance.md).
 #
 # Usage: tools/bench_throughput.sh [output.json]
-#   LVPSIM_BENCH_REPEAT=<n>  simulation passes per workload, fastest
+#   LVPSIM_BENCH_REPEAT=<n>  simulation passes per workload, median
 #                            kept (default 3)
 #   LVPSIM_BENCH_JOBS=<n>    worker threads (default 1 — single-
 #                            threaded numbers are the comparable ones)

@@ -2,8 +2,8 @@
 # Regression gate for the parallel suite runner: a suite run at
 # --jobs 4 must produce byte-identical per-workload results to
 # --jobs 1. Only the timing fields (wall_seconds / base_seconds /
-# vp_seconds) and the recorded jobs count may differ — those lines
-# are stripped before the diff (the schema pretty-prints one field
+# vp_seconds / checkpoint_seconds) and the recorded jobs count may
+# differ — those lines are stripped before the diff (the schema pretty-prints one field
 # per line precisely so this filter stays a one-liner; see
 # docs/results_schema.md).
 #
@@ -24,7 +24,7 @@ export LVPSIM_SUITE=${LVPSIM_SUITE:-smoke}
        --jobs 4 --json "$DIR/jobs4.json" > /dev/null
 
 strip_timing() {
-    grep -vE '"(wall_seconds|base_seconds|vp_seconds|jobs)"' "$1"
+    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs)"' "$1"
 }
 
 strip_timing "$DIR/jobs1.json" > "$DIR/jobs1.stripped"

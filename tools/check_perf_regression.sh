@@ -1,0 +1,82 @@
+#!/bin/sh
+# Throughput-regression gate: run a short micro_throughput slice and
+# compare per-workload kIPS against the committed baseline
+# (BENCH_throughput.json). The tolerance is deliberately generous —
+# CI machines vary widely, so only a collapse (several times slower
+# than the committed Release numbers) fails; gradual drift is tracked
+# by re-running tools/bench_throughput.sh instead.
+#
+# Usage: check_perf_regression.sh <micro_throughput> <baseline.json> \
+#            <build-type>
+#   LVPSIM_PERF_TOL=<x>  fail when kips < baseline/x (default 5.0)
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) on non-Release trees — debug or
+# assertion-laden builds are legitimately slower — and when python3
+# or the committed baseline is unavailable.
+set -eu
+
+bin=${1:?usage: check_perf_regression.sh <micro_throughput> <baseline.json> <build-type>}
+ref=${2:?missing baseline.json}
+build_type=${3:-}
+tol=${LVPSIM_PERF_TOL:-5.0}
+
+if [ "$build_type" != "Release" ]; then
+    echo "SKIP: build type '$build_type' is not Release;" \
+         "throughput numbers are only meaningful at -O3" \
+         "without assertions"
+    exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "SKIP: python3 not available"
+    exit 77
+fi
+if [ ! -f "$ref" ]; then
+    echo "SKIP: no committed baseline at $ref"
+    exit 77
+fi
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== measure (smoke suite, short slice) =="
+LVPSIM_SUITE=smoke LVPSIM_INSTRS=40000 \
+    "$bin" --repeat 3 --json "$dir/now.json"
+
+python3 - "$dir/now.json" "$ref" "$tol" <<'EOF'
+import json
+import sys
+
+now_path, ref_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+now = json.load(open(now_path))
+ref = json.load(open(ref_path))
+
+def kips_by_workload(doc):
+    return {r["workload"]: r["kips"] for r in doc["workloads"]
+            if r.get("kips")}
+
+now_k, ref_k = kips_by_workload(now), kips_by_workload(ref)
+shared = sorted(set(now_k) & set(ref_k))
+if not shared:
+    # The committed baseline covers the full suite; a smoke slice
+    # always intersects it, so an empty intersection means the
+    # baseline file is from another world. Don't guess.
+    print("SKIP: no common workloads between run and baseline")
+    sys.exit(77)
+
+failed = []
+for w in shared:
+    floor = ref_k[w] / tol
+    status = "ok" if now_k[w] >= floor else "REGRESSED"
+    print(f"  {w:24s} {now_k[w]:10.1f} kips "
+          f"(baseline {ref_k[w]:10.1f}, floor {floor:10.1f}) {status}")
+    if now_k[w] < floor:
+        failed.append(w)
+
+if failed:
+    print(f"FAIL: {len(failed)}/{len(shared)} workloads more than "
+          f"{tol}x slower than the committed baseline: "
+          + ", ".join(failed))
+    sys.exit(1)
+print(f"OK: {len(shared)} workloads within {tol}x of the committed "
+      "baseline")
+EOF

@@ -27,6 +27,11 @@ Checks (see docs/static_analysis.md for the rationale of each):
                   of them in DESIGN.md.
   header-hygiene  #pragma once, no `using namespace` at namespace
                   scope in headers, include-order sanity.
+  state-snapshot  every data member of a checkpointable class (one
+                  declaring both saveState and restoreState) is
+                  mentioned in both bodies, or carries a justified
+                  suppression — forgetting a member silently breaks
+                  checkpoint/restore bit-identity.
 
 Findings print as ``file:line: [check-id] message`` and the tool
 exits nonzero; ``--json`` emits the machine-readable equivalent.
@@ -715,6 +720,216 @@ class HeaderHygieneCheck(Check):
                     "%r); sort the block" % (path, prev[kind][1]),
                 )
             prev[kind] = (lineno, path)
+
+
+# ---------------------------------------------------------------------------
+# Check 6: state-snapshot completeness
+
+
+def find_matching_brace(text: str, open_idx: int) -> Optional[int]:
+    """Index of the '}' closing the '{' at open_idx, or None."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+@register
+class StateSnapshotCheck(Check):
+    """Checkpoint/restore (pipe::Core::saveState and friends) is only
+    bit-identical if every piece of mutable state reaches the
+    Snapshot.  A new data member that is forgotten in saveState /
+    restoreState compiles silently and corrupts restored runs in ways
+    only the differential tests can catch, long after the edit.  This
+    check makes the invariant static: in any class that declares both
+    saveState and restoreState, every data member must be mentioned
+    by name in both bodies — or carry a justified
+    ``// lvplint: allow(state-snapshot)`` explaining why it is not
+    checkpointed state (construction-time config, external wiring,
+    scratch buffers)."""
+
+    check_id = "state-snapshot"
+    description = (
+        "every data member of a class declaring saveState/"
+        "restoreState appears in both bodies (or is suppressed with "
+        "justification)"
+    )
+
+    CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
+    MEMBER_SKIP = {
+        "using", "typedef", "friend", "static", "template", "enum",
+        "class", "struct", "union", "operator", "virtual", "explicit",
+        "extern", "namespace", "public", "private", "protected",
+    }
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        for sf in tree.files:
+            if not (
+                sf.relpath.startswith("src/") and sf.is_header()
+            ):
+                continue
+            for name, start, end in self.class_bodies(sf.code):
+                yield from self.check_class(
+                    tree, sf, name, sf.code[start:end], start
+                )
+
+    def class_bodies(
+        self, code: str
+    ) -> Iterator[Tuple[str, int, int]]:
+        """(name, body_start, body_end) for every class/struct
+        definition, nested ones included."""
+        for m in self.CLASS_RE.finditer(code):
+            i = m.end()
+            while i < len(code) and code[i].isspace():
+                i += 1
+            if code.startswith("final", i):
+                i += len("final")
+            # Only a base clause or an immediate body counts as a
+            # definition; anything else (forward declaration,
+            # `template <class T>`, elaborated type) is skipped.
+            if i >= len(code) or code[i] not in ":{":
+                continue
+            while i < len(code) and code[i] not in "{;":
+                i += 1
+            if i >= len(code) or code[i] == ";":
+                continue
+            close = find_matching_brace(code, i)
+            if close is None:
+                continue
+            yield m.group(2), i + 1, close
+
+    def check_class(
+        self,
+        tree: Tree,
+        sf: SourceFile,
+        cls: str,
+        body: str,
+        body_off: int,
+    ) -> Iterator[Finding]:
+        members, has_save, has_restore = self.scan_members(
+            body, body_off
+        )
+        if not (has_save and has_restore):
+            return
+        save_body = self.function_body(tree, cls, body, "saveState")
+        restore_body = self.function_body(
+            tree, cls, body, "restoreState"
+        )
+        if save_body is None or restore_body is None:
+            # Declared but not defined anywhere in the scan set:
+            # nothing to cross-check (and nothing to anchor a line
+            # number to), so stay inert rather than guess.
+            return
+        for name, off in members:
+            pat = re.compile(r"\b%s\b" % re.escape(name))
+            missing = []
+            if not pat.search(save_body):
+                missing.append("saveState")
+            if not pat.search(restore_body):
+                missing.append("restoreState")
+            if missing:
+                line = sf.code.count("\n", 0, off) + 1
+                yield Finding(
+                    sf.relpath, line, self.check_id,
+                    "data member '%s' of checkpointable class '%s' "
+                    "is not mentioned in %s; checkpoint it in both "
+                    "or justify with a suppression"
+                    % (name, cls, " or ".join(missing)),
+                )
+
+    def scan_members(
+        self, body: str, body_off: int
+    ) -> Tuple[List[Tuple[str, int]], bool, bool]:
+        """Depth-1 member declarations as (name, code offset), plus
+        whether saveState / restoreState are declared or defined."""
+        members: List[Tuple[str, int]] = []
+        has_save = has_restore = False
+
+        def note_functions(stmt: str) -> None:
+            nonlocal has_save, has_restore
+            if re.search(r"\bsaveState\s*\(", stmt):
+                has_save = True
+            if re.search(r"\brestoreState\s*\(", stmt):
+                has_restore = True
+
+        def flush(stmt: str, start: Optional[int]) -> None:
+            note_functions(stmt)
+            # Any parenthesis marks a function declaration (possibly
+            # a trailing fragment of one whose brace-initialized
+            # default argument reset the statement) or a call-style
+            # initializer; neither is a plain data member.
+            if "(" in stmt or ")" in stmt or "[[" in stmt:
+                return
+            s = re.sub(r"\b(public|private|protected)\s*:", " ", stmt)
+            s = re.sub(r"=.*$", "", s, flags=re.S)
+            tokens = re.findall(r"[A-Za-z_]\w*", s)
+            if len(tokens) < 2 or tokens[0] in self.MEMBER_SKIP:
+                return
+            if start is not None:
+                members.append((tokens[-1], start))
+
+        depth = 1
+        stmt = ""
+        start: Optional[int] = None
+        i = 0
+        while i < len(body):
+            c = body[i]
+            if c == "{":
+                if depth == 1:
+                    # Function definition opening, or a brace
+                    # initializer / nested type body; either way the
+                    # statement so far may declare the snapshot pair.
+                    note_functions(stmt)
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 1:
+                    # Keep the statement only when it continues into
+                    # a ';' (brace-initialized member, `struct X {}
+                    # y;`); a function body ends the statement.
+                    j = i + 1
+                    while j < len(body) and body[j].isspace():
+                        j += 1
+                    if j >= len(body) or body[j] != ";":
+                        stmt, start = "", None
+            elif depth == 1:
+                if c == ";":
+                    flush(stmt, start)
+                    stmt, start = "", None
+                else:
+                    if start is None and not c.isspace():
+                        start = body_off + i
+                    stmt += c
+            i += 1
+        return members, has_save, has_restore
+
+    def function_body(
+        self, tree: Tree, cls: str, class_body: str, fn: str
+    ) -> Optional[str]:
+        """The body text of `fn`, defined inline in the class or
+        out-of-line as `cls::fn` anywhere in the scan set."""
+        m = re.search(
+            r"\b%s\s*\([^)]*\)\s*(?:const)?\s*\{" % fn, class_body
+        )
+        if m:
+            close = find_matching_brace(class_body, m.end() - 1)
+            if close is not None:
+                return class_body[m.end():close]
+        qualified = re.compile(r"\b%s\s*::\s*%s\s*\(" % (cls, fn))
+        for other in tree.files:
+            for qm in qualified.finditer(other.code):
+                open_idx = other.code.find("{", qm.end())
+                if open_idx < 0:
+                    continue
+                close = find_matching_brace(other.code, open_idx)
+                if close is not None:
+                    return other.code[open_idx + 1:close]
+        return None
 
 
 # ---------------------------------------------------------------------------

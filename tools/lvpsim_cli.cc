@@ -39,6 +39,7 @@ struct CliOptions
     std::string predictor = "composite";
     std::size_t entries = 1024;
     std::size_t instrs = 0;
+    std::size_t warmup = 0;
     std::string am = "none";
     bool smart = false;
     bool fusion = false;
@@ -65,6 +66,9 @@ usage()
         "  --entries <n>          total predictor entries\n"
         "  --instrs <n>           instructions (default "
         "LVPSIM_INSTRS or 150000)\n"
+        "  --warmup <n>           warmup instructions before "
+        "measurement (VP disabled;\n"
+        "                         default LVPSIM_WARMUP or 0)\n"
         "  --am none|m|pc|pcinf   accuracy monitor (composite only)\n"
         "  --smart                enable smart training\n"
         "  --fusion               enable table fusion\n"
@@ -107,6 +111,8 @@ parse(int argc, char **argv, CliOptions &o)
             o.entries = std::size_t(atoll(next("--entries")));
         else if (a == "--instrs")
             o.instrs = std::size_t(atoll(next("--instrs")));
+        else if (a == "--warmup")
+            o.warmup = std::size_t(atoll(next("--warmup")));
         else if (a == "--am")
             o.am = next("--am");
         else if (a == "--smart")
@@ -198,6 +204,7 @@ emitJson(const CliOptions &o, const sim::RunConfig &rc,
     sim::ReportMeta meta;
     meta.jobs = o.jobs;
     meta.maxInstrs = rc.maxInstrs;
+    meta.warmupInstrs = rc.warmupInstrs;
     meta.traceSeed = rc.traceSeed;
     meta.suite = suite_name;
     std::string err;
@@ -231,7 +238,10 @@ runSuite(const CliOptions &o, const sim::RunConfig &rc)
     t.print(std::cout);
     std::cout << "suite:      " << workloads.size()
               << " workloads x " << rc.maxInstrs
-              << " instructions, jobs " << o.jobs << "\n"
+              << " instructions, jobs " << o.jobs;
+    if (rc.warmupInstrs)
+        std::cout << ", warmup " << rc.warmupInstrs;
+    std::cout << "\n"
               << "predictor:  " << o.predictor << " ("
               << res.storageKB() << " KB)\n"
               << "geomean speedup: "
@@ -270,6 +280,7 @@ main(int argc, char **argv)
     }
     sim::RunConfig rc;
     rc.maxInstrs = o.instrs ? o.instrs : sim::instrsFromEnv(150000);
+    rc.warmupInstrs = o.warmup ? o.warmup : sim::warmupFromEnv();
     rc.traceSeed = o.seed;
 
     if (o.suite)
@@ -295,9 +306,11 @@ main(int argc, char **argv)
                       << "' (use --list)\n";
             return 2;
         }
-        ops = sim::TraceCache::instance().get(o.workload,
-                                              rc.maxInstrs,
-                                              rc.traceSeed);
+        // The trace covers the warmup region plus the measured
+        // region (runTrace simulates the warmup inline).
+        ops = sim::TraceCache::instance().get(
+            o.workload, rc.maxInstrs + rc.warmupInstrs,
+            rc.traceSeed);
     }
 
     if (!o.saveTrace.empty()) {

@@ -9,8 +9,12 @@
 # subsets:
 #
 #   -L smoke   fast unit/harness tests, including the --jobs 4
-#              parallel suite run (the TSan target of interest)
-#   -L fuzz    seeded property tests (fixed seeds, deterministic)
+#              parallel suite run and the CheckpointCache /
+#              BaselineCache concurrent-build tests in
+#              test_checkpoint.cc (the TSan targets of interest)
+#   -L fuzz    seeded property tests (fixed seeds, deterministic),
+#              including the checkpoint/restore fuzz in
+#              test_checkpoint_fuzz.cc
 #
 # Usage: tools/run_sanitizers.sh [source-dir]
 #   LVPSIM_SAN_JOBS=<n>   build/test parallelism (default: nproc)
