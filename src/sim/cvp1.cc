@@ -1,0 +1,261 @@
+#include "sim/cvp1.hh"
+
+#include <algorithm>
+
+namespace lvpsim
+{
+namespace cvp1
+{
+
+// --- PipelineVpAdapter ---------------------------------------------
+
+PipelineVpAdapter::Pending *
+PipelineVpAdapter::findPending(InstSeqNum seq_no)
+{
+    for (Pending &p : pending) {
+        if (p.seq == seq_no)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+PipelineVpAdapter::getPrediction(InstSeqNum seq_no, Addr pc,
+                                 Value &predicted_value)
+{
+    pipe::LoadProbe probe;
+    probe.pc = pc;
+    probe.token = seq_no;
+    for (const Pending &p : pending)
+        probe.inflightSamePc += p.pc == pc ? 1 : 0;
+
+    const pipe::Prediction pred = inner.predict(probe);
+    Pending entry;
+    entry.seq = seq_no;
+    entry.pc = pc;
+    // Only value predictions are expressible through the
+    // championship API; Kind::Address abstains (the PAQ mechanism
+    // has no equivalent in the cvp.h contract).
+    entry.predicted = pred.isValue();
+    entry.value = pred.value;
+    pending.push_back(entry);
+
+    predicted_value = pred.value;
+    return pred.isValue();
+}
+
+void
+PipelineVpAdapter::speculativeUpdate(InstSeqNum seq_no, bool eligible,
+                                     PredictionResult result, Addr pc,
+                                     Addr next_pc,
+                                     trace::CvpInstClass insn,
+                                     const RegId src[3], RegId dst)
+{
+    (void)result;
+    (void)src;
+    (void)dst;
+    switch (insn) {
+      case trace::CvpInstClass::CondBranch:
+        inner.notifyBranch(pc, next_pc != pc + 4, next_pc);
+        break;
+      case trace::CvpInstClass::UncondDirect:
+      case trace::CvpInstClass::UncondIndirect:
+        inner.notifyBranch(pc, true, next_pc);
+        break;
+      case trace::CvpInstClass::Load:
+        inner.notifyLoad(pc);
+        break;
+      default:
+        break;
+    }
+    if (!eligible) {
+        // A probe that turned out ineligible will never commit
+        // through updatePredictor's training path: release it now so
+        // the wrapped predictor's pending-probe invariant holds.
+        if (findPending(seq_no)) {
+            inner.abandon(seq_no);
+            pending.erase(
+                std::remove_if(pending.begin(), pending.end(),
+                               [&](const Pending &p) {
+                                   return p.seq == seq_no;
+                               }),
+                pending.end());
+        }
+    }
+}
+
+void
+PipelineVpAdapter::updatePredictor(InstSeqNum seq_no,
+                                   Addr actual_addr,
+                                   Value actual_value,
+                                   Cycle actual_latency)
+{
+    (void)actual_latency;
+    if (!pending.empty() && pending.front().seq == seq_no) {
+        const Pending p = pending.front();
+        pending.pop_front();
+        pipe::LoadOutcome out;
+        out.pc = p.pc;
+        out.token = p.seq;
+        out.effAddr = actual_addr;
+        // The championship contract carries no access size;
+        // predictions are over the full 64-bit value.
+        out.size = 8;
+        out.value = actual_value;
+        out.predictionUsed = p.predicted;
+        out.predictionCorrect =
+            p.predicted && p.value == actual_value;
+        inner.train(out);
+    }
+    inner.onRetire(1);
+}
+
+// --- TaggedLvpChampion ---------------------------------------------
+
+TaggedLvpChampion::TaggedLvpChampion(unsigned log2_entries)
+    : table(std::size_t(1) << log2_entries),
+      logEntries(log2_entries)
+{}
+
+std::size_t
+TaggedLvpChampion::index(Addr pc) const
+{
+    return std::size_t(pc >> 2) & ((std::size_t(1) << logEntries) - 1);
+}
+
+std::uint16_t
+TaggedLvpChampion::tag(Addr pc) const
+{
+    const std::uint64_t hi = pc >> (2 + logEntries);
+    return std::uint16_t(hi ^ (hi >> 16) ^ (hi >> 32));
+}
+
+bool
+TaggedLvpChampion::getPrediction(InstSeqNum seq_no, Addr pc,
+                                 Value &predicted_value)
+{
+    (void)seq_no;
+    const Entry &e = table[index(pc)];
+    if (e.tag != tag(pc) || e.conf < 7)
+        return false;
+    predicted_value = e.value;
+    return true;
+}
+
+void
+TaggedLvpChampion::speculativeUpdate(InstSeqNum seq_no, bool eligible,
+                                     PredictionResult result, Addr pc,
+                                     Addr next_pc,
+                                     trace::CvpInstClass insn,
+                                     const RegId src[3], RegId dst)
+{
+    (void)result;
+    (void)next_pc;
+    (void)insn;
+    (void)src;
+    (void)dst;
+    Inflight f;
+    f.seq = seq_no;
+    f.pc = pc;
+    f.eligible = eligible;
+    inflight.push_back(f);
+}
+
+void
+TaggedLvpChampion::updatePredictor(InstSeqNum seq_no,
+                                   Addr actual_addr,
+                                   Value actual_value,
+                                   Cycle actual_latency)
+{
+    (void)actual_addr;
+    (void)actual_latency;
+    while (!inflight.empty() && inflight.front().seq < seq_no)
+        inflight.pop_front();
+    if (inflight.empty() || inflight.front().seq != seq_no)
+        return;
+    const Inflight f = inflight.front();
+    inflight.pop_front();
+    if (!f.eligible)
+        return;
+    Entry &e = table[index(f.pc)];
+    if (e.tag != tag(f.pc)) {
+        e.tag = tag(f.pc);
+        e.conf = 0;
+        e.value = actual_value;
+        return;
+    }
+    if (e.value == actual_value) {
+        e.conf = std::uint8_t(std::min<unsigned>(e.conf + 1, 7));
+    } else {
+        e.conf = 0;
+        e.value = actual_value;
+    }
+}
+
+std::uint64_t
+TaggedLvpChampion::storageBits() const
+{
+    // 16-bit tag + 3-bit confidence + 64-bit value per entry.
+    return std::uint64_t(table.size()) * (16 + 3 + 64);
+}
+
+// --- championship harness ------------------------------------------
+
+ChampionshipStats
+runChampionship(const std::vector<trace::MicroOp> &ops,
+                Predictor &pred, std::size_t window)
+{
+    ChampionshipStats s;
+    const std::size_t n = ops.size();
+    if (window == 0)
+        window = 1;
+
+    auto fetch = [&](std::size_t i) {
+        const trace::MicroOp &op = ops[i];
+        const InstSeqNum seq = InstSeqNum(i) + 1;
+        const bool eligible = op.isPredictableLoad();
+        bool did = false;
+        Value pv = 0;
+        if (eligible) {
+            s.eligibleLoads++;
+            did = pred.getPrediction(seq, op.pc, pv);
+        }
+        PredictionResult result = PredictionResult::None;
+        if (did) {
+            s.predicted++;
+            if (pv == op.memValue) {
+                s.correct++;
+                result = PredictionResult::Correct;
+            } else {
+                s.incorrect++;
+                result = PredictionResult::Incorrect;
+            }
+        }
+        // The trace itself defines the fetch stream, so the true
+        // next PC is simply the next record's PC.
+        const Addr next_pc = i + 1 < n ? ops[i + 1].pc : op.pc + 4;
+        pred.speculativeUpdate(seq, eligible, result, op.pc, next_pc,
+                               trace::cvpClassOf(op.cls),
+                               op.src.data(), op.dst);
+    };
+
+    auto commit = [&](std::size_t i) {
+        const trace::MicroOp &op = ops[i];
+        const InstSeqNum seq = InstSeqNum(i) + 1;
+        const Addr addr = trace::isMemRef(op.cls) ? op.effAddr : 0;
+        const Value value = op.isLoad() ? op.memValue : 0;
+        pred.updatePredictor(seq, addr, value, 0);
+        s.instructions++;
+    };
+
+    std::size_t f = 0, c = 0;
+    while (c < n) {
+        while (f < n && f - c < window)
+            fetch(f++);
+        commit(c++);
+    }
+    return s;
+}
+
+} // namespace cvp1
+} // namespace lvpsim

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * CVP-1 championship API adapter: the `cvp.h` callback contract over
+ * lvpsim predictors.
+ *
+ * The CVP-1 infrastructure scores predictors through three seq_no'd
+ * callbacks — `getPrediction` at fetch, `speculativeUpdate` once the
+ * front end knows the instruction (trace-driven, so the prediction
+ * outcome is already known), and `updatePredictor` at commit with the
+ * architectural value. This header mirrors that contract
+ * (`cvp1::Predictor`), provides `PipelineVpAdapter` so any
+ * `pipe::LoadValuePredictor` (the composite, EVES, ...) can be driven
+ * through it unmodified, ships a small native reference predictor
+ * (`TaggedLvpChampion`), and implements the championship-style
+ * scoring harness (`runChampionship`) over any MicroOp stream.
+ *
+ * The namespace is `cvp1` (the championship), not to be confused with
+ * `vp`'s CVP component (the paper's Context Value Predictor).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "pipeline/lvp_interface.hh"
+#include "trace/cvp_trace.hh"
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace cvp1
+{
+
+/** Outcome of a prediction, as reported to speculativeUpdate. */
+enum class PredictionResult : std::uint8_t
+{
+    Incorrect = 0, ///< a value was predicted and it was wrong
+    Correct = 1,   ///< a value was predicted and it was right
+    None = 2,      ///< no prediction was made for this instruction
+};
+
+/**
+ * The championship predictor contract (mirrors `cvp.h`): three
+ * callbacks keyed by a monotonically increasing seq_no, called in
+ * fetch order for the first two and commit order for the third.
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /**
+     * Fetch-time probe for an eligible load.
+     * @param seq_no dynamic instruction sequence number (1-based)
+     * @param pc the load's program counter
+     * @param[out] predicted_value the predicted 64-bit value
+     * @return true to actually predict (false = abstain)
+     */
+    virtual bool getPrediction(InstSeqNum seq_no, Addr pc,
+                               Value &predicted_value) = 0;
+
+    /**
+     * Fetch-order notification once the instruction is decoded; in a
+     * trace-driven run the prediction outcome is already known.
+     *
+     * @param seq_no same numbering as getPrediction
+     * @param eligible true for predictable loads (getPrediction was
+     *        called for this seq_no)
+     * @param result how the prediction resolved (None when no
+     *        prediction was made)
+     * @param pc instruction address
+     * @param next_pc address of the next instruction in the stream
+     * @param insn CVP-1 instruction class
+     * @param src up to three source registers (invalidReg = unused)
+     * @param dst destination register (invalidReg = none)
+     */
+    virtual void speculativeUpdate(InstSeqNum seq_no, bool eligible,
+                                   PredictionResult result, Addr pc,
+                                   Addr next_pc,
+                                   trace::CvpInstClass insn,
+                                   const RegId src[3], RegId dst) = 0;
+
+    /**
+     * Commit-order training, called for every instruction.
+     * @param seq_no same numbering as getPrediction
+     * @param actual_addr memory address (0 for non-memory ops)
+     * @param actual_value architectural result (loads: the loaded
+     *        value; others: 0, untracked by the trace format)
+     * @param actual_latency observed load-to-use latency in cycles
+     *        (0 = not modeled)
+     */
+    virtual void updatePredictor(InstSeqNum seq_no, Addr actual_addr,
+                                 Value actual_value,
+                                 Cycle actual_latency) = 0;
+
+    /** Bit-exact storage cost of all prediction state. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Human-readable predictor name. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Drive any `pipe::LoadValuePredictor` through the championship API.
+ *
+ * Mapping: `getPrediction` issues a `predict()` probe (token =
+ * seq_no, inflightSamePc maintained from the adapter's outstanding
+ * probe list); only `Kind::Value` predictions are expressible through
+ * the championship interface — address predictions abstain.
+ * `speculativeUpdate` forwards branch/load fetch notifications;
+ * `updatePredictor` trains with the architectural outcome and ticks
+ * `onRetire`. Probes that can never train (ineligible after all) are
+ * abandoned, keeping the wrapped predictor's pending-probe invariant
+ * intact.
+ */
+class PipelineVpAdapter : public Predictor
+{
+  public:
+    /** @param vp the wrapped predictor; not owned, must outlive the
+     *         adapter */
+    explicit PipelineVpAdapter(pipe::LoadValuePredictor &vp)
+        : inner(vp)
+    {}
+
+    bool getPrediction(InstSeqNum seq_no, Addr pc,
+                       Value &predicted_value) override;
+    void speculativeUpdate(InstSeqNum seq_no, bool eligible,
+                           PredictionResult result, Addr pc,
+                           Addr next_pc, trace::CvpInstClass insn,
+                           const RegId src[3], RegId dst) override;
+    void updatePredictor(InstSeqNum seq_no, Addr actual_addr,
+                         Value actual_value,
+                         Cycle actual_latency) override;
+
+    std::uint64_t storageBits() const override
+    {
+        return inner.storageBits();
+    }
+
+    const char *name() const override { return inner.name(); }
+
+  private:
+    /** One outstanding getPrediction probe awaiting its commit. */
+    struct Pending
+    {
+        InstSeqNum seq = 0;
+        Addr pc = 0;
+        bool predicted = false; ///< a Kind::Value prediction was made
+        Value value = 0;        ///< ... this one
+    };
+
+    Pending *findPending(InstSeqNum seq_no);
+
+    pipe::LoadValuePredictor &inner;
+    std::deque<Pending> pending; ///< fetch order; bounded by window
+};
+
+/**
+ * A small native championship predictor (the "imported reference"
+ * role): a tagged last-value table with 3-bit confidence, predicting
+ * only at saturation — the classic LVP baseline, implemented directly
+ * against the cvp.h-style contract to demonstrate drop-in predictors.
+ */
+class TaggedLvpChampion : public Predictor
+{
+  public:
+    /** @param log2_entries table size (default 1024 entries) */
+    explicit TaggedLvpChampion(unsigned log2_entries = 10);
+
+    bool getPrediction(InstSeqNum seq_no, Addr pc,
+                       Value &predicted_value) override;
+    void speculativeUpdate(InstSeqNum seq_no, bool eligible,
+                           PredictionResult result, Addr pc,
+                           Addr next_pc, trace::CvpInstClass insn,
+                           const RegId src[3], RegId dst) override;
+    void updatePredictor(InstSeqNum seq_no, Addr actual_addr,
+                         Value actual_value,
+                         Cycle actual_latency) override;
+
+    std::uint64_t storageBits() const override;
+    const char *name() const override { return "tagged-lvp"; }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t conf = 0;
+        Value value = 0;
+    };
+
+    /** Pc→pc mapping of predictions in flight (seq → pc). */
+    struct Inflight
+    {
+        InstSeqNum seq = 0;
+        Addr pc = 0;
+        bool eligible = false;
+    };
+
+    std::size_t index(Addr pc) const;
+    std::uint16_t tag(Addr pc) const;
+
+    std::vector<Entry> table;
+    std::deque<Inflight> inflight;
+    unsigned logEntries;
+};
+
+/** Championship-style scoring counters for one run. */
+struct ChampionshipStats
+{
+    std::uint64_t instructions = 0;  ///< committed instructions
+    std::uint64_t eligibleLoads = 0; ///< predictable loads seen
+    std::uint64_t predicted = 0;     ///< getPrediction returned true
+    std::uint64_t correct = 0;       ///< predicted and value matched
+    std::uint64_t incorrect = 0;     ///< predicted and value differed
+
+    /** Fraction of eligible loads that were predicted correctly. */
+    double
+    coverage() const
+    {
+        return eligibleLoads
+                   ? double(correct) / double(eligibleLoads)
+                   : 0.0;
+    }
+
+    /** Fraction of issued predictions that were correct. */
+    double
+    accuracy() const
+    {
+        return predicted ? double(correct) / double(predicted) : 0.0;
+    }
+};
+
+/**
+ * Drive @p pred over @p ops with the cvp.h callback discipline:
+ * fetch-order getPrediction/speculativeUpdate running up to
+ * @p window instructions ahead of commit-order updatePredictor
+ * (mirroring the championship's in-flight window), seq_no's starting
+ * at 1. Eligibility is `MicroOp::isPredictableLoad()`.
+ */
+ChampionshipStats runChampionship(
+    const std::vector<trace::MicroOp> &ops, Predictor &pred,
+    std::size_t window = 256);
+
+} // namespace cvp1
+} // namespace lvpsim

@@ -98,7 +98,15 @@ BaselineCache::instance()
 BaselineCache::EntryPtr
 BaselineCache::get(const std::string &workload, const RunConfig &rc)
 {
-    const std::string key = runConfigKey(rc) + "#" + workload;
+    // Same discipline as CheckpointCache: the trace identity (not
+    // the raw spec string) joins the key, so file-backed traces key
+    // on content.
+    const std::string key =
+        runConfigKey(rc) + "#" +
+        TraceCache::instance()
+            .info(workload, rc.maxInstrs + rc.warmupInstrs,
+                  rc.traceSeed)
+            .identity;
 
     std::shared_ptr<Slot> slot;
     {
@@ -185,6 +193,10 @@ SuiteRunner::run(const std::string &label,
     auto runRow = [&](std::size_t i) {
         WorkloadResult &r = out.rows[i];
         r.workload = workloadNames[i];
+        const auto tinfo = TraceCache::instance().info(
+            r.workload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+        r.traceFormat = tinfo.format;
+        r.traceInstructions = tinfo.trace->size();
         const auto base = BaselineCache::instance().get(r.workload, rc);
         r.base = base->stats;
         r.baseSeconds = base->seconds;

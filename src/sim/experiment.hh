@@ -39,6 +39,12 @@ struct WorkloadResult
     pipe::SimStats withVp;
     std::uint64_t storageBits = 0;
 
+    /// Trace metadata: which TraceSource backend delivered the
+    /// instruction stream ("synthetic", "lvpt", or "cvp") and how
+    /// many instructions it held (measurement + warmup regions).
+    std::string traceFormat = "synthetic";
+    std::uint64_t traceInstructions = 0;
+
     /// Wall-clock timing (seconds). Informational only: excluded
     /// from determinism comparisons (see tools/check_determinism.sh).
     double baseSeconds = 0.0;
@@ -78,7 +84,8 @@ using PredictorFactory =
 
 /**
  * Process-wide, thread-safe memo of no-VP baseline runs, keyed by
- * runConfigKey() + workload, so a multi-suite binary (e.g. the fig
+ * runConfigKey() + the trace identity (TraceCache::Info::identity),
+ * so a multi-suite binary (e.g. the fig
  * benches) simulates each baseline exactly once no matter how many
  * SuiteRunners it creates. Same slot discipline as TraceCache /
  * CheckpointCache: one builder per key under a `std::once_flag`,

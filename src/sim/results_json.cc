@@ -70,6 +70,8 @@ toJson(const WorkloadResult &r)
 {
     JsonValue o = JsonValue::object();
     o.set("workload", JsonValue(r.workload));
+    o.set("trace_format", JsonValue(r.traceFormat));
+    o.set("trace_instructions", JsonValue(r.traceInstructions));
     o.set("storage_bits", JsonValue(r.storageBits));
     o.set("speedup", finiteOrNull(r.speedup()));
     o.set("coverage", finiteOrNull(r.coverage()));
@@ -92,6 +94,13 @@ workloadResultFromJson(const JsonValue &v, WorkloadResult &out)
     if (!name || !name->isString())
         return false;
     out.workload = name->asString();
+    // Pre-TraceSource files lack the trace metadata; keep the struct
+    // defaults ("synthetic", 0) for those.
+    if (const JsonValue *tf = v.find("trace_format"))
+        if (tf->isString())
+            out.traceFormat = tf->asString();
+    out.traceInstructions = std::uint64_t(
+        numberOr(v.find("trace_instructions"), 0.0));
     if (const JsonValue *sb = v.find("storage_bits"))
         out.storageBits = sb->asU64();
     const JsonValue *base = v.find("base");

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "trace/trace_spec.hh"
 #include "trace/workloads.hh"
 
 namespace lvpsim
@@ -112,9 +113,9 @@ TraceCache::instance()
     return c;
 }
 
-TraceCache::TracePtr
-TraceCache::get(const std::string &workload, std::size_t max_ops,
-                std::uint64_t seed)
+std::shared_ptr<TraceCache::Slot>
+TraceCache::ensure(const std::string &workload, std::size_t max_ops,
+                   std::uint64_t seed)
 {
     const std::string key = workload + "#" +
                             std::to_string(max_ops) + "#" +
@@ -136,16 +137,59 @@ TraceCache::get(const std::string &workload, std::size_t max_ops,
         (void)inserted;
     }
 
-    // Exactly one caller generates; concurrent callers for the same
-    // key block here until the trace is ready. call_once publishes
-    // slot->trace to every waiter.
+    // Exactly one caller generates (or loads); concurrent callers
+    // for the same key block here until the trace is ready.
+    // call_once publishes slot->trace to every waiter.
     std::call_once(slot->once, [&] {
-        slot->trace =
-            std::make_shared<const std::vector<trace::MicroOp>>(
-                trace::generateWorkload(workload, max_ops, seed));
+        const trace::TraceSpec spec = trace::parseTraceSpec(workload);
+        if (spec.kind == trace::TraceKind::Synthetic) {
+            // Identical to the historical path: generateWorkload
+            // output, bit for bit, and an identity that needs no
+            // file hashing.
+            slot->trace =
+                std::make_shared<const std::vector<trace::MicroOp>>(
+                    trace::generateWorkload(spec.name, max_ops,
+                                            seed));
+            slot->identity = "synth:" + spec.name + "#" +
+                             std::to_string(max_ops) + "#" +
+                             std::to_string(seed);
+            slot->format = "synthetic";
+        } else {
+            std::string err;
+            auto src =
+                trace::openTraceSource(spec, max_ops, seed, &err);
+            if (!src) {
+                lvp_fatal("cannot open trace '%s': %s",
+                          spec.name.c_str(), err.c_str());
+            }
+            // File traces are truncated to the run's instruction
+            // budget; the cap is part of the identity because it
+            // changes the delivered stream.
+            slot->trace =
+                std::make_shared<const std::vector<trace::MicroOp>>(
+                    trace::materialize(*src, max_ops));
+            slot->identity =
+                src->identity() + "#cap" + std::to_string(max_ops);
+            slot->format = src->format();
+        }
         generated.fetch_add(1, std::memory_order_relaxed);
     });
-    return slot->trace;
+    return slot;
+}
+
+TraceCache::TracePtr
+TraceCache::get(const std::string &workload, std::size_t max_ops,
+                std::uint64_t seed)
+{
+    return ensure(workload, max_ops, seed)->trace;
+}
+
+TraceCache::Info
+TraceCache::info(const std::string &workload, std::size_t max_ops,
+                 std::uint64_t seed)
+{
+    auto slot = ensure(workload, max_ops, seed);
+    return Info{slot->trace, slot->identity, slot->format};
 }
 
 void
@@ -167,7 +211,15 @@ CheckpointCache::get(const std::string &workload, const RunConfig &rc)
 {
     lvp_assert(rc.warmupInstrs > 0,
                "CheckpointCache::get with zero warmup");
-    const std::string key = runConfigKey(rc) + "#" + workload;
+    // Key on the trace identity, not the raw spec string: for
+    // file-backed traces the identity embeds a content hash, so a
+    // rewritten file can never alias a stale checkpoint.
+    const std::string key =
+        runConfigKey(rc) + "#" +
+        TraceCache::instance()
+            .info(workload, rc.maxInstrs + rc.warmupInstrs,
+                  rc.traceSeed)
+            .identity;
 
     std::shared_ptr<Slot> slot;
     {

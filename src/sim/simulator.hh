@@ -62,7 +62,14 @@ pipe::SimStats runTrace(const std::vector<trace::MicroOp> &ops,
                         const RunConfig &rc);
 
 /**
- * Generate (or fetch from cache) a workload's trace.
+ * Generate or load (and cache) a workload's trace.
+ *
+ * The workload argument is a trace *spec* (see trace/trace_spec.hh):
+ * a bare synthetic kernel name, `lvpt:PATH` for a recorded binary, or
+ * `cvp:PATH` for a CVP-1 championship trace. File-backed traces are
+ * truncated to max_ops instructions (0 = whole file) and an
+ * unreadable file is fatal() — callers wanting a recoverable error
+ * should probe with `trace::openTraceSource` first.
  *
  * Thread-safe: any number of workers may call get() concurrently,
  * including for the same (workload, max_ops, seed) key. Each distinct
@@ -77,8 +84,27 @@ class TraceCache
   public:
     using TracePtr = std::shared_ptr<const std::vector<trace::MicroOp>>;
 
+    /** A cached trace plus the metadata the sim layer keys on. */
+    struct Info
+    {
+        TracePtr trace;
+        /**
+         * Trace identity for cache keys (TraceSource::identity plus
+         * the truncation budget): equal identity => bit-identical
+         * instruction stream. CheckpointCache and BaselineCache fold
+         * this into their runConfigKey()-based keys so a rewritten
+         * trace file can never alias a stale entry.
+         */
+        std::string identity;
+        std::string format; ///< "synthetic", "lvpt", or "cvp"
+    };
+
     TracePtr get(const std::string &workload, std::size_t max_ops,
                  std::uint64_t seed);
+
+    /** Like get(), but also returning identity and format. */
+    Info info(const std::string &workload, std::size_t max_ops,
+              std::uint64_t seed);
 
     /** Number of traces actually generated (not cache hits). */
     std::uint64_t generations() const
@@ -97,7 +123,13 @@ class TraceCache
     {
         std::once_flag once;
         TracePtr trace;
+        std::string identity;
+        std::string format;
     };
+
+    std::shared_ptr<Slot> ensure(const std::string &workload,
+                                 std::size_t max_ops,
+                                 std::uint64_t seed);
 
     mutable std::shared_mutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never
@@ -129,7 +161,9 @@ struct SimCheckpoint
 
 /**
  * Process-wide, thread-safe memo of post-warmup checkpoints, keyed by
- * runConfigKey() + workload. Same slot discipline as TraceCache: each
+ * runConfigKey() + the trace identity (TraceCache::Info::identity, so
+ * file-backed traces key on content, not path). Same slot discipline
+ * as TraceCache: each
  * distinct key is simulated exactly once under a per-key
  * `std::once_flag`; concurrent callers for the same key block until
  * the checkpoint is ready, other keys proceed unimpeded.

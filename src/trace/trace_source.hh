@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The TraceSource abstraction: one interface over every way lvpsim
+ * can obtain a dynamic instruction stream.
+ *
+ * Historically the simulator knew exactly one frontend — the 28
+ * synthetic kernels behind `generateWorkload()`. TraceSource turns
+ * "where instructions come from" into a seam with three backends:
+ *
+ *  - SyntheticSource   wraps a registered kernel; bit-identical to
+ *                      the historical `generateWorkload()` output.
+ *  - RecordedSource    replays a `.lvpt` file written by trace_io
+ *                      (the compact versioned binary format).
+ *  - CvpTraceSource    parses a CVP-1 championship trace
+ *                      (`cvp_trace.hh`), optionally gzip-compressed.
+ *
+ * Downstream consumers (`pipe::Core`, the qa differential harness)
+ * take a materialized `std::vector<MicroOp>`; `materialize()` is the
+ * bridge. See docs/traces.md for the contract and the on-disk
+ * formats.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+/**
+ * A deterministic, replayable stream of dynamic instructions.
+ *
+ * Contract:
+ *  - `next()` yields instructions in program order and returns false
+ *    at end of stream (the out-parameter is untouched on false);
+ *  - `reset()` rewinds to the first instruction; a reset source
+ *    replays the exact same stream (bit-identical MicroOps);
+ *  - `instructionCount()` is the total stream length, known up front
+ *    for every current backend;
+ *  - `name()` is the human-facing workload label (kernel name or
+ *    file path), `format()` the backend tag ("synthetic", "lvpt",
+ *    "cvp"), and `identity()` a string that changes whenever the
+ *    stream content could change — the sweep-engine caches key on it
+ *    (see `sim::runConfigKey` and docs/traces.md §"Trace identity").
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Yield the next instruction; false at end of stream. */
+    virtual bool next(MicroOp &op) = 0;
+
+    /** Rewind to the beginning; the replayed stream is identical. */
+    virtual void reset() = 0;
+
+    /** Total number of instructions in the stream. */
+    virtual std::size_t instructionCount() const = 0;
+
+    /** Workload label: kernel name or trace file path. */
+    virtual const std::string &name() const = 0;
+
+    /** Backend tag: "synthetic", "lvpt", or "cvp". */
+    virtual const char *format() const = 0;
+
+    /**
+     * Cache-key component: two sources with equal identity() must
+     * yield bit-identical streams. Synthetic sources derive it from
+     * (kernel, length, seed); file-backed sources include a content
+     * hash so an overwritten file never aliases a stale cache entry.
+     */
+    virtual std::string identity() const = 0;
+};
+
+/**
+ * Shared backend base: the whole stream held in memory with a replay
+ * cursor. All three current backends materialize eagerly (traces at
+ * lvpsim's scale fit comfortably; a future streaming backend only
+ * needs to implement the TraceSource interface itself).
+ */
+class BufferedTraceSource : public TraceSource
+{
+  public:
+    bool
+    next(MicroOp &op) override
+    {
+        if (cursor >= ops.size())
+            return false;
+        op = ops[cursor++];
+        return true;
+    }
+
+    void reset() override { cursor = 0; }
+
+    std::size_t instructionCount() const override { return ops.size(); }
+
+    const std::string &name() const override { return label; }
+
+    /** Direct read-only access to the buffered stream (no copy). */
+    const std::vector<MicroOp> &instructions() const { return ops; }
+
+  protected:
+    /** @param workload_label value returned by name() */
+    explicit BufferedTraceSource(std::string workload_label)
+        : label(std::move(workload_label))
+    {}
+
+    std::vector<MicroOp> ops; ///< the materialized stream
+    std::size_t cursor = 0;   ///< replay position
+
+  private:
+    std::string label;
+};
+
+/**
+ * The synthetic-kernel backend: generates a registered workload's
+ * trace, bit-identical to `generateWorkload(name, max_ops, seed)`.
+ */
+class SyntheticSource : public BufferedTraceSource
+{
+  public:
+    /**
+     * @param workload registered kernel name (fatal if unknown, like
+     *        `generateWorkload`)
+     * @param max_ops dynamic instruction budget
+     * @param seed trace generation seed
+     */
+    SyntheticSource(const std::string &workload, std::size_t max_ops,
+                    std::uint64_t seed = 1);
+
+    const char *format() const override { return "synthetic"; }
+
+    std::string identity() const override;
+
+  private:
+    std::size_t maxOps;
+    std::uint64_t seed;
+};
+
+/**
+ * The recorded-binary backend: replays a `.lvpt` file written by
+ * `writeTrace` / `recordTrace` (magic "LVPT", versioned header; see
+ * docs/traces.md §"Recorded binary format").
+ */
+class RecordedSource : public BufferedTraceSource
+{
+  public:
+    /**
+     * Open and fully parse @p path.
+     * @return the source, or nullptr with @p error set (missing
+     *         file, bad magic, version skew, truncation).
+     */
+    static std::unique_ptr<RecordedSource>
+    open(const std::string &path, std::string *error = nullptr);
+
+    const char *format() const override { return "lvpt"; }
+
+    std::string identity() const override;
+
+  private:
+    explicit RecordedSource(std::string path)
+        : BufferedTraceSource(std::move(path))
+    {}
+
+    std::uint64_t contentHash = 0;
+};
+
+/**
+ * Drain @p src from its current position into a vector, stopping
+ * after @p max_ops instructions (0 = unbounded).
+ */
+std::vector<MicroOp> materialize(TraceSource &src,
+                                 std::size_t max_ops = 0);
+
+/**
+ * The recorder half of the RecordedSource pair: drain @p src (from
+ * its current position) and write the stream as a `.lvpt` file.
+ *
+ * @param src any TraceSource (synthetic, CVP, or recorded)
+ * @param path output file
+ * @param max_ops cap on recorded instructions (0 = whole stream)
+ * @param error human-readable reason on failure
+ * @return number of instructions written, or 0 on failure (an empty
+ *         source also records 0 — check @p error to distinguish)
+ */
+std::size_t recordTrace(TraceSource &src, const std::string &path,
+                        std::size_t max_ops = 0,
+                        std::string *error = nullptr);
+
+/** FNV-1a content hash over a MicroOp stream (identity() helper). */
+std::uint64_t hashTrace(const std::vector<MicroOp> &ops);
+
+/**
+ * Stable single-line rendering of one MicroOp, e.g.
+ * `pc=0x4000 cls=4 dst=3 src=1,-,- ea=0x10000 sz=8 val=0x2a
+ * excl=0 taken=0 tgt=0x0` — the format golden-trace fixtures are
+ * diffed in (the `.golden` files under tests/data).
+ */
+std::string debugString(const MicroOp &op);
+
+} // namespace trace
+} // namespace lvpsim

@@ -1,0 +1,63 @@
+#include "trace/trace_spec.hh"
+
+#include "trace/cvp_trace.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+bool
+hasPrefix(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+} // anonymous namespace
+
+TraceSpec
+parseTraceSpec(const std::string &spec)
+{
+    if (hasPrefix(spec, "synth:"))
+        return {TraceKind::Synthetic, spec.substr(6)};
+    if (hasPrefix(spec, "lvpt:"))
+        return {TraceKind::Lvpt, spec.substr(5)};
+    if (hasPrefix(spec, "cvp:"))
+        return {TraceKind::Cvp, spec.substr(4)};
+    return {TraceKind::Synthetic, spec};
+}
+
+std::string
+traceSpecString(const TraceSpec &spec)
+{
+    switch (spec.kind) {
+      case TraceKind::Synthetic: return spec.name;
+      case TraceKind::Lvpt: return "lvpt:" + spec.name;
+      case TraceKind::Cvp: return "cvp:" + spec.name;
+    }
+    return spec.name;
+}
+
+std::unique_ptr<TraceSource>
+openTraceSource(const TraceSpec &spec, std::size_t max_ops,
+                std::uint64_t seed, std::string *error)
+{
+    switch (spec.kind) {
+      case TraceKind::Synthetic:
+        return std::make_unique<SyntheticSource>(spec.name, max_ops,
+                                                 seed);
+      case TraceKind::Lvpt:
+        return RecordedSource::open(spec.name, error);
+      case TraceKind::Cvp:
+        return CvpTraceSource::open(spec.name, error, max_ops);
+    }
+    if (error)
+        *error = "unknown trace kind";
+    return nullptr;
+}
+
+} // namespace trace
+} // namespace lvpsim

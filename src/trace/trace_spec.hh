@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload specs: the one-string naming scheme that selects a
+ * TraceSource backend.
+ *
+ * Everywhere lvpsim used to take a synthetic kernel name (CLI
+ * `--workloads`, SuiteRunner rows, cache keys) it now takes a *spec*:
+ *
+ *  - `NAME` or `synth:NAME`  — the registered synthetic kernel NAME;
+ *  - `lvpt:PATH`             — a recorded `.lvpt` binary trace;
+ *  - `cvp:PATH`              — a CVP-1 championship trace
+ *                              (optionally gzip-compressed).
+ *
+ * Bare names stay synthetic, so every historical workload string is
+ * still a valid spec with unchanged meaning. See docs/traces.md.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+/** Which TraceSource backend a spec selects. */
+enum class TraceKind
+{
+    Synthetic, ///< generated kernel (SyntheticSource)
+    Lvpt,      ///< recorded `.lvpt` binary (RecordedSource)
+    Cvp,       ///< CVP-1 championship trace (CvpTraceSource)
+};
+
+/** A parsed workload spec: backend + kernel name or file path. */
+struct TraceSpec
+{
+    TraceKind kind = TraceKind::Synthetic;
+    std::string name; ///< kernel name (Synthetic) or file path
+};
+
+/**
+ * Parse a spec string (see the file comment for the grammar). Never
+ * fails: an unknown prefix is simply part of a synthetic kernel name
+ * (kernel names contain no ':', so the prefixes cannot collide).
+ */
+TraceSpec parseTraceSpec(const std::string &spec);
+
+/** Canonical spec string (bare name for synthetic kernels). */
+std::string traceSpecString(const TraceSpec &spec);
+
+/**
+ * Instantiate the backend a spec selects.
+ *
+ * @param spec parsed workload spec
+ * @param max_ops instruction budget: generation length for synthetic
+ *        kernels, parse bound for CVP files (0 = unbounded); `.lvpt`
+ *        replay is bounded downstream by `materialize`
+ * @param seed synthetic generation seed (ignored for file backends)
+ * @param[out] error reason on failure (file backends only; unknown
+ *             synthetic kernels abort, matching `generateWorkload`)
+ * @return the source, or nullptr with @p error set
+ */
+std::unique_ptr<TraceSource>
+openTraceSource(const TraceSpec &spec, std::size_t max_ops,
+                std::uint64_t seed, std::string *error = nullptr);
+
+} // namespace trace
+} // namespace lvpsim

@@ -2,8 +2,11 @@
 # Regression gate for the parallel suite runner: a suite run at
 # --jobs 4 must produce byte-identical per-workload results to
 # --jobs 1. Only the timing fields (wall_seconds / base_seconds /
-# vp_seconds / checkpoint_seconds) and the recorded jobs count may
-# differ — those lines are stripped before the diff (the schema pretty-prints one field
+# vp_seconds / checkpoint_seconds), the recorded jobs count, and the
+# per-trace metadata (trace_format / trace_instructions — stable
+# run-to-run, but stripped so this gate also diffs cleanly against
+# JSON written before those fields existed) may differ — those lines
+# are stripped before the diff (the schema pretty-prints one field
 # per line precisely so this filter stays a one-liner; see
 # docs/results_schema.md).
 #
@@ -24,7 +27,7 @@ export LVPSIM_SUITE=${LVPSIM_SUITE:-smoke}
        --jobs 4 --json "$DIR/jobs4.json" > /dev/null
 
 strip_timing() {
-    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs)"' "$1"
+    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions)"' "$1"
 }
 
 strip_timing "$DIR/jobs1.json" > "$DIR/jobs1.stripped"

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's Markdown documentation.
+
+Scans every tracked ``*.md`` file for inline Markdown links and
+verifies that
+
+* relative file targets exist (``docs/traces.md``, ``src/...``), and
+* anchor targets (``#some-heading``, ``other.md#section``) match a
+  heading in the target file, using GitHub's slugification rules
+  (lowercase, punctuation stripped, spaces to hyphens, duplicate
+  slugs suffixed ``-1``, ``-2``, ...).
+
+External links (``http://``, ``https://``, ``mailto:``) are out of
+scope — this gate is about keeping *internal* cross-references from
+rotting as files are renamed and sections reworded.
+
+Usage::
+
+    python3 tools/check_doc_links.py [--root DIR]
+
+Exits 0 when every link resolves, 1 otherwise (one line per broken
+link).  Wired into ctest as the lint-labeled ``docs_links`` test and
+into tools/ci.sh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links: [text](target) — tolerates one level of nested
+# brackets in the text, and an optional "title" after the target.
+LINK_RE = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+# Directories never scanned for Markdown (generated or third-party).
+SKIP_DIRS = {".git", "build", "docs-api", "__pycache__", ".claude"}
+
+
+def github_slug(heading: str) -> str:
+    """Slugify a heading the way GitHub's anchor generator does."""
+    # Inline code/emphasis markers contribute their text only.
+    text = re.sub(r"[`*_]", "", heading)
+    # Links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: str) -> list[str]:
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def non_code_lines(path: str) -> list[tuple[int, str]]:
+    """Lines of a Markdown file with fenced code blocks blanked."""
+    lines = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                lines.append((lineno, line.rstrip("\n")))
+    return lines
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    """The set of valid anchor slugs in a Markdown file."""
+    if path in cache:
+        return cache[path]
+    slugs: set = set()
+    counts: dict = {}
+    for _, line in non_code_lines(path):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def strip_inline_code(line: str) -> str:
+    """Blank out `inline code` spans so links inside them are ignored."""
+    return re.sub(r"`[^`]*`", "``", line)
+
+
+def check_file(md: str, root: str, anchor_cache: dict) -> list[str]:
+    errors = []
+    rel_md = os.path.relpath(md, root)
+    for lineno, raw in non_code_lines(md):
+        for m in LINK_RE.finditer(strip_inline_code(raw)):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target) or target.startswith("//"):
+                continue  # http:, https:, mailto:, protocol-relative
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel_md}:{lineno}: broken link "
+                                  f"'{target}' (no such file)")
+                    continue
+            else:
+                dest = md  # same-file anchor
+            if anchor:
+                if not dest.endswith(".md") or os.path.isdir(dest):
+                    continue  # anchors into non-Markdown: not checked
+                if github_slug(anchor) not in anchors_of(
+                        dest, anchor_cache):
+                    errors.append(f"{rel_md}:{lineno}: broken anchor "
+                                  f"'{target}' (no such heading in "
+                                  f"{os.path.relpath(dest, root)})")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    anchor_cache: dict = {}
+    errors = []
+    files = markdown_files(root)
+    for md in files:
+        errors.extend(check_file(md, root, anchor_cache))
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_doc_links: {len(errors)} broken link(s) across "
+              f"{len(files)} Markdown file(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} Markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

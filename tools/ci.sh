@@ -32,4 +32,10 @@ ctest --test-dir "$build" -L 'smoke|lint' --output-on-failure \
 echo "== lvplint =="
 python3 tools/lint/lvplint.py --root .
 
+echo "== docs links =="
+python3 tools/check_doc_links.py --root .
+
+echo "== docs (strict doxygen; skips when not installed) =="
+cmake --build "$build" --target docs
+
 echo "ci.sh: all gates green"

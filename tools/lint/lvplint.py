@@ -21,7 +21,11 @@ Checks (see docs/static_analysis.md for the rationale of each):
                   hot path must use ring_buffer.hh / flat_map.hh.
   stats-schema    every counter registered in
                   src/pipeline/sim_stats.cc documented in
-                  docs/results_schema.md, and vice versa.
+                  docs/results_schema.md, and vice versa; likewise
+                  every per-workload JSON field written by
+                  src/sim/results_json.cc against the schema doc's
+                  "## Workload row" table (trace_format,
+                  trace_instructions, ...).
   config-sync     the Table III constants in
                   src/pipeline/core_config.hh match every statement
                   of them in DESIGN.md.
@@ -388,15 +392,21 @@ class StatsSchemaCheck(Check):
     """docs/results_schema.md documents every counter that
     pipe::forEachCounter enumerates (visitScalars registrations plus
     the componentCounterName-prefixed arrays), and documents nothing
-    that does not exist.  Keeps the JSON results contract honest."""
+    that does not exist.  Also cross-checks the per-workload JSON row:
+    every field the writer emits (``o.set("...")`` in
+    ``toJson(const WorkloadResult &)``) must appear in the schema
+    doc's "## Workload row" table, and vice versa.  Keeps the JSON
+    results contract honest."""
 
     check_id = "stats-schema"
     description = (
-        "counter registrations in src/pipeline/sim_stats.cc match "
+        "counter registrations in src/pipeline/sim_stats.cc and the "
+        "per-workload JSON fields of src/sim/results_json.cc match "
         "docs/results_schema.md in both directions"
     )
 
     STATS_CC = "src/pipeline/sim_stats.cc"
+    RESULTS_CC = "src/sim/results_json.cc"
     SCHEMA_MD = "docs/results_schema.md"
     # Recomputable from the raw counters; documented but never
     # registered (see the schema doc's "derived" paragraph).
@@ -405,8 +415,14 @@ class StatsSchemaCheck(Check):
     REG_RE = re.compile(r'\bfn\(\s*"([a-z0-9_]+)"')
     PREFIX_RE = re.compile(r'componentCounterName\(\s*"([a-z0-9_]+_)"')
     KEY_RE = re.compile(r'^\s*"([a-z0-9_]+)"\s*:', re.M)
+    ROW_SET_RE = re.compile(r'o\.set\(\s*"([a-z0-9_]+)"')
+    ROW_FIELD_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|", re.M)
 
     def run(self, tree: Tree) -> Iterator[Finding]:
+        yield from self.counters_check(tree)
+        yield from self.workload_row_check(tree)
+
+    def counters_check(self, tree: Tree) -> Iterator[Finding]:
         cc = tree.read(self.STATS_CC)
         md = tree.read(self.SCHEMA_MD)
         if cc is None or md is None:
@@ -480,6 +496,99 @@ class StatsSchemaCheck(Check):
                     "documented counter family '%sN' has no "
                     "componentCounterName registration" % prefix,
                 )
+
+    def workload_row_check(self, tree: Tree) -> Iterator[Finding]:
+        cc = tree.read(self.RESULTS_CC)
+        md = tree.read(self.SCHEMA_MD)
+        if cc is None or md is None:
+            # Inert without its subjects, like the counter check (the
+            # lint fixtures carry neither file).
+            return
+        body = self.workload_row_writer_body(cc)
+        if body is None:
+            yield Finding(
+                self.RESULTS_CC, 0, self.check_id,
+                "cannot locate toJson(const WorkloadResult &); the "
+                "workload-row schema cross-check needs it",
+            )
+            return
+        body_text, body_line = body
+        written = self.ROW_SET_RE.findall(body_text)
+
+        table = self.workload_row_table(md)
+        if table is None:
+            yield Finding(
+                self.SCHEMA_MD, 0, self.check_id,
+                'no field table under a "## Workload row" heading; '
+                "cannot cross-check the per-workload JSON fields",
+            )
+            return
+        table_text, table_line = table
+        documented = self.ROW_FIELD_RE.findall(table_text)
+
+        for name in written:
+            if name not in documented:
+                yield Finding(
+                    self.RESULTS_CC,
+                    body_line + self.offset_of(body_text,
+                                               '"%s"' % name),
+                    self.check_id,
+                    "workload-row field '%s' is written but missing "
+                    "from the %s \"Workload row\" table"
+                    % (name, self.SCHEMA_MD),
+                )
+        for name in documented:
+            if name not in written:
+                yield Finding(
+                    self.SCHEMA_MD, table_line, self.check_id,
+                    "documented workload-row field '%s' is never "
+                    "written by %s" % (name, self.RESULTS_CC),
+                )
+
+    @staticmethod
+    def workload_row_writer_body(cc: str) -> Optional[Tuple[str, int]]:
+        """Body of toJson(const WorkloadResult &) with its 1-based
+        start line, delimited by the first unindented '}'."""
+        lines = cc.splitlines()
+        start = None
+        for i, line in enumerate(lines):
+            if "toJson(const WorkloadResult" in line:
+                start = i
+                break
+        if start is None:
+            return None
+        for j in range(start + 1, len(lines)):
+            if lines[j].startswith("}"):
+                return "\n".join(lines[start:j + 1]), start + 1
+        return None
+
+    @staticmethod
+    def workload_row_table(md: str) -> Optional[Tuple[str, int]]:
+        """The '## Workload row' section with its 1-based start
+        line (field names are the backticked first table column)."""
+        lines = md.splitlines()
+        in_section = False
+        start = None
+        for i, line in enumerate(lines):
+            if line.startswith("## "):
+                if in_section:
+                    return "\n".join(lines[start:i]), start + 1
+                in_section = line.strip().lower().startswith(
+                    "## workload row"
+                )
+                if in_section:
+                    start = i
+                continue
+        if in_section and start is not None:
+            return "\n".join(lines[start:]), start + 1
+        return None
+
+    @staticmethod
+    def offset_of(text: str, needle: str) -> int:
+        for i, line in enumerate(text.splitlines()):
+            if needle in line:
+                return i
+        return 0
 
     @staticmethod
     def stats_object_block(md: str) -> Optional[Tuple[str, int]]:

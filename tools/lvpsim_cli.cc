@@ -16,9 +16,12 @@
 #include <memory>
 #include <string>
 
+#include <fstream>
+
 #include "core/composite.hh"
 #include "core/eves.hh"
 #include "core/oracle.hh"
+#include "sim/cvp1.hh"
 #include "sim/experiment.hh"
 #include "sim/options.hh"
 #include "sim/parallel_executor.hh"
@@ -26,6 +29,7 @@
 #include "sim/simulator.hh"
 #include "sim/tableio.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_spec.hh"
 #include "trace/workloads.hh"
 
 using namespace lvpsim;
@@ -48,7 +52,11 @@ struct CliOptions
     bool verbose = false;
     std::uint64_t seed = 1;
     std::string saveTrace;
+    std::string saveCvp;
     std::string loadTrace;
+    std::string traceFile;
+    std::string traceFormat = "auto";
+    bool championship = false;
     bool suite = false;
     std::size_t jobs = 1;
     std::string jsonPath;
@@ -84,9 +92,24 @@ usage()
         "docs/results_schema.md\n"
         "  --seed <n>             trace seed\n"
         "  --save-trace <file>    write the workload trace (.lvpt)\n"
+        "  --save-cvp <file>      export the trace in CVP-1 format\n"
+        "                         (.gz suffix = gzip-compressed)\n"
         "  --load-trace <file>    run a saved trace instead of a\n"
         "                         generated workload\n"
-        "  --verbose              dump full run statistics\n";
+        "  --trace <file>         run a trace file (see "
+        "--trace-format)\n"
+        "  --trace-format <f>     auto|lvpt|cvp (default auto: "
+        "sniff the\n"
+        "                         LVPT magic, else CVP-1)\n"
+        "  --championship         score the predictor through the "
+        "CVP-1\n"
+        "                         championship API instead of the "
+        "pipeline\n"
+        "                         (adds predictor 'tagged-lvp')\n"
+        "  --verbose              dump full run statistics\n\n"
+        "  --workload also accepts trace specs: NAME (synthetic "
+        "kernel),\n"
+        "  lvpt:PATH, cvp:PATH (see docs/traces.md)\n";
 }
 
 bool
@@ -136,8 +159,16 @@ parse(int argc, char **argv, CliOptions &o)
             o.seed = std::uint64_t(atoll(next("--seed")));
         else if (a == "--save-trace")
             o.saveTrace = next("--save-trace");
+        else if (a == "--save-cvp")
+            o.saveCvp = next("--save-cvp");
         else if (a == "--load-trace")
             o.loadTrace = next("--load-trace");
+        else if (a == "--trace")
+            o.traceFile = next("--trace");
+        else if (a == "--trace-format")
+            o.traceFormat = next("--trace-format");
+        else if (a == "--championship")
+            o.championship = true;
         else if (a == "--verbose")
             o.verbose = true;
         else if (a == "--help" || a == "-h") {
@@ -193,6 +224,19 @@ makePredictor(const CliOptions &o, std::size_t instrs)
     }
     std::cerr << "unknown predictor '" << o.predictor << "'\n";
     std::exit(2);
+}
+
+/** Sniff a trace file's format: the LVPT magic means a recorded
+ *  binary, anything else (including gzip) is treated as CVP-1. */
+std::string
+sniffTraceFormat(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    char m[4] = {0, 0, 0, 0};
+    is.read(m, 4);
+    if (is.gcount() == 4 && std::memcmp(m, "LVPT", 4) == 0)
+        return "lvpt";
+    return "cvp";
 }
 
 /** Write a results document; false (after complaining) on error. */
@@ -286,32 +330,52 @@ main(int argc, char **argv)
     if (o.suite)
         return runSuite(o, rc);
 
-    // Obtain the trace: from file or from a generated workload.
-    std::vector<trace::MicroOp> loaded;
-    std::shared_ptr<const std::vector<trace::MicroOp>> ops;
-    std::string source = o.workload;
-    if (!o.loadTrace.empty()) {
-        std::string err;
-        if (!trace::loadTraceFile(o.loadTrace, loaded, &err)) {
-            std::cerr << "cannot load trace: " << err << "\n";
+    // Resolve the workload spec (see docs/traces.md): --trace FILE
+    // (format sniffed or forced) takes precedence; --load-trace is
+    // the historical spelling of --trace --trace-format lvpt;
+    // otherwise --workload is itself a spec (bare kernel name,
+    // lvpt:PATH or cvp:PATH).
+    std::string spec = o.workload;
+    if (!o.traceFile.empty()) {
+        std::string fmt = o.traceFormat;
+        if (fmt == "auto")
+            fmt = sniffTraceFormat(o.traceFile);
+        if (fmt != "lvpt" && fmt != "cvp") {
+            std::cerr << "bad --trace-format '" << o.traceFormat
+                      << "' (want auto, lvpt or cvp)\n";
             return 2;
         }
-        ops = std::make_shared<const std::vector<trace::MicroOp>>(
-            std::move(loaded));
-        source = o.loadTrace;
-    } else {
+        spec = fmt + ":" + o.traceFile;
+    } else if (!o.loadTrace.empty()) {
+        spec = "lvpt:" + o.loadTrace;
+    }
+
+    const trace::TraceSpec parsed = trace::parseTraceSpec(spec);
+    if (parsed.kind == trace::TraceKind::Synthetic) {
         if (!trace::WorkloadRegistry::instance().contains(
-                o.workload)) {
-            std::cerr << "unknown workload '" << o.workload
+                parsed.name)) {
+            std::cerr << "unknown workload '" << parsed.name
                       << "' (use --list)\n";
             return 2;
         }
-        // The trace covers the warmup region plus the measured
-        // region (runTrace simulates the warmup inline).
-        ops = sim::TraceCache::instance().get(
-            o.workload, rc.maxInstrs + rc.warmupInstrs,
-            rc.traceSeed);
+    } else {
+        // Probe the file up front for a friendly error (TraceCache
+        // would fatal() instead). A one-record bound keeps the
+        // probe cheap for large CVP traces.
+        std::string err;
+        if (!trace::openTraceSource(parsed, 1, rc.traceSeed, &err)) {
+            std::cerr << "cannot load trace '" << parsed.name
+                      << "': " << err << "\n";
+            return 2;
+        }
     }
+
+    // The trace covers the warmup region plus the measured region
+    // (runTrace simulates the warmup inline); file-backed traces are
+    // truncated to that budget.
+    const auto ops = sim::TraceCache::instance().get(
+        spec, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+    const std::string source = spec;
 
     if (!o.saveTrace.empty()) {
         if (!trace::saveTraceFile(o.saveTrace, *ops)) {
@@ -321,6 +385,20 @@ main(int argc, char **argv)
         std::cout << "wrote " << ops->size() << " ops to "
                   << o.saveTrace << "\n";
     }
+    if (!o.saveCvp.empty()) {
+        const bool gz = o.saveCvp.size() > 3 &&
+                        o.saveCvp.compare(o.saveCvp.size() - 3, 3,
+                                          ".gz") == 0;
+        std::string err;
+        if (!trace::saveCvpTraceFile(o.saveCvp, *ops, gz, &err)) {
+            std::cerr << "cannot write " << o.saveCvp << ": " << err
+                      << "\n";
+            return 2;
+        }
+        std::cout << "wrote " << ops->size() << " ops to "
+                  << o.saveCvp << " (CVP-1"
+                  << (gz ? ", gzip" : "") << ")\n";
+    }
 
     if (o.classify) {
         const auto b = vp::classifyLoadPatterns(*ops);
@@ -328,6 +406,35 @@ main(int argc, char **argv)
                   << "%  pattern2 " << 100.0 * b.frac2()
                   << "%  pattern3 " << 100.0 * b.frac3() << "%  ("
                   << b.total() << " loads)\n";
+        return 0;
+    }
+
+    if (o.championship) {
+        // Score through the cvp.h-style callback contract instead of
+        // the cycle-level pipeline.
+        std::unique_ptr<pipe::LoadValuePredictor> inner;
+        std::unique_ptr<cvp1::Predictor> champ;
+        if (o.predictor == "tagged-lvp") {
+            champ = std::make_unique<cvp1::TaggedLvpChampion>();
+        } else {
+            inner = makePredictor(o, rc.maxInstrs);
+            champ = std::make_unique<cvp1::PipelineVpAdapter>(*inner);
+        }
+        const auto cs = cvp1::runChampionship(*ops, *champ);
+        std::cout << "workload:    " << source << "\n"
+                  << "predictor:   " << champ->name()
+                  << " (championship API, "
+                  << double(champ->storageBits()) / 8192.0
+                  << " KB)\n"
+                  << "instructions: " << cs.instructions << "\n"
+                  << "eligible loads: " << cs.eligibleLoads << "\n"
+                  << "predicted:   " << cs.predicted << "  (correct "
+                  << cs.correct << ", incorrect " << cs.incorrect
+                  << ")\n"
+                  << "coverage:    " << 100.0 * cs.coverage()
+                  << "%\n"
+                  << "accuracy:    " << 100.0 * cs.accuracy()
+                  << "%\n";
         return 0;
     }
 
@@ -358,6 +465,10 @@ main(int argc, char **argv)
         res.storageBits = pred->storageBits();
         sim::WorkloadResult row;
         row.workload = source;
+        const auto tinfo = sim::TraceCache::instance().info(
+            source, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
+        row.traceFormat = tinfo.format;
+        row.traceInstructions = tinfo.trace->size();
         row.base = base;
         row.withVp = s;
         row.storageBits = pred->storageBits();
