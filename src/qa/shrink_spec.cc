@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Candidate generation for Shrinkable<trace::KernelSpec>.
+ *
+ * Ordering matters: structural deletions (phase chunks, stream
+ * chunks — halves down to singles, mirroring shrinkTrace's chunk
+ * schedule) come before field minimization, so the greedy loop
+ * removes whole dimensions of the workload before polishing numbers.
+ * Every candidate is validated; invalid mutations are dropped rather
+ * than repaired so the shrinker stays inside the DSL's invariants.
+ */
+
+#include "qa/shrink_spec.hh"
+
+#include <algorithm>
+
+namespace lvpsim
+{
+namespace qa
+{
+
+using trace::ChaseOrder;
+using trace::FillKind;
+using trace::GlueOp;
+using trace::KernelSpec;
+using trace::MixStrategy;
+using trace::PatternKind;
+using trace::StreamSpec;
+
+namespace
+{
+
+void
+pushIfValid(std::vector<KernelSpec> &out, KernelSpec cand)
+{
+    if (trace::validateKernelSpec(cand).empty())
+        out.push_back(std::move(cand));
+}
+
+/** Delete [i, i+len) chunks at halving granularities. */
+template <typename Vec, typename Emit>
+void
+chunkDeletions(const Vec &xs, const Emit &emit)
+{
+    for (std::size_t len = xs.size() / 2; len >= 1; len /= 2) {
+        for (std::size_t i = 0; i + len <= xs.size(); i += len) {
+            Vec smaller;
+            smaller.reserve(xs.size() - len);
+            smaller.insert(smaller.end(), xs.begin(), xs.begin() + i);
+            smaller.insert(smaller.end(), xs.begin() + i + len,
+                           xs.end());
+            if (!smaller.empty())
+                emit(std::move(smaller));
+        }
+        if (len == 1)
+            break;
+    }
+}
+
+/** Halve @p v toward @p floor (first jump-to-floor, then halving). */
+std::vector<std::uint64_t>
+smallerValues(std::uint64_t v, std::uint64_t floor)
+{
+    std::vector<std::uint64_t> out;
+    if (v <= floor)
+        return out;
+    out.push_back(floor);
+    for (std::uint64_t c = v / 2; c > floor; c /= 2)
+        out.push_back(c);
+    return out;
+}
+
+} // anonymous namespace
+
+std::size_t
+Shrinkable<KernelSpec>::size(const KernelSpec &spec)
+{
+    std::size_t n = spec.phases.size();
+    for (const auto &ph : spec.phases)
+        n += ph.streams.size();
+    return n;
+}
+
+std::vector<KernelSpec>
+Shrinkable<KernelSpec>::candidates(const KernelSpec &spec)
+{
+    std::vector<KernelSpec> out;
+
+    // 1. Drop phase chunks.
+    chunkDeletions(spec.phases, [&](auto phases) {
+        KernelSpec c;
+        c.phases = std::move(phases);
+        pushIfValid(out, std::move(c));
+    });
+
+    // 2. Drop stream chunks inside each phase.
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi)
+        chunkDeletions(spec.phases[pi].streams, [&](auto streams) {
+            KernelSpec c = spec;
+            c.phases[pi].streams = std::move(streams);
+            pushIfValid(out, std::move(c));
+        });
+
+    // 3. Phase-field minimization: fewer iterations, plain mix,
+    //    automatic base address.
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        const auto &ph = spec.phases[pi];
+        for (std::uint64_t it : smallerValues(ph.iters, 1)) {
+            KernelSpec c = spec;
+            c.phases[pi].iters = it;
+            pushIfValid(out, std::move(c));
+        }
+        if (ph.mix != MixStrategy::Seq) {
+            KernelSpec c = spec;
+            c.phases[pi].mix = MixStrategy::Seq;
+            pushIfValid(out, std::move(c));
+        }
+        if (ph.base != 0) {
+            KernelSpec c = spec;
+            c.phases[pi].base = 0;
+            pushIfValid(out, std::move(c));
+        }
+    }
+
+    // 4. Stream-field minimization toward the kind's defaults.
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        for (std::size_t si = 0; si < spec.phases[pi].streams.size();
+             ++si) {
+            const StreamSpec &s = spec.phases[pi].streams[si];
+            const StreamSpec def = trace::defaultStream(s.kind);
+            auto mutate = [&](auto fn) {
+                KernelSpec c = spec;
+                fn(c.phases[pi].streams[si]);
+                pushIfValid(out, std::move(c));
+            };
+            if (s.weight > 1)
+                for (std::uint64_t w : smallerValues(s.weight, 1))
+                    mutate([&](StreamSpec &m) {
+                        m.weight = unsigned(w);
+                    });
+            for (std::uint64_t v : smallerValues(s.wset, 2))
+                mutate([&](StreamSpec &m) { m.wset = v; });
+            for (std::uint64_t v :
+                 smallerValues(s.period, def.period))
+                mutate([&](StreamSpec &m) {
+                    m.period = unsigned(v);
+                });
+            for (std::uint64_t v :
+                 smallerValues(s.entries, def.entries))
+                mutate([&](StreamSpec &m) {
+                    m.entries = unsigned(v);
+                });
+            if (s.step != def.step)
+                mutate([&](StreamSpec &m) { m.step = def.step; });
+            if (s.esz != 8)
+                mutate([&](StreamSpec &m) { m.esz = 8; });
+            if (s.glue != GlueOp::Add)
+                mutate([&](StreamSpec &m) { m.glue = GlueOp::Add; });
+            if (s.fill != FillKind::Seq)
+                mutate([&](StreamSpec &m) {
+                    m.fill = FillKind::Seq;
+                });
+            if (s.fillBase != def.fillBase || s.fillStep != def.fillStep)
+                mutate([&](StreamSpec &m) {
+                    m.fillBase = def.fillBase;
+                    m.fillStep = def.fillStep;
+                });
+            if (s.value != def.value)
+                mutate([&](StreamSpec &m) { m.value = def.value; });
+            if (s.order != ChaseOrder::Zigzag)
+                mutate([&](StreamSpec &m) {
+                    m.order = ChaseOrder::Zigzag;
+                });
+        }
+    }
+    return out;
+}
+
+} // namespace qa
+} // namespace lvpsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Failure-case shrinking for structured inputs.
+ *
+ * shrinkTrace() (shrink.hh) only knows how to chunk-delete event
+ * vectors; a falsified *workload-space* property needs its
+ * counterexample minimized over spec structure instead: drop phases,
+ * drop streams, then shrink fields toward their defaults. The
+ * Shrinkable trait supplies typed candidate lists and
+ * shrinkStructured() runs the same greedy keep-if-still-failing loop
+ * over them, so any structured input type can opt in by specializing
+ * Shrinkable<T>.
+ *
+ * Shrinkable<trace::KernelSpec> is provided here: candidates are
+ * ordered structure-first (phase chunks, stream chunks) and every
+ * candidate is pre-filtered through validateKernelSpec(), so the
+ * shrinker never proposes a spec the generator could not have
+ * produced. A failing multi-phase, multi-stream spec typically lands
+ * on a single-phase, single-stream witness
+ * (tests/test_spec_shrink.cc).
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "qa/shrink.hh"
+#include "trace/kernel_spec.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/**
+ * Trait for structure-aware shrinking: candidates() lists strictly
+ * "smaller" variants of @p value, most aggressive first; size()
+ * reports a monotone complexity measure for ShrinkStats.
+ */
+template <typename T>
+struct Shrinkable; // specialize per input type
+
+template <>
+struct Shrinkable<trace::KernelSpec>
+{
+    static std::vector<trace::KernelSpec>
+    candidates(const trace::KernelSpec &spec);
+
+    /** Phases plus total streams plus field distance from defaults. */
+    static std::size_t size(const trace::KernelSpec &spec);
+};
+
+/**
+ * Greedily minimize @p failing (for which @p holds returns false)
+ * over Shrinkable<T>::candidates(). Returns an input that still
+ * falsifies the property and admits no smaller failing candidate.
+ */
+template <typename T>
+T
+shrinkStructured(T failing,
+                 const std::function<bool(const T &)> &holds,
+                 ShrinkStats *stats = nullptr,
+                 unsigned max_rounds = 64)
+{
+    ShrinkStats local;
+    local.originalOps = Shrinkable<T>::size(failing);
+    for (unsigned round = 0; round < max_rounds; ++round) {
+        bool progressed = false;
+        for (const T &cand : Shrinkable<T>::candidates(failing)) {
+            ++local.candidatesTried;
+            if (!holds(cand)) {
+                failing = cand;
+                progressed = true;
+                break; // restart from the new, smaller witness
+            }
+        }
+        if (!progressed)
+            break;
+    }
+    local.finalOps = Shrinkable<T>::size(failing);
+    if (stats)
+        *stats = local;
+    return failing;
+}
+
+} // namespace qa
+} // namespace lvpsim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * KernelSpec generation: random draws shaped to satisfy the DSL's
+ * validation rules by construction (stride working sets sized from
+ * the phase's iteration count, chase laps aligned to the cycle
+ * length, fill widths compatible with the element size), so every
+ * generated spec is usable without rejection sampling.
+ */
+
+#include "qa/spec_gen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+using trace::ChaseOrder;
+using trace::FillKind;
+using trace::GlueOp;
+using trace::KernelSpec;
+using trace::MixStrategy;
+using trace::PatternKind;
+using trace::PhaseSpec;
+using trace::StreamSpec;
+
+namespace
+{
+
+GlueOp
+genGlue(Gen &g)
+{
+    switch (g.below(4)) {
+      case 0:
+        return GlueOp::Add;
+      case 1:
+        return GlueOp::Xor;
+      case 2:
+        return GlueOp::Fadd;
+      default:
+        return GlueOp::None;
+    }
+}
+
+void
+genFill(Gen &g, StreamSpec &s)
+{
+    if (s.esz == 8 && g.chance(0.3)) {
+        s.fill = FillKind::Rng;
+    } else {
+        s.fill = FillKind::Seq;
+        s.fillBase = g.below(1u << 16);
+        s.fillStep = 1 + g.below(s.esz == 4 ? 255 : 4096);
+    }
+}
+
+} // anonymous namespace
+
+KernelSpec
+genKernelSpec(Gen &g, const SpecGenConfig &cfg)
+{
+    KernelSpec spec;
+    const unsigned nPhases = 1 + unsigned(g.below(cfg.maxPhases));
+    for (unsigned pi = 0; pi < nPhases; ++pi) {
+        PhaseSpec ph;
+        const unsigned nStreams = 1 + unsigned(g.below(cfg.maxStreams));
+
+        // Draw kinds first; pointer-walk constraints (stride needs
+        // iters*weight <= wset, chase needs iters % wset == 0) are
+        // mutually awkward, so a phase gets stride xor chase.
+        std::vector<PatternKind> kinds;
+        bool haveChase = false, haveStride = false;
+        for (unsigned si = 0; si < nStreams; ++si) {
+            std::vector<PatternKind> pool{PatternKind::Const,
+                                          PatternKind::Ctx};
+            if (cfg.allowPick)
+                pool.push_back(PatternKind::Pick);
+            if (!haveChase)
+                pool.push_back(PatternKind::Stride);
+            if (cfg.allowChase && !haveChase && !haveStride)
+                pool.push_back(PatternKind::Chase);
+            const PatternKind k = g.pick(pool);
+            haveChase |= k == PatternKind::Chase;
+            haveStride |= k == PatternKind::Stride;
+            kinds.push_back(k);
+        }
+
+        const bool lastPhase = pi + 1 == nPhases;
+        std::uint64_t chaseW = 0;
+        if (haveChase)
+            chaseW = 4 + g.below(61); // [4, 64] nodes
+
+        if (lastPhase && cfg.allowInfinite && !haveStride &&
+            g.chance(0.3)) {
+            ph.iters = 0;
+        } else {
+            ph.iters = g.range(4, 512);
+            if (haveChase) // aligned laps over the cycle
+                ph.iters = chaseW * g.range(1, 4);
+        }
+        ph.mix = static_cast<MixStrategy>(g.below(3));
+        if (g.chance(0.1)) // mostly auto bases; sometimes explicit
+            ph.base = 0x10000000 + Addr(pi) * 0x08000000;
+
+        for (unsigned si = 0; si < nStreams; ++si) {
+            StreamSpec s = trace::defaultStream(kinds[si]);
+            s.glue = genGlue(g);
+            s.weight = 1 + unsigned(g.below(4));
+            switch (s.kind) {
+              case PatternKind::Const:
+                s.value = g.interestingValue();
+                if (g.chance(0.25))
+                    s.esz = 4;
+                break;
+              case PatternKind::Ctx:
+                s.period = 2 + unsigned(g.below(255));
+                if (g.chance(0.25))
+                    s.esz = 4;
+                genFill(g, s);
+                break;
+              case PatternKind::Pick:
+                s.entries = 2 + unsigned(g.below(63));
+                if (g.chance(0.25))
+                    s.esz = 4;
+                genFill(g, s);
+                break;
+              case PatternKind::Stride: {
+                if (ph.mix == MixStrategy::Random)
+                    s.weight = 1; // reps share the pointer; see
+                                  // validateKernelSpec()
+                if (g.chance(0.25))
+                    s.esz = 4;
+                s.step = std::int64_t(s.esz) *
+                         std::int64_t(1 + g.below(4));
+                const std::uint64_t need =
+                    ph.iters * std::uint64_t(s.weight);
+                s.wset = std::max<std::uint64_t>(
+                    2, need + g.below(need + 2));
+                genFill(g, s);
+                break;
+              }
+              case PatternKind::Chase:
+                s.weight = 1;
+                s.wset = chaseW;
+                s.step = 24 + std::int64_t(g.below(105)); // [24,128]
+                s.order = g.chance(0.5) ? ChaseOrder::Shuffle
+                                        : ChaseOrder::Zigzag;
+                break;
+            }
+            ph.streams.push_back(s);
+        }
+        spec.phases.push_back(ph);
+    }
+
+    const std::string why = trace::validateKernelSpec(spec);
+    lvp_assert(why.empty(), "genKernelSpec produced invalid spec: %s",
+               why.c_str());
+    return spec;
+}
+
+} // namespace qa
+} // namespace lvpsim

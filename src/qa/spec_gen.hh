@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Seeded KernelSpec generator: workload-space fuzzing.
+ *
+ * genKernelSpec() draws a random — but valid by construction — spec
+ * from the DSL's parameter space: 1..3 phases, 1..4 streams each,
+ * mixed pattern primitives, weights, working-set sizes, fills and
+ * mix strategies. Together with trace::computeTruthProfile() this
+ * turns the property tier from seed-space fuzzing (one fixed kernel,
+ * many seeds) into workload-space fuzzing (many kernels with known
+ * ground truth); see docs/kernel_dsl.md.
+ */
+
+#pragma once
+
+#include "qa/generators.hh"
+#include "trace/kernel_spec.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** Bounds for genKernelSpec(). */
+struct SpecGenConfig
+{
+    unsigned maxPhases = 3;
+    unsigned maxStreams = 4;
+    /** Allow a final infinite (iters=0) phase. */
+    bool allowInfinite = true;
+    /** Allow Pick streams (statistical rather than exact truth). */
+    bool allowPick = true;
+    /** Allow Chase streams (flag-dependent op counts). */
+    bool allowChase = true;
+};
+
+/**
+ * Draw a random valid spec. The result always passes
+ * trace::validateKernelSpec() and round-trips through the `synth:`
+ * grammar.
+ */
+trace::KernelSpec genKernelSpec(Gen &g, const SpecGenConfig &cfg = {});
+
+} // namespace qa
+} // namespace lvpsim

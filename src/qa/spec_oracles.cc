@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ideal family-model replay (see spec_oracles.hh for semantics).
+ */
+
+#include "qa/spec_oracles.hh"
+
+#include <array>
+#include <unordered_map>
+
+namespace lvpsim
+{
+namespace qa
+{
+
+namespace
+{
+
+/** FNV-1a over the last 8 values: the ctx8 context id. */
+std::uint64_t
+hashHistory(const std::array<Value, 8> &h)
+{
+    std::uint64_t x = 1469598103934665603ull;
+    for (Value v : h) {
+        x ^= v;
+        x *= 1099511628211ull;
+    }
+    return x;
+}
+
+struct PcState
+{
+    bool haveLast = false;
+    Value lastVal = 0;
+    unsigned addrCount = 0;
+    Addr a1 = 0, a0 = 0;
+
+    std::array<Value, 8> hist{}; ///< last 8 values, oldest first
+    unsigned histLen = 0;
+
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<Value, Value> ctx1Map;
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<std::uint64_t, Value> ctx8Map;
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<Addr, Addr> cap1Map;
+};
+
+} // anonymous namespace
+
+OracleFamilyCounts
+measureIdealFamilies(const std::vector<trace::MicroOp> &ops)
+{
+    OracleFamilyCounts out;
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<Addr, PcState> byPc;
+
+    for (const trace::MicroOp &op : ops) {
+        if (!op.isPredictableLoad())
+            continue;
+        PcState &st = byPc[op.pc];
+        const Addr addr = op.effAddr;
+        const Value val = op.memValue;
+        ++out.loads;
+
+        bool any = false;
+        if (st.haveLast && val == st.lastVal) {
+            ++out.lvp;
+            any = true;
+        }
+        if (st.addrCount >= 2 && addr == 2 * st.a1 - st.a0) {
+            ++out.sap;
+            any = true;
+        }
+        if (st.haveLast) {
+            auto it = st.ctx1Map.find(st.lastVal);
+            if (it != st.ctx1Map.end() && it->second == val) {
+                ++out.ctx1;
+                any = true;
+            }
+            st.ctx1Map[st.lastVal] = val;
+        }
+        if (st.histLen == 8) {
+            const std::uint64_t id = hashHistory(st.hist);
+            auto it = st.ctx8Map.find(id);
+            if (it != st.ctx8Map.end() && it->second == val) {
+                ++out.ctx8;
+                any = true;
+            }
+            st.ctx8Map[id] = val;
+        }
+        if (st.addrCount >= 1) {
+            auto it = st.cap1Map.find(st.a1);
+            if (it != st.cap1Map.end() && it->second == addr) {
+                ++out.cap1;
+                any = true;
+            }
+            st.cap1Map[st.a1] = addr;
+        }
+        if (any)
+            ++out.unionHits;
+
+        st.lastVal = val;
+        st.haveLast = true;
+        st.a0 = st.a1;
+        st.a1 = addr;
+        if (st.addrCount < 2)
+            ++st.addrCount;
+        if (st.histLen < 8) {
+            st.hist[st.histLen++] = val;
+        } else {
+            for (unsigned i = 0; i + 1 < 8; ++i)
+                st.hist[i] = st.hist[i + 1];
+            st.hist[7] = val;
+        }
+    }
+    return out;
+}
+
+} // namespace qa
+} // namespace lvpsim

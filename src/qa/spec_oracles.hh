@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Measured ideal-predictor family models for real traces.
+ *
+ * measureIdealFamilies() replays infinite-capacity, zero-latency
+ * per-PC models over a MicroOp stream and counts, per predictable
+ * load, which predictor *family* would have been correct:
+ *
+ *   - lvp:  last value of this PC (Pattern-1)
+ *   - sap:  address stride 2*a1 - a0, value read from static memory
+ *           (Pattern-2; address equality, matching spec_truth.cc)
+ *   - ctx1: value observed after this PC's previous value (order-1
+ *           value context, Pattern-3)
+ *   - ctx8: value observed after the hash of this PC's last 8 values
+ *           (deep context; upper-bounds finite-order VTAGE-like
+ *           predictors)
+ *   - cap1: address observed after this PC's previous address
+ *           (order-1 address context)
+ *
+ * The per-load union of the five families upper-bounds any composite
+ * built from them; the fuzz tier checks the real composite never
+ * beats it (tests/test_spec_fuzz.cc) and the coverage_frontier tool
+ * reports the gap per spec. The lvp / sap / ctx1 / cap1 update rules
+ * are exactly those of trace::computeTruthProfile(), so measured
+ * counts are comparable to analytic ground truth.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace lvpsim
+{
+namespace qa
+{
+
+/** Per-family ideal hit counts over one trace. */
+struct OracleFamilyCounts
+{
+    std::uint64_t loads = 0; ///< predictable loads examined
+    std::uint64_t lvp = 0;
+    std::uint64_t sap = 0;
+    std::uint64_t ctx1 = 0;
+    std::uint64_t ctx8 = 0;
+    std::uint64_t cap1 = 0;
+    /** Loads at least one family predicted correctly. */
+    std::uint64_t unionHits = 0;
+
+    double
+    unionFrac() const
+    {
+        return loads == 0 ? 0.0 : double(unionHits) / double(loads);
+    }
+};
+
+/** Replay the ideal family models over @p ops. */
+OracleFamilyCounts
+measureIdealFamilies(const std::vector<trace::MicroOp> &ops);
+
+} // namespace qa
+} // namespace lvpsim

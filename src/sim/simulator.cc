@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "trace/kernel_spec.hh"
 #include "trace/trace_spec.hh"
 #include "trace/workloads.hh"
 
@@ -150,8 +151,11 @@ TraceCache::ensure(const std::string &workload, std::size_t max_ops,
                 std::make_shared<const std::vector<trace::MicroOp>>(
                     trace::generateWorkload(spec.name, max_ops,
                                             seed));
-            slot->identity = "synth:" + spec.name + "#" +
-                             std::to_string(max_ops) + "#" +
+            // Canonicalized so equivalent kernel-spec spellings
+            // share TraceCache / checkpoint-cache entries.
+            slot->identity = "synth:" +
+                             trace::canonicalSyntheticName(spec.name) +
+                             "#" + std::to_string(max_ops) + "#" +
                              std::to_string(seed);
             slot->format = "synthetic";
         } else {

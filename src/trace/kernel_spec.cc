@@ -1,0 +1,680 @@
+/**
+ * @file
+ * KernelSpec grammar: parse, canonical print, validation.
+ *
+ * The grammar (docs/kernel_dsl.md):
+ *
+ *     spec   := phase (';' phase)*
+ *     phase  := '[' kv (',' kv)* ']' stream (',' stream)*
+ *             | '[' ']' stream (',' stream)*
+ *     stream := kind '(' [kv (',' kv)*] ')' ['*' weight]
+ *     kind   := 'const' | 'stride' | 'ctx' | 'pick' | 'chase'
+ *     kv     := key '=' value
+ *
+ * Values are decimal or 0x-hex integers, or the keyword enums (mix,
+ * fill, order, glue). Whitespace is insignificant. Canonical printing
+ * uses a fixed parameter order and elides kind defaults, so
+ * parse -> print -> parse is a fixed point and equivalent spellings
+ * share one canonical identity.
+ */
+
+#include "trace/kernel_spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "trace/workloads.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+// The grammar's key vocabulary, kept in sync with the field table in
+// docs/kernel_dsl.md by lvplint's config-sync check (both directions:
+// every name here must appear in the doc table and vice versa).
+const char *const kSpecGrammarFields[] = {
+    "iters", "mix", "base",                         // phase keys
+    "v", "wset", "step", "esz", "fill", "v0", "dv", // stream keys
+    "period", "k", "order", "glue",                 // stream keys
+};
+const std::size_t kSpecGrammarFieldCount =
+    sizeof(kSpecGrammarFields) / sizeof(kSpecGrammarFields[0]);
+
+namespace
+{
+
+constexpr Addr autoBase = 0x60000000;
+constexpr Addr autoSpacing = 0x04000000; // 64 MiB per phase
+
+std::string
+stripSpace(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out += c;
+    return out;
+}
+
+/** Split on @p sep at zero bracket/paren depth. */
+std::vector<std::string>
+splitTop(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[' || c == '(')
+            ++depth;
+        else if (c == ']' || c == ')')
+            --depth;
+        if (c == sep && depth == 0) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    const bool hex = s.size() > 2 && s[0] == '0' &&
+                     (s[1] == 'x' || s[1] == 'X');
+    std::size_t i = hex ? 2 : 0;
+    if (i >= s.size())
+        return false;
+    for (; i < s.size(); ++i) {
+        const char c = s[i];
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = unsigned(c - '0');
+        else if (hex && c >= 'a' && c <= 'f')
+            digit = unsigned(c - 'a') + 10;
+        else if (hex && c >= 'A' && c <= 'F')
+            digit = unsigned(c - 'A') + 10;
+        else
+            return false;
+        v = v * (hex ? 16 : 10) + digit;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t *out)
+{
+    std::uint64_t mag = 0;
+    if (!s.empty() && s[0] == '-') {
+        if (!parseU64(s.substr(1), &mag))
+            return false;
+        *out = -static_cast<std::int64_t>(mag);
+        return true;
+    }
+    if (!parseU64(s, &mag))
+        return false;
+    *out = static_cast<std::int64_t>(mag);
+    return true;
+}
+
+std::string
+hexStr(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+const char *
+kindName(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::Const: return "const";
+      case PatternKind::Stride: return "stride";
+      case PatternKind::Ctx: return "ctx";
+      case PatternKind::Pick: return "pick";
+      case PatternKind::Chase: return "chase";
+    }
+    return "?";
+}
+
+const char *
+glueName(GlueOp g)
+{
+    switch (g) {
+      case GlueOp::Add: return "add";
+      case GlueOp::Xor: return "xor";
+      case GlueOp::Fadd: return "fadd";
+      case GlueOp::None: return "none";
+    }
+    return "?";
+}
+
+const char *
+mixName(MixStrategy m)
+{
+    switch (m) {
+      case MixStrategy::Seq: return "seq";
+      case MixStrategy::RoundRobin: return "rr";
+      case MixStrategy::Random: return "rand";
+    }
+    return "?";
+}
+
+const char *
+fillName(FillKind f)
+{
+    return f == FillKind::Seq ? "seq" : "rng";
+}
+
+const char *
+orderName(ChaseOrder o)
+{
+    return o == ChaseOrder::Zigzag ? "zigzag" : "shuffle";
+}
+
+struct ParseFail
+{
+    std::string msg;
+};
+
+[[noreturn]] void
+fail(const std::string &where, const std::string &what)
+{
+    throw ParseFail{where + ": " + what};
+}
+
+StreamSpec
+parseStream(const std::string &text, const std::string &where)
+{
+    const std::size_t open = text.find('(');
+    if (open == std::string::npos || text.back() == '(')
+        fail(where, "expected kind(...) stream syntax in '" + text +
+                        "'");
+    // Optional '*N' weight suffix after the closing paren.
+    const std::size_t close = text.rfind(')');
+    if (close == std::string::npos || close < open)
+        fail(where, "missing ')' in '" + text + "'");
+
+    const std::string kindStr = text.substr(0, open);
+    PatternKind kind;
+    if (kindStr == "const")
+        kind = PatternKind::Const;
+    else if (kindStr == "stride")
+        kind = PatternKind::Stride;
+    else if (kindStr == "ctx")
+        kind = PatternKind::Ctx;
+    else if (kindStr == "pick")
+        kind = PatternKind::Pick;
+    else if (kindStr == "chase")
+        kind = PatternKind::Chase;
+    else
+        fail(where, "unknown stream kind '" + kindStr + "'");
+
+    StreamSpec s = defaultStream(kind);
+
+    const std::string tail = text.substr(close + 1);
+    if (!tail.empty()) {
+        if (tail[0] != '*')
+            fail(where, "junk after ')' in '" + text + "'");
+        std::uint64_t w = 0;
+        if (!parseU64(tail.substr(1), &w) || w == 0)
+            fail(where, "bad weight '" + tail.substr(1) + "'");
+        s.weight = static_cast<unsigned>(w);
+    }
+
+    const std::string params = text.substr(open + 1, close - open - 1);
+    if (params.empty())
+        return s;
+    for (const std::string &kv : splitTop(params, ',')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            fail(where, "expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        std::uint64_t u = 0;
+        if (key == "v") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'v': '" + val + "'");
+            s.value = u;
+        } else if (key == "wset") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'wset': '" + val + "'");
+            s.wset = u;
+        } else if (key == "step") {
+            std::int64_t i = 0;
+            if (!parseI64(val, &i))
+                fail(where, "bad value for 'step': '" + val + "'");
+            s.step = i;
+        } else if (key == "esz") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'esz': '" + val + "'");
+            s.esz = static_cast<unsigned>(u);
+        } else if (key == "fill") {
+            if (val == "seq")
+                s.fill = FillKind::Seq;
+            else if (val == "rng")
+                s.fill = FillKind::Rng;
+            else
+                fail(where, "bad fill '" + val +
+                                "' (want seq or rng)");
+        } else if (key == "v0") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'v0': '" + val + "'");
+            s.fillBase = u;
+        } else if (key == "dv") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'dv': '" + val + "'");
+            s.fillStep = u;
+        } else if (key == "period") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'period': '" + val + "'");
+            s.period = static_cast<unsigned>(u);
+        } else if (key == "k") {
+            if (!parseU64(val, &u))
+                fail(where, "bad value for 'k': '" + val + "'");
+            s.entries = static_cast<unsigned>(u);
+        } else if (key == "order") {
+            if (val == "zigzag")
+                s.order = ChaseOrder::Zigzag;
+            else if (val == "shuffle")
+                s.order = ChaseOrder::Shuffle;
+            else
+                fail(where, "bad order '" + val +
+                                "' (want zigzag or shuffle)");
+        } else if (key == "glue") {
+            if (val == "add")
+                s.glue = GlueOp::Add;
+            else if (val == "xor")
+                s.glue = GlueOp::Xor;
+            else if (val == "fadd")
+                s.glue = GlueOp::Fadd;
+            else if (val == "none")
+                s.glue = GlueOp::None;
+            else
+                fail(where, "bad glue '" + val +
+                                "' (want add, xor, fadd or none)");
+        } else {
+            fail(where, "unknown stream key '" + key + "'");
+        }
+    }
+    return s;
+}
+
+PhaseSpec
+parsePhase(const std::string &text, std::size_t idx)
+{
+    const std::string where = "phase " + std::to_string(idx + 1);
+    if (text.empty() || text[0] != '[')
+        fail(where, "expected '[' at start of phase");
+    const std::size_t close = text.find(']');
+    if (close == std::string::npos)
+        fail(where, "missing ']'");
+
+    PhaseSpec ph;
+    const std::string head = text.substr(1, close - 1);
+    if (!head.empty()) {
+        for (const std::string &kv : splitTop(head, ',')) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                fail(where, "expected key=value, got '" + kv + "'");
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            std::uint64_t u = 0;
+            if (key == "iters") {
+                if (!parseU64(val, &u))
+                    fail(where,
+                         "bad value for 'iters': '" + val + "'");
+                ph.iters = u;
+            } else if (key == "mix") {
+                if (val == "seq")
+                    ph.mix = MixStrategy::Seq;
+                else if (val == "rr")
+                    ph.mix = MixStrategy::RoundRobin;
+                else if (val == "rand")
+                    ph.mix = MixStrategy::Random;
+                else
+                    fail(where, "bad mix '" + val +
+                                    "' (want seq, rr or rand)");
+            } else if (key == "base") {
+                if (!parseU64(val, &u))
+                    fail(where, "bad value for 'base': '" + val + "'");
+                ph.base = u;
+            } else {
+                fail(where, "unknown phase key '" + key + "'");
+            }
+        }
+    }
+
+    const std::string streams = text.substr(close + 1);
+    if (streams.empty())
+        fail(where, "phase has no streams");
+    std::size_t sidx = 0;
+    for (const std::string &st : splitTop(streams, ',')) {
+        ++sidx;
+        ph.streams.push_back(parseStream(
+            st, where + " stream " + std::to_string(sidx)));
+    }
+    return ph;
+}
+
+} // anonymous namespace
+
+StreamSpec
+defaultStream(PatternKind kind)
+{
+    StreamSpec s;
+    s.kind = kind;
+    switch (kind) {
+      case PatternKind::Const:
+        break;
+      case PatternKind::Stride:
+        s.wset = 64;
+        s.step = 8;
+        break;
+      case PatternKind::Ctx:
+        s.period = 8;
+        break;
+      case PatternKind::Pick:
+        s.entries = 8;
+        break;
+      case PatternKind::Chase:
+        s.wset = 48;
+        s.step = 32;
+        break;
+    }
+    return s;
+}
+
+KernelSpec
+parseKernelSpec(const std::string &text, std::string *error)
+{
+    KernelSpec spec;
+    try {
+        const std::string flat = stripSpace(text);
+        if (flat.empty())
+            throw ParseFail{"empty spec"};
+        std::size_t idx = 0;
+        for (const std::string &ph : splitTop(flat, ';')) {
+            spec.phases.push_back(parsePhase(ph, idx));
+            ++idx;
+        }
+        const std::string why = validateKernelSpec(spec);
+        if (!why.empty())
+            throw ParseFail{why};
+    } catch (const ParseFail &pf) {
+        if (error)
+            *error = pf.msg;
+        return KernelSpec{};
+    }
+    if (error)
+        error->clear();
+    return spec;
+}
+
+std::string
+printKernelSpec(const KernelSpec &spec)
+{
+    std::ostringstream out;
+    bool firstPhase = true;
+    for (const PhaseSpec &ph : spec.phases) {
+        if (!firstPhase)
+            out << ';';
+        firstPhase = false;
+
+        out << '[';
+        bool firstKv = true;
+        auto kv = [&](const std::string &text) {
+            if (!firstKv)
+                out << ',';
+            firstKv = false;
+            out << text;
+        };
+        if (ph.iters != 0)
+            kv("iters=" + std::to_string(ph.iters));
+        if (ph.mix != MixStrategy::Seq)
+            kv(std::string("mix=") + mixName(ph.mix));
+        if (ph.base != 0)
+            kv("base=" + hexStr(ph.base));
+        out << ']';
+
+        bool firstStream = true;
+        for (const StreamSpec &s : ph.streams) {
+            if (!firstStream)
+                out << ',';
+            firstStream = false;
+
+            const StreamSpec d = defaultStream(s.kind);
+            out << kindName(s.kind) << '(';
+            bool firstP = true;
+            auto p = [&](const std::string &text) {
+                if (!firstP)
+                    out << ',';
+                firstP = false;
+                out << text;
+            };
+            if (s.kind == PatternKind::Const && s.value != d.value)
+                p("v=" + hexStr(s.value));
+            if ((s.kind == PatternKind::Stride ||
+                 s.kind == PatternKind::Chase) &&
+                s.wset != d.wset)
+                p("wset=" + std::to_string(s.wset));
+            if ((s.kind == PatternKind::Stride ||
+                 s.kind == PatternKind::Chase) &&
+                s.step != d.step)
+                p("step=" + std::to_string(s.step));
+            if (s.kind == PatternKind::Ctx && s.period != d.period)
+                p("period=" + std::to_string(s.period));
+            if (s.kind == PatternKind::Pick && s.entries != d.entries)
+                p("k=" + std::to_string(s.entries));
+            if (s.esz != d.esz)
+                p("esz=" + std::to_string(s.esz));
+            if (s.kind != PatternKind::Const &&
+                s.kind != PatternKind::Chase) {
+                if (s.fill != d.fill)
+                    p(std::string("fill=") + fillName(s.fill));
+                if (s.fillBase != d.fillBase)
+                    p("v0=" + hexStr(s.fillBase));
+                if (s.fillStep != d.fillStep)
+                    p("dv=" + hexStr(s.fillStep));
+            }
+            if (s.kind == PatternKind::Chase && s.order != d.order)
+                p(std::string("order=") + orderName(s.order));
+            if (s.glue != d.glue)
+                p(std::string("glue=") + glueName(s.glue));
+            out << ')';
+            if (s.weight > 1)
+                out << '*' << s.weight;
+        }
+    }
+    return out.str();
+}
+
+Addr
+phaseBaseAddr(const PhaseSpec &phase, std::size_t idx)
+{
+    if (phase.base != 0)
+        return phase.base;
+    return autoBase + Addr(idx) * autoSpacing;
+}
+
+std::uint64_t
+streamFootprint(const StreamSpec &s)
+{
+    switch (s.kind) {
+      case PatternKind::Const:
+        return s.esz;
+      case PatternKind::Stride:
+        return s.wset * std::uint64_t(s.step < 0 ? -s.step : s.step);
+      case PatternKind::Ctx:
+        return std::uint64_t(s.period) * s.esz;
+      case PatternKind::Pick:
+        return std::uint64_t(s.entries) * s.esz;
+      case PatternKind::Chase:
+        return s.wset * std::uint64_t(s.step);
+    }
+    return 0;
+}
+
+std::string
+validateKernelSpec(const KernelSpec &spec)
+{
+    if (spec.phases.empty())
+        return "spec has no phases";
+    if (spec.phases.size() > 16)
+        return "too many phases (max 16)";
+
+    struct Region
+    {
+        Addr lo, hi;
+    };
+    std::vector<Region> regions;
+
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        const PhaseSpec &ph = spec.phases[pi];
+        const std::string where = "phase " + std::to_string(pi + 1);
+        if (ph.iters == 0 && pi + 1 != spec.phases.size())
+            return where + " is infinite (iters=0) but not last; "
+                           "later phases would be unreachable";
+        if (ph.streams.empty())
+            return where + " has no streams";
+        if (ph.streams.size() > 16)
+            return where + " has too many streams (max 16)";
+
+        unsigned pointerStreams = 0;
+        std::uint64_t footprint = 0;
+        for (std::size_t si = 0; si < ph.streams.size(); ++si) {
+            const StreamSpec &s = ph.streams[si];
+            const std::string sw =
+                where + " stream " + std::to_string(si + 1);
+            if (s.weight == 0 || s.weight > 8)
+                return sw + ": weight must be in [1, 8]";
+            if (s.esz != 4 && s.esz != 8)
+                return sw + ": esz must be 4 or 8";
+            switch (s.kind) {
+              case PatternKind::Const:
+                break;
+              case PatternKind::Stride:
+                ++pointerStreams;
+                if (s.wset < 2 || s.wset > (1u << 20))
+                    return sw + ": wset must be in [2, 1048576]";
+                if (s.step == 0 ||
+                    std::uint64_t(s.step < 0 ? -s.step : s.step) <
+                        s.esz)
+                    return sw + ": step must be nonzero and at "
+                                "least esz";
+                if (s.step < 0)
+                    return sw + ": negative stride strides are not "
+                                "supported yet";
+                if (ph.iters == 0)
+                    return sw + ": stride streams need a finite "
+                                "phase (iters > 0)";
+                if (ph.iters * s.weight > s.wset)
+                    return sw + ": iters*weight exceeds wset (the "
+                                "walk would leave the region)";
+                if (ph.mix == MixStrategy::Random && s.weight > 1)
+                    return sw + ": weight>1 under mix=rand would "
+                                "scramble the shared pointer walk "
+                                "(per-PC strides become jittered)";
+                break;
+              case PatternKind::Ctx:
+                if (s.period < 2 || s.period > 65536)
+                    return sw + ": period must be in [2, 65536]";
+                break;
+              case PatternKind::Pick:
+                if (s.entries < 2 || s.entries > 65536)
+                    return sw + ": k must be in [2, 65536]";
+                break;
+              case PatternKind::Chase:
+                ++pointerStreams;
+                if (s.weight != 1)
+                    return sw + ": chase streams must have "
+                                "weight 1";
+                if (s.esz != 8)
+                    return sw + ": chase loads are 8 bytes";
+                if (s.wset < 4 || s.wset > 65536)
+                    return sw + ": wset must be in [4, 65536]";
+                if (s.step < 24 || s.step > 4096)
+                    return sw + ": step (node size) must be in "
+                                "[24, 4096]";
+                if (ph.iters != 0 && ph.iters % s.wset != 0)
+                    return sw + ": iters must be 0 or a multiple "
+                                "of wset (aligned laps keep the "
+                                "ground truth exact)";
+                break;
+            }
+            if (s.kind != PatternKind::Const &&
+                s.kind != PatternKind::Chase) {
+                if (s.fill == FillKind::Seq && s.fillStep == 0)
+                    return sw + ": dv must be nonzero (distinct "
+                                "slot values)";
+                if (s.fill == FillKind::Rng && s.esz != 8)
+                    return sw + ": fill=rng requires esz=8";
+                if (s.esz == 4) {
+                    const std::uint64_t slots =
+                        s.kind == PatternKind::Stride ? s.wset
+                        : s.kind == PatternKind::Ctx
+                            ? s.period
+                            : s.entries;
+                    if (slots > 65536 || s.fillStep > 65535)
+                        return sw + ": esz=4 needs <= 65536 slots "
+                                    "and dv <= 65535 (distinct "
+                                    "32-bit values)";
+                }
+            }
+            footprint += streamFootprint(s);
+        }
+        if (pointerStreams > 8)
+            return where + ": too many pointer streams (max 8)";
+        if (footprint > autoSpacing)
+            return where + ": total stream footprint exceeds 64 MiB";
+        const Addr lo = phaseBaseAddr(ph, pi);
+        if (lo < 0x1000000)
+            return where + ": base must be at least 0x1000000 "
+                           "(clear of the code region)";
+        regions.push_back({lo, lo + footprint});
+    }
+
+    std::vector<Region> sorted = regions;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Region &a, const Region &b) {
+                  return a.lo < b.lo;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i].lo < sorted[i - 1].hi)
+            return "phase regions overlap (ground truth needs "
+                   "disjoint static memory)";
+    return "";
+}
+
+bool
+looksLikeKernelSpec(const std::string &name)
+{
+    return name.find('[') != std::string::npos;
+}
+
+std::string
+canonicalSyntheticName(const std::string &name)
+{
+    if (WorkloadRegistry::instance().contains(name))
+        return name;
+    std::string err;
+    const KernelSpec spec = parseKernelSpec(name, &err);
+    if (!err.empty())
+        return name;
+    return printKernelSpec(spec);
+}
+
+} // namespace trace
+} // namespace lvpsim

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * SpecKernel: emits a KernelSpec through the Asm machinery.
+ *
+ * Emission rules (shared with the ground-truth math in spec_truth.cc
+ * and the byte-identity differential tests):
+ *
+ *  - stream regions pack back-to-back from the phase base, in spec
+ *    order, each sized by streamFootprint();
+ *  - r2 is the phase accumulator; the first pointer stream (stride /
+ *    chase) owns r1, later pointer streams own r8, r9, ...; offset
+ *    streams (const / ctx / pick) address off r1 when no pointer
+ *    stream exists, else off a dedicated base register r7;
+ *  - every phase entry re-emits the prologue immediates (pointer
+ *    resets), exactly like the hand-written kernels' body() loops;
+ *  - each iteration emits every stream block (weight reps, each a
+ *    distinct static site) in the phase's mix order, then one loop
+ *    branch targeting the first block's load site, conditioned on
+ *    the first pointer register when one exists.
+ *
+ * Because Asm assigns PCs by site *first-use order* (names never
+ * reach the MicroOps), a spec that replays a legacy kernel's call
+ * sequence reproduces its trace byte for byte.
+ */
+
+#include "trace/kernel_spec.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr RegId rAcc = 2;
+constexpr RegId rDst = 3;
+constexpr RegId rFlag = 4;
+constexpr RegId rBase = 7;
+constexpr RegId rPtr0 = 1;
+constexpr RegId rPtrExtra = 8;
+
+/** Zigzag permutation: 0, P-1, 1, P-2, ... (distinct, stride-free). */
+unsigned
+zigzag(unsigned i, unsigned period)
+{
+    return (i % 2 == 0) ? i / 2 : period - 1 - i / 2;
+}
+
+bool
+isPointerKind(PatternKind k)
+{
+    return k == PatternKind::Stride || k == PatternKind::Chase;
+}
+
+} // anonymous namespace
+
+struct SpecKernel::EmitState
+{
+    struct Block
+    {
+        std::size_t stream;
+        unsigned rep;
+    };
+
+    struct Sites
+    {
+        std::string ld;   ///< (first) load
+        std::string ld2;  ///< chase payload load
+        std::string ld3;  ///< chase flag load
+        std::string gl;   ///< glue op
+        std::string inc;  ///< stride pointer bump
+        std::string bf;   ///< chase flag branch
+        std::string hot;  ///< chase hot-path nop
+        std::string hot2; ///< chase hot-path add
+    };
+
+    struct Phase
+    {
+        Addr base = 0;
+        std::vector<Addr> start;     ///< per-stream region start
+        std::vector<RegId> ptrReg;   ///< invalidReg for offset streams
+        RegId baseReg = invalidReg;  ///< offset streams' address base
+        bool extraBaseImm = false;   ///< baseReg needs its own imm
+        Addr r1Value = 0;            ///< what the r1 prologue imm loads
+        RegId condReg = invalidReg;  ///< loop-branch condition source
+        std::vector<Block> seqOrder;
+        std::vector<Block> rrOrder;
+        std::vector<std::vector<Sites>> sites; ///< [stream][rep]
+        std::vector<std::vector<std::uint64_t>> ctxPos;
+        std::string immPtr, immAcc, immBase, br;
+        std::vector<std::string> immExtra; ///< per-stream extra ptr imm
+    };
+
+    std::vector<Phase> phases;
+    std::size_t phase = 0;
+    std::uint64_t iter = 0;
+    bool inPhase = false;
+    std::vector<Block> shuffled; ///< scratch for MixStrategy::Random
+};
+
+SpecKernel::~SpecKernel() = default;
+
+SpecKernel::SpecKernel(KernelSpec spec_)
+    : SynthKernel(printKernelSpec(spec_)), ks(std::move(spec_))
+{
+    const std::string why = validateKernelSpec(ks);
+    if (!why.empty())
+        lvp_fatal("invalid kernel spec: %s", why.c_str());
+}
+
+void
+SpecKernel::init(Asm &a) const
+{
+    st = std::make_unique<EmitState>();
+    st->phases.resize(ks.phases.size());
+
+    for (std::size_t pi = 0; pi < ks.phases.size(); ++pi) {
+        const PhaseSpec &ph = ks.phases[pi];
+        EmitState::Phase &L = st->phases[pi];
+        const std::string pfx = "p" + std::to_string(pi);
+
+        L.base = phaseBaseAddr(ph, pi);
+        Addr cursor = L.base;
+        RegId nextPtr = rPtr0;
+        bool havePointer = false, haveOffset = false;
+        L.start.resize(ph.streams.size());
+        L.ptrReg.assign(ph.streams.size(), invalidReg);
+        L.sites.resize(ph.streams.size());
+        L.ctxPos.resize(ph.streams.size());
+        L.immExtra.assign(ph.streams.size(), std::string());
+
+        for (std::size_t si = 0; si < ph.streams.size(); ++si) {
+            const StreamSpec &s = ph.streams[si];
+            L.start[si] = cursor;
+            cursor += streamFootprint(s);
+            if (isPointerKind(s.kind)) {
+                L.ptrReg[si] = nextPtr;
+                if (!havePointer) {
+                    L.r1Value = L.start[si];
+                    L.condReg = rPtr0;
+                    nextPtr = rPtrExtra;
+                } else {
+                    L.immExtra[si] =
+                        pfx + "s" + std::to_string(si) + "_ptr";
+                    ++nextPtr;
+                }
+                havePointer = true;
+            } else {
+                haveOffset = true;
+            }
+
+            L.sites[si].resize(s.weight);
+            L.ctxPos[si].assign(s.weight, 0);
+            for (unsigned r = 0; r < s.weight; ++r) {
+                const std::string b = pfx + "s" + std::to_string(si) +
+                                      "r" + std::to_string(r);
+                EmitState::Sites &n = L.sites[si][r];
+                n.ld = b + "_ld";
+                n.gl = b + "_gl";
+                if (s.kind == PatternKind::Stride)
+                    n.inc = b + "_inc";
+                if (s.kind == PatternKind::Chase) {
+                    n.ld2 = b + "_ldp";
+                    n.ld3 = b + "_ldf";
+                    n.bf = b + "_bf";
+                    n.hot = b + "_hot";
+                    n.hot2 = b + "_hot2";
+                }
+            }
+        }
+
+        if (haveOffset)
+            L.baseReg = havePointer ? rBase : rPtr0;
+        L.extraBaseImm = haveOffset && havePointer;
+        if (!havePointer)
+            L.r1Value = L.base;
+
+        for (std::size_t si = 0; si < ph.streams.size(); ++si)
+            for (unsigned r = 0; r < ph.streams[si].weight; ++r)
+                L.seqOrder.push_back({si, r});
+        unsigned maxW = 0;
+        for (const StreamSpec &s : ph.streams)
+            maxW = std::max(maxW, s.weight);
+        for (unsigned r = 0; r < maxW; ++r)
+            for (std::size_t si = 0; si < ph.streams.size(); ++si)
+                if (r < ph.streams[si].weight)
+                    L.rrOrder.push_back({si, r});
+
+        L.immPtr = pfx + "_ptr";
+        L.immAcc = pfx + "_acc";
+        L.immBase = pfx + "_base";
+        L.br = pfx + "_br";
+    }
+
+    // Fill the data regions (silently, pre-resident data). The rng
+    // draw order — fills in phase/stream order, then Fisher-Yates
+    // per shuffled chase — is part of the spec's definition and is
+    // replicated by computeTruthProfile().
+    for (std::size_t pi = 0; pi < ks.phases.size(); ++pi) {
+        const PhaseSpec &ph = ks.phases[pi];
+        EmitState::Phase &L = st->phases[pi];
+        for (std::size_t si = 0; si < ph.streams.size(); ++si) {
+            const StreamSpec &s = ph.streams[si];
+            const Addr start = L.start[si];
+            switch (s.kind) {
+              case PatternKind::Const:
+                a.mem().write(start, s.value, s.esz);
+                break;
+              case PatternKind::Stride:
+              case PatternKind::Ctx:
+              case PatternKind::Pick: {
+                const std::uint64_t slots =
+                    s.kind == PatternKind::Stride ? s.wset
+                    : s.kind == PatternKind::Ctx  ? s.period
+                                                  : s.entries;
+                const std::uint64_t gap =
+                    s.kind == PatternKind::Stride
+                        ? std::uint64_t(s.step)
+                        : s.esz;
+                for (std::uint64_t j = 0; j < slots; ++j) {
+                    const Value v = s.fill == FillKind::Seq
+                                        ? s.fillBase + j * s.fillStep
+                                        : a.rng().next();
+                    a.mem().write(start + j * gap, v, s.esz);
+                }
+                break;
+              }
+              case PatternKind::Chase: {
+                const std::size_t w = s.wset;
+                std::vector<std::size_t> order(w);
+                std::iota(order.begin(), order.end(), 0);
+                if (s.order == ChaseOrder::Shuffle) {
+                    for (std::size_t i = w - 1; i > 0; --i)
+                        std::swap(order[i],
+                                  order[a.rng().below(i + 1)]);
+                } else {
+                    for (std::size_t i = 0; i < w; ++i)
+                        order[i] = zigzag(unsigned(i), unsigned(w));
+                }
+                for (std::size_t i = 0; i < w; ++i) {
+                    const Addr node =
+                        start + order[i] * std::uint64_t(s.step);
+                    const Addr next =
+                        start +
+                        order[(i + 1) % w] * std::uint64_t(s.step);
+                    a.mem().write(node + 0, next, 8);
+                    a.mem().write(node + 8, 0x900d + order[i] * 13,
+                                  8);
+                    a.mem().write(node + 16,
+                                  order[i] % 3 == 0 ? 1 : 0, 8);
+                }
+                break;
+              }
+            }
+        }
+    }
+}
+
+void
+SpecKernel::emitPrologue(Asm &a, std::size_t phase) const
+{
+    const EmitState::Phase &L = st->phases[phase];
+    a.imm(L.immPtr, rPtr0, L.r1Value);
+    a.imm(L.immAcc, rAcc, 0);
+    if (L.extraBaseImm)
+        a.imm(L.immBase, rBase, L.base);
+    for (std::size_t si = 0; si < L.ptrReg.size(); ++si)
+        if (!L.immExtra[si].empty())
+            a.imm(L.immExtra[si], L.ptrReg[si], L.start[si]);
+}
+
+void
+SpecKernel::emitBlock(Asm &a, std::size_t phase, std::size_t stream,
+                      unsigned rep) const
+{
+    const PhaseSpec &ph = ks.phases[phase];
+    const StreamSpec &s = ph.streams[stream];
+    EmitState::Phase &L = st->phases[phase];
+    const EmitState::Sites &n = L.sites[stream][rep];
+
+    auto glue = [&](const std::string &site) {
+        switch (s.glue) {
+          case GlueOp::Add:
+            a.add(site, rAcc, rAcc, rDst);
+            break;
+          case GlueOp::Xor:
+            a.xorOp(site, rAcc, rAcc, rDst);
+            break;
+          case GlueOp::Fadd:
+            a.fadd(site, rAcc, rAcc, rDst);
+            break;
+          case GlueOp::None:
+            break;
+        }
+    };
+
+    switch (s.kind) {
+      case PatternKind::Const: {
+        const std::int64_t off =
+            std::int64_t(L.start[stream] - L.base);
+        a.load(n.ld, rDst, L.baseReg, off, s.esz);
+        glue(n.gl);
+        break;
+      }
+      case PatternKind::Ctx: {
+        std::uint64_t &pos = L.ctxPos[stream][rep];
+        const unsigned slot =
+            zigzag(unsigned(pos), s.period);
+        pos = (pos + 1) % s.period;
+        const std::int64_t off =
+            std::int64_t(L.start[stream] - L.base) +
+            std::int64_t(slot) * s.esz;
+        a.load(n.ld, rDst, L.baseReg, off, s.esz);
+        glue(n.gl);
+        break;
+      }
+      case PatternKind::Pick: {
+        const std::uint64_t slot = a.rng().below(s.entries);
+        const std::int64_t off =
+            std::int64_t(L.start[stream] - L.base) +
+            std::int64_t(slot) * s.esz;
+        a.load(n.ld, rDst, L.baseReg, off, s.esz);
+        glue(n.gl);
+        break;
+      }
+      case PatternKind::Stride: {
+        const RegId ptr = L.ptrReg[stream];
+        a.load(n.ld, rDst, ptr, 0, s.esz);
+        glue(n.gl);
+        a.addi(n.inc, ptr, ptr, s.step);
+        break;
+      }
+      case PatternKind::Chase: {
+        const RegId ptr = L.ptrReg[stream];
+        a.load(n.ld, ptr, ptr, 0, 8);
+        a.load(n.ld2, rDst, ptr, 8, 8);
+        const Value flag = a.load(n.ld3, rFlag, ptr, 16, 8);
+        glue(n.gl);
+        a.branch(n.bf, flag != 0, n.hot, rFlag);
+        if (flag != 0) {
+            a.nop(n.hot);
+            a.addi(n.hot2, rAcc, rAcc, 7);
+        }
+        break;
+      }
+    }
+}
+
+void
+SpecKernel::emitIteration(Asm &a, std::size_t phase) const
+{
+    const PhaseSpec &ph = ks.phases[phase];
+    EmitState::Phase &L = st->phases[phase];
+
+    const std::vector<EmitState::Block> *order = &L.seqOrder;
+    if (ph.mix == MixStrategy::RoundRobin) {
+        order = &L.rrOrder;
+    } else if (ph.mix == MixStrategy::Random) {
+        st->shuffled = L.seqOrder;
+        for (std::size_t i = st->shuffled.size() - 1; i > 0; --i)
+            std::swap(st->shuffled[i],
+                      st->shuffled[a.rng().below(i + 1)]);
+        order = &st->shuffled;
+    }
+    for (const EmitState::Block &b : *order)
+        emitBlock(a, phase, b.stream, b.rep);
+
+    const bool taken =
+        ph.iters == 0 || st->iter + 1 < ph.iters;
+    a.branch(L.br, taken, L.sites[0][0].ld, L.condReg);
+}
+
+void
+SpecKernel::body(Asm &a) const
+{
+    lvp_assert(st != nullptr, "SpecKernel::body before init");
+    while (!a.done()) {
+        const PhaseSpec &ph = ks.phases[st->phase];
+        if (!st->inPhase) {
+            emitPrologue(a, st->phase);
+            st->inPhase = true;
+            st->iter = 0;
+        }
+        emitIteration(a, st->phase);
+        ++st->iter;
+        if (ph.iters != 0 && st->iter >= ph.iters) {
+            st->inPhase = false;
+            st->phase = (st->phase + 1) % ks.phases.size();
+        }
+    }
+}
+
+} // namespace trace
+} // namespace lvpsim

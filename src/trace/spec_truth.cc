@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Analytic ground-truth computation for kernel specs.
+ *
+ * Mirrors SpecKernel's emission contract (see spec_kernel.cc) without
+ * generating a trace:
+ *
+ *  1. replicate the init-time RNG draws in emission order (region
+ *     fills in phase/stream order, Fisher-Yates per shuffled chase)
+ *     to recover the exact per-slot values / chase cycle;
+ *  2. walk the phase schedule op-by-op, counting the complete
+ *     iterations of every phase entry that fit in the op budget
+ *     (chase phases walk per iteration because the hot-path branch
+ *     makes their op count flag-dependent);
+ *  3. replay ideal per-PC predictor models (last-value, address
+ *     stride, order-1 value context, order-1 address context) over
+ *     each deterministic site's analytic (address, value) sequence —
+ *     model state persists across phase re-entries, exactly like a
+ *     real predictor's table would;
+ *  4. Pick sites draw uniform random slots, so their families get
+ *     closed-form expectations and a binomial tolerance instead.
+ *
+ * SAP hits use address equality: spec memory is static after init, so
+ * a correctly predicted address always yields the correct value.
+ */
+
+#include "trace/spec_truth.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/random.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+namespace
+{
+
+/** Same permutation as SpecKernel's ctx/zigzag-chase ordering. */
+unsigned
+zigzag(unsigned i, unsigned period)
+{
+    return (i % 2 == 0) ? i / 2 : period - 1 - i / 2;
+}
+
+Value
+sizeMask(unsigned esz)
+{
+    return esz == 8 ? ~Value(0) : (Value(1) << (8 * esz)) - 1;
+}
+
+/** Per-slot fill values and chase cycle of one stream, with the
+ *  init-time RNG draws replicated. */
+struct StreamData
+{
+    Addr start = 0;
+    std::vector<Value> fill;       ///< stride/ctx/pick slot values
+    std::vector<std::size_t> succ; ///< chase: node -> next node
+};
+
+/** The four ideal per-PC predictor models replayed over one site. */
+struct SiteModels
+{
+    bool haveLast = false;
+    Value lastVal = 0;
+    unsigned addrCount = 0;
+    Addr a1 = 0, a0 = 0; ///< most recent / previous address
+
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<Value, Value> ctxMap;
+    // lvplint: allow(determinism) -- probed by key, never iterated
+    std::unordered_map<Addr, Addr> capMap;
+
+    std::uint64_t n = 0;
+    std::uint64_t lvp = 0, sap = 0, ctx = 0, cap = 0;
+
+    void
+    step(Addr addr, Value val)
+    {
+        if (haveLast && val == lastVal)
+            ++lvp;
+        if (addrCount >= 2 && addr == 2 * a1 - a0)
+            ++sap;
+        if (haveLast) {
+            auto it = ctxMap.find(lastVal);
+            if (it != ctxMap.end() && it->second == val)
+                ++ctx;
+            ctxMap[lastVal] = val;
+        }
+        if (addrCount >= 1) {
+            auto it = capMap.find(a1);
+            if (it != capMap.end() && it->second == addr)
+                ++cap;
+            capMap[a1] = addr;
+        }
+        lastVal = val;
+        haveLast = true;
+        a0 = a1;
+        a1 = addr;
+        if (addrCount < 2)
+            ++addrCount;
+        ++n;
+    }
+
+    void
+    addTo(PhaseTruth &pt) const
+    {
+        pt.loads += n;
+        pt.lvp.hits += double(lvp);
+        pt.sap.hits += double(sap);
+        pt.ctx.hits += double(ctx);
+        pt.cap.hits += double(cap);
+    }
+};
+
+std::uint64_t
+blockOps(const StreamSpec &s)
+{
+    const std::uint64_t g = s.glue != GlueOp::None ? 1 : 0;
+    switch (s.kind) {
+      case PatternKind::Stride:
+        return 2 + g;
+      case PatternKind::Chase:
+        return 4 + g; // 3 loads + flag branch; hot path added per-iter
+      default:
+        return 1 + g;
+    }
+}
+
+std::uint64_t
+blockLoads(const StreamSpec &s)
+{
+    return s.kind == PatternKind::Chase ? 3 : 1;
+}
+
+double
+binomTol(std::uint64_t n, double expected)
+{
+    if (n == 0)
+        return 10.0;
+    double p = expected / double(n);
+    p = std::min(1.0, std::max(0.0, p));
+    return 6.0 * std::sqrt(double(n) * p * (1.0 - p)) + 10.0;
+}
+
+} // anonymous namespace
+
+TruthProfile
+computeTruthProfile(const KernelSpec &spec, std::size_t max_ops,
+                    std::uint64_t seed)
+{
+    TruthProfile out;
+    out.phases.resize(spec.phases.size());
+
+    // ---- 1. Replicate init: layout, fills, chase cycles. ------------
+    Xoshiro256 rng(seed);
+    std::vector<std::vector<StreamData>> data(spec.phases.size());
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        const PhaseSpec &ph = spec.phases[pi];
+        data[pi].resize(ph.streams.size());
+        Addr cursor = phaseBaseAddr(ph, pi);
+        for (std::size_t si = 0; si < ph.streams.size(); ++si) {
+            const StreamSpec &s = ph.streams[si];
+            StreamData &d = data[pi][si];
+            d.start = cursor;
+            cursor += streamFootprint(s);
+            switch (s.kind) {
+              case PatternKind::Const:
+                break;
+              case PatternKind::Stride:
+              case PatternKind::Ctx:
+              case PatternKind::Pick: {
+                const std::uint64_t slots =
+                    s.kind == PatternKind::Stride ? s.wset
+                    : s.kind == PatternKind::Ctx  ? s.period
+                                                  : s.entries;
+                d.fill.resize(slots);
+                for (std::uint64_t j = 0; j < slots; ++j)
+                    d.fill[j] = (s.fill == FillKind::Seq
+                                     ? s.fillBase + j * s.fillStep
+                                     : rng.next()) &
+                                sizeMask(s.esz);
+                break;
+              }
+              case PatternKind::Chase: {
+                const std::size_t w = s.wset;
+                std::vector<std::size_t> order(w);
+                std::iota(order.begin(), order.end(), 0);
+                if (s.order == ChaseOrder::Shuffle) {
+                    for (std::size_t i = w - 1; i > 0; --i)
+                        std::swap(order[i], order[rng.below(i + 1)]);
+                } else {
+                    for (std::size_t i = 0; i < w; ++i)
+                        order[i] = zigzag(unsigned(i), unsigned(w));
+                }
+                d.succ.resize(w);
+                for (std::size_t i = 0; i < w; ++i)
+                    d.succ[order[i]] = order[(i + 1) % w];
+                break;
+              }
+            }
+        }
+    }
+
+    // ---- 2. Schedule walk: complete iterations per phase entry. -----
+    // lens[pi] = iteration counts of every entry of phase pi (sites of
+    // a phase share the schedule, so one list per phase suffices).
+    std::vector<std::vector<std::uint64_t>> lens(spec.phases.size());
+    std::uint64_t budget = max_ops;
+    std::size_t pi = 0;
+    bool exhausted = false;
+    while (!exhausted) {
+        const PhaseSpec &ph = spec.phases[pi];
+
+        std::uint64_t prologueOps = 2;
+        bool havePointer = false, haveOffset = false;
+        unsigned ptrStreams = 0;
+        for (const StreamSpec &s : ph.streams) {
+            if (s.kind == PatternKind::Stride ||
+                s.kind == PatternKind::Chase) {
+                havePointer = true;
+                ++ptrStreams;
+            } else {
+                haveOffset = true;
+            }
+        }
+        if (havePointer && haveOffset)
+            ++prologueOps; // dedicated base register imm
+        if (ptrStreams > 1)
+            prologueOps += ptrStreams - 1; // extra pointer imms
+        if (budget < prologueOps)
+            break; // partial prologue: no further complete loads
+        budget -= prologueOps;
+
+        std::uint64_t fixedIterOps = 1; // loop branch
+        for (const StreamSpec &s : ph.streams)
+            fixedIterOps += blockOps(s) * s.weight;
+
+        std::vector<std::size_t> chaseIdx;
+        for (std::size_t si = 0; si < ph.streams.size(); ++si)
+            if (ph.streams[si].kind == PatternKind::Chase)
+                chaseIdx.push_back(si);
+
+        std::uint64_t done = 0;
+        if (chaseIdx.empty()) {
+            const std::uint64_t full = budget / fixedIterOps;
+            done = ph.iters == 0 ? full
+                                 : std::min<std::uint64_t>(full,
+                                                           ph.iters);
+            budget -= done * fixedIterOps;
+            if (ph.iters == 0 || done < ph.iters)
+                exhausted = true;
+        } else {
+            // Hot-path ops depend on the flag of the *next* node, so
+            // walk iteration by iteration (>= 5 ops each: cheap).
+            std::vector<std::size_t> cur(chaseIdx.size(), 0);
+            for (;;) {
+                if (ph.iters != 0 && done == ph.iters)
+                    break;
+                std::uint64_t ops = fixedIterOps;
+                for (std::size_t c = 0; c < chaseIdx.size(); ++c) {
+                    const std::size_t nxt =
+                        data[pi][chaseIdx[c]].succ[cur[c]];
+                    if (nxt % 3 == 0)
+                        ops += 2; // nop + addi on the hot path
+                }
+                if (budget < ops) {
+                    exhausted = true;
+                    break;
+                }
+                budget -= ops;
+                for (std::size_t c = 0; c < chaseIdx.size(); ++c)
+                    cur[c] = data[pi][chaseIdx[c]].succ[cur[c]];
+                ++done;
+            }
+        }
+        lens[pi].push_back(done);
+        if (!exhausted)
+            pi = (pi + 1) % spec.phases.size();
+    }
+    out.opsModeled = max_ops - budget;
+
+    std::uint64_t slack = 0;
+    for (const PhaseSpec &ph : spec.phases) {
+        std::uint64_t l = 0;
+        for (const StreamSpec &s : ph.streams)
+            l += blockLoads(s) * s.weight;
+        slack = std::max(slack, l);
+    }
+    out.loadSlack = slack;
+
+    // ---- 3./4. Per-site model replay / Pick expectations. -----------
+    for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+        const PhaseSpec &ph = spec.phases[p];
+        PhaseTruth &pt = out.phases[p];
+        unsigned rngFills = 0;
+        for (std::size_t si = 0; si < ph.streams.size(); ++si) {
+            const StreamSpec &s = ph.streams[si];
+            const StreamData &d = data[p][si];
+            if (s.kind != PatternKind::Const &&
+                s.kind != PatternKind::Chase &&
+                s.fill == FillKind::Rng)
+                ++rngFills;
+            for (unsigned rep = 0; rep < s.weight; ++rep) {
+                switch (s.kind) {
+                  case PatternKind::Const: {
+                    SiteModels m;
+                    const Value v = s.value & sizeMask(s.esz);
+                    for (std::uint64_t L : lens[p])
+                        for (std::uint64_t t = 0; t < L; ++t)
+                            m.step(d.start, v);
+                    m.addTo(pt);
+                    break;
+                  }
+                  case PatternKind::Stride: {
+                    SiteModels m;
+                    for (std::uint64_t L : lens[p])
+                        for (std::uint64_t t = 0; t < L; ++t) {
+                            const std::uint64_t slot =
+                                t * s.weight + rep;
+                            m.step(d.start +
+                                       slot * std::uint64_t(s.step),
+                                   d.fill[slot]);
+                        }
+                    m.addTo(pt);
+                    break;
+                  }
+                  case PatternKind::Ctx: {
+                    SiteModels m;
+                    std::uint64_t g = 0; // cursor persists, like emission
+                    for (std::uint64_t L : lens[p])
+                        for (std::uint64_t t = 0; t < L; ++t) {
+                            const unsigned slot = zigzag(
+                                unsigned(g % s.period), s.period);
+                            m.step(d.start +
+                                       std::uint64_t(slot) * s.esz,
+                                   d.fill[slot]);
+                            ++g;
+                        }
+                    m.addTo(pt);
+                    break;
+                  }
+                  case PatternKind::Chase: {
+                    SiteModels ld, pay, flag;
+                    const auto addrOf = [&](std::size_t node) {
+                        return d.start +
+                               node * std::uint64_t(s.step);
+                    };
+                    for (std::uint64_t L : lens[p]) {
+                        std::size_t node = 0; // pointer reset per entry
+                        for (std::uint64_t t = 0; t < L; ++t) {
+                            const std::size_t nxt = d.succ[node];
+                            ld.step(addrOf(node), addrOf(nxt));
+                            pay.step(addrOf(nxt) + 8,
+                                     0x900d + nxt * 13);
+                            flag.step(addrOf(nxt) + 16,
+                                      nxt % 3 == 0 ? 1 : 0);
+                            node = nxt;
+                        }
+                    }
+                    ld.addTo(pt);
+                    pay.addTo(pt);
+                    flag.addTo(pt);
+                    break;
+                  }
+                  case PatternKind::Pick: {
+                    std::uint64_t n = 0;
+                    for (std::uint64_t L : lens[p])
+                        n += L;
+                    const double k = double(s.entries);
+                    const double lvpE =
+                        n >= 1 ? double(n - 1) / k : 0.0;
+                    // P(2*s1 - s0 in range) over uniform slot pairs.
+                    double qIn = 0;
+                    for (std::uint64_t j = 0; j < s.entries; ++j) {
+                        const std::int64_t lo = std::max<std::int64_t>(
+                            0, 2 * std::int64_t(j) -
+                                   std::int64_t(s.entries) + 1);
+                        const std::int64_t hi = std::min<std::int64_t>(
+                            std::int64_t(s.entries) - 1,
+                            2 * std::int64_t(j));
+                        qIn += double(hi - lo + 1);
+                    }
+                    qIn /= k * k;
+                    const double sapE =
+                        n >= 2 ? double(n - 2) * qIn / k : 0.0;
+                    // Order-1 context: hit at step t iff the context
+                    // slot was seen before (prob 1 - r^(t-1)) and its
+                    // recorded successor matches (prob 1/k).
+                    const double r = 1.0 - 1.0 / k;
+                    double ctxE = 0;
+                    if (n >= 2)
+                        ctxE = (double(n - 1) -
+                                k * (1.0 - std::pow(r, double(n - 1)))) /
+                               k;
+                    ctxE = std::max(0.0, ctxE);
+
+                    pt.loads += n;
+                    pt.lvp.hits += lvpE;
+                    pt.lvp.tol += binomTol(n, lvpE);
+                    pt.sap.hits += sapE;
+                    pt.sap.tol += binomTol(n, sapE);
+                    pt.ctx.hits += ctxE;
+                    pt.ctx.tol += binomTol(n, ctxE);
+                    pt.cap.hits += ctxE; // addr<->slot bijection
+                    pt.cap.tol += binomTol(n, ctxE);
+                    break;
+                  }
+                }
+            }
+        }
+        // Deterministic replay is exact; a small absolute buffer
+        // absorbs boundary effects at the modeling cutoff.
+        const double base = 4.0 + 2.0 * rngFills;
+        pt.lvp.tol += base;
+        pt.sap.tol += base;
+        pt.ctx.tol += base;
+        pt.cap.tol += base;
+    }
+
+    for (const PhaseTruth &pt : out.phases) {
+        out.total.loads += pt.loads;
+        out.total.lvp.hits += pt.lvp.hits;
+        out.total.lvp.tol += pt.lvp.tol;
+        out.total.sap.hits += pt.sap.hits;
+        out.total.sap.tol += pt.sap.tol;
+        out.total.ctx.hits += pt.ctx.hits;
+        out.total.ctx.tol += pt.ctx.tol;
+        out.total.cap.hits += pt.cap.hits;
+        out.total.cap.tol += pt.cap.tol;
+    }
+    return out;
+}
+
+} // namespace trace
+} // namespace lvpsim

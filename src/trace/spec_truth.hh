@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Analytic ground-truth predictability profiles for kernel specs.
+ *
+ * Every KernelSpec stream is built from a pattern primitive whose
+ * per-site (address, value) sequence is known in closed form, so the
+ * number of hits an *ideal* last-value / address-stride / order-1
+ * context predictor scores on the resulting trace can be computed
+ * without ever running a predictor — and for the seeded-random Pick
+ * primitive, its expectation and a statistical tolerance. The qa fuzz
+ * tier checks measured oracle models against these profiles for
+ * generated specs (tests/test_spec_fuzz.cc) and the coverage_frontier
+ * tool compares the composite predictor against them; the math is
+ * documented in docs/kernel_dsl.md.
+ *
+ * The computation replicates the spec kernel's init-time RNG draws
+ * (region fills, chase shuffles), walks the phase schedule op-by-op
+ * to count the complete iterations that fit in the op budget, and
+ * replays ideal per-PC models over each static site's analytic
+ * sequence. Partial final iterations are not modeled; @ref
+ * TruthProfile::loadSlack bounds the resulting uncertainty.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/kernel_spec.hh"
+
+namespace lvpsim
+{
+namespace trace
+{
+
+/** Expected hits for one ideal predictor family over some loads. */
+struct FamilyTruth
+{
+    double hits = 0; ///< expected correct predictions
+    double tol = 0;  ///< absolute tolerance on @ref hits
+};
+
+/** Ground truth for the loads of one spec phase (all entries). */
+struct PhaseTruth
+{
+    std::uint64_t loads = 0; ///< modeled dynamic loads of the phase
+    FamilyTruth lvp; ///< ideal last-value predictor (Pattern-1)
+    FamilyTruth sap; ///< ideal address-stride predictor (Pattern-2)
+    FamilyTruth ctx; ///< ideal order-1 value-context predictor (P3)
+    FamilyTruth cap; ///< ideal order-1 address-context predictor
+
+    /** Largest single-family expectation: a lower bound on what a
+     *  perfect predictor choice should capture. */
+    double
+    bestHits() const
+    {
+        double b = lvp.hits;
+        if (sap.hits > b)
+            b = sap.hits;
+        if (ctx.hits > b)
+            b = ctx.hits;
+        if (cap.hits > b)
+            b = cap.hits;
+        return b;
+    }
+};
+
+/** The full analytic profile of (spec, max_ops, seed). */
+struct TruthProfile
+{
+    std::vector<PhaseTruth> phases; ///< per spec phase, entry-summed
+    PhaseTruth total;               ///< sum over phases
+    /** Ops covered by complete modeled iterations (<= max_ops). */
+    std::uint64_t opsModeled = 0;
+    /** Loads of one iteration of the phase running when the budget
+     *  ran out: the trace may contain up to this many loads beyond
+     *  @ref total loads (truncated final iteration). */
+    std::uint64_t loadSlack = 0;
+};
+
+/** Hits as a fraction of loads (0 when @p loads is 0). */
+inline double
+truthFrac(double hits, std::uint64_t loads)
+{
+    return loads == 0 ? 0.0 : hits / double(loads);
+}
+
+/**
+ * Compute the analytic profile of @p spec generated with @p max_ops
+ * and @p seed — the ground truth for
+ * SpecKernel(spec).generate(max_ops, seed).
+ */
+TruthProfile computeTruthProfile(const KernelSpec &spec,
+                                 std::size_t max_ops,
+                                 std::uint64_t seed);
+
+} // namespace trace
+} // namespace lvpsim

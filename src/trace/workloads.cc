@@ -1,6 +1,7 @@
 #include "trace/workloads.hh"
 
 #include "common/logging.hh"
+#include "trace/kernel_spec.hh"
 #include "trace/kernels/register.hh"
 
 namespace lvpsim
@@ -65,7 +66,22 @@ std::vector<MicroOp>
 generateWorkload(const std::string &name, std::size_t max_ops,
                  std::uint64_t seed)
 {
-    const auto &info = WorkloadRegistry::instance().find(name);
+    const auto &reg = WorkloadRegistry::instance();
+    if (!reg.contains(name)) {
+        // Not a registered kernel: try the `synth:` spec grammar
+        // (docs/kernel_dsl.md), so parameterized kernel specs work
+        // everywhere a workload name does.
+        std::string err;
+        KernelSpec spec = parseKernelSpec(name, &err);
+        if (err.empty())
+            return SpecKernel(std::move(spec)).generate(max_ops,
+                                                        seed);
+        if (looksLikeKernelSpec(name))
+            lvp_fatal("bad kernel spec '%s': %s", name.c_str(),
+                      err.c_str());
+        // Plain unknown names keep the historical fatal below.
+    }
+    const auto &info = reg.find(name);
     return info.make()->generate(max_ops, seed);
 }
 

@@ -1,0 +1,6 @@
+// Fixture: grammar vocabulary that drifted from the doc table.
+// 'zoom' is undocumented, and docs/kernel_dsl.md documents 'iters'
+// which is missing here.
+const char *const kSpecGrammarFields[] = {
+    "mix", "base", "zoom",
+};

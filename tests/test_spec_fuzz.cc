@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Workload-space fuzzing over the kernel-spec DSL (`ctest -L fuzz`).
+ *
+ * For seeded random specs (qa::genKernelSpec):
+ *
+ *  - the measured ideal-family models (qa::measureIdealFamilies)
+ *    must match the spec's analytic ground-truth profile
+ *    (trace::computeTruthProfile) within its stated tolerance — the
+ *    deterministic families exactly up to the truncated final
+ *    iteration, the random-pick family within its binomial bound;
+ *  - the real composite predictor, scored through the championship
+ *    harness, must never beat the per-load union of the ideal
+ *    families by more than a sliver (a predictor that "outperforms"
+ *    an infinite-capacity oracle is exploiting a bug).
+ *
+ * Failures report the spec in `synth:` grammar plus the seed, which
+ * reproduces the case exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/composite.hh"
+#include "qa/property.hh"
+#include "qa/spec_gen.hh"
+#include "qa/spec_oracles.hh"
+#include "sim/cvp1.hh"
+#include "trace/kernel_spec.hh"
+#include "trace/spec_truth.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+/** One generated case: spec, trace, truth, measurement. */
+struct Case
+{
+    trace::KernelSpec spec;
+    std::string text;
+    std::size_t maxOps = 0;
+    std::uint64_t traceSeed = 0;
+    std::vector<trace::MicroOp> ops;
+    trace::TruthProfile truth;
+    qa::OracleFamilyCounts measured;
+};
+
+Case
+makeCase(qa::Gen &g, std::size_t min_ops, std::size_t spread)
+{
+    Case c;
+    c.spec = qa::genKernelSpec(g);
+    c.text = trace::printKernelSpec(c.spec);
+    c.maxOps = min_ops + g.below(spread);
+    c.traceSeed = g.u64();
+    c.ops = trace::SpecKernel(c.spec).generate(c.maxOps, c.traceSeed);
+    c.truth = trace::computeTruthProfile(c.spec, c.maxOps, c.traceSeed);
+    c.measured = qa::measureIdealFamilies(c.ops);
+    return c;
+}
+
+[[noreturn]] void
+failCase(const Case &c, const std::string &what)
+{
+    std::ostringstream os;
+    os << what << "\n  spec: synth:" << c.text
+       << "\n  max_ops=" << c.maxOps << " trace_seed=" << c.traceSeed;
+    throw std::runtime_error(os.str());
+}
+
+void
+checkFamily(const Case &c, const char *fam, double measured,
+            const trace::FamilyTruth &t)
+{
+    const double lo = t.hits - t.tol;
+    const double hi = t.hits + t.tol + double(c.truth.loadSlack);
+    if (measured < lo || measured > hi) {
+        std::ostringstream os;
+        os << fam << " hits " << measured << " outside ["
+           << lo << ", " << hi << "] (expected " << t.hits
+           << " +- " << t.tol << " +slack " << c.truth.loadSlack
+           << ")";
+        failCase(c, os.str());
+    }
+}
+
+} // anonymous namespace
+
+TEST(SpecTruthFuzz, OracleMatchesGroundTruth)
+{
+    const auto r = qa::forAllSeeds(100, 0x5bec0001, [](qa::Gen &g) {
+        const Case c = makeCase(g, 20000, 30000);
+        if (c.measured.loads < c.truth.total.loads ||
+            c.measured.loads >
+                c.truth.total.loads + c.truth.loadSlack) {
+            std::ostringstream os;
+            os << "loads " << c.measured.loads << " outside ["
+               << c.truth.total.loads << ", "
+               << c.truth.total.loads + c.truth.loadSlack << "]";
+            failCase(c, os.str());
+        }
+        checkFamily(c, "lvp", double(c.measured.lvp),
+                    c.truth.total.lvp);
+        checkFamily(c, "sap", double(c.measured.sap),
+                    c.truth.total.sap);
+        checkFamily(c, "ctx1", double(c.measured.ctx1),
+                    c.truth.total.ctx);
+        checkFamily(c, "cap1", double(c.measured.cap1),
+                    c.truth.total.cap);
+        return true;
+    });
+    EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(SpecTruthFuzz, CompositeNeverBeatsOracleUnion)
+{
+    const auto r = qa::forAllSeeds(30, 0x5bec0002, [](qa::Gen &g) {
+        const Case c = makeCase(g, 20000, 20000);
+
+        auto cfg = vp::CompositeConfig::bestOf(1024);
+        cfg.epochInstrs = 5000; // exercise the AM/fusion machinery
+        vp::CompositePredictor pred(cfg);
+        cvp1::PipelineVpAdapter adapter(pred);
+        const auto cs = cvp1::runChampionship(c.ops, adapter);
+
+        // The composite's CVP hashes branch-path history rather than
+        // value history, so it is not strictly dominated by any one
+        // family — but the five-family union plus a small slack
+        // bounds everything a real table-based predictor can know.
+        const double bound = double(c.measured.unionHits) +
+                             0.03 * double(cs.eligibleLoads) + 10.0;
+        if (double(cs.correct) > bound) {
+            std::ostringstream os;
+            os << "composite correct " << cs.correct
+               << " beats oracle union bound " << bound << " (union "
+               << c.measured.unionHits << " of "
+               << c.measured.loads << " loads)";
+            failCase(c, os.str());
+        }
+        return true;
+    });
+    EXPECT_TRUE(r.ok) << r.describe();
+}

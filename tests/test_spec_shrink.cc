@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured shrinking over KernelSpecs (qa/shrink_spec.hh): a
+ * failing multi-phase, multi-stream spec must shrink to a small
+ * single-pattern witness, every intermediate candidate must stay
+ * valid, and shrinking must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qa/shrink_spec.hh"
+#include "trace/kernel_spec.hh"
+
+using namespace lvpsim;
+using trace::KernelSpec;
+using trace::PatternKind;
+
+namespace
+{
+
+KernelSpec
+parseOrDie(const std::string &text)
+{
+    std::string err;
+    KernelSpec s = trace::parseKernelSpec(text, &err);
+    EXPECT_TRUE(err.empty()) << text << ": " << err;
+    return s;
+}
+
+std::size_t
+totalStreams(const KernelSpec &s)
+{
+    std::size_t n = 0;
+    for (const auto &ph : s.phases)
+        n += ph.streams.size();
+    return n;
+}
+
+} // anonymous namespace
+
+TEST(SpecShrink, FailingSpecShrinksToSinglePatternWitness)
+{
+    // "Property": no ctx stream with period >= 16. The seed spec
+    // violates it in its middle phase, buried among other streams.
+    const auto holds = [](const KernelSpec &s) {
+        for (const auto &ph : s.phases)
+            for (const auto &st : ph.streams)
+                if (st.kind == PatternKind::Ctx && st.period >= 16)
+                    return false;
+        return true;
+    };
+
+    const KernelSpec failing = parseOrDie(
+        "[iters=128,mix=rr]stride(wset=512,step=16,glue=xor)*2,"
+        "const(v=0xbeef)*3;"
+        "[iters=64]ctx(period=64,fill=rng,glue=fadd)*2,pick(k=8),"
+        "const(v=0x42);"
+        "[iters=32]chase(wset=8,order=shuffle),ctx(period=4)");
+    ASSERT_FALSE(holds(failing));
+
+    qa::ShrinkStats stats;
+    const KernelSpec minimal = qa::shrinkStructured<KernelSpec>(
+        failing, holds, &stats);
+
+    // Still failing, still valid.
+    EXPECT_FALSE(holds(minimal));
+    EXPECT_TRUE(trace::validateKernelSpec(minimal).empty())
+        << trace::printKernelSpec(minimal);
+
+    // The witness is structurally minimal: <= 2 phases (here it can
+    // reach 1), a single stream, and that stream is the culprit with
+    // its field shrunk to the property's boundary.
+    EXPECT_LE(minimal.phases.size(), 2u);
+    EXPECT_EQ(totalStreams(minimal), 1u);
+    ASSERT_FALSE(minimal.phases.empty());
+    ASSERT_FALSE(minimal.phases[0].streams.empty());
+    const auto &culprit = minimal.phases[0].streams[0];
+    EXPECT_EQ(culprit.kind, PatternKind::Ctx);
+    EXPECT_EQ(culprit.period, 16u); // halving stops at the boundary
+    EXPECT_EQ(culprit.weight, 1u);
+
+    EXPECT_GT(stats.candidatesTried, 0u);
+    EXPECT_LT(stats.finalOps, stats.originalOps);
+
+    // Deterministic: same input, same witness.
+    const KernelSpec again = qa::shrinkStructured<KernelSpec>(
+        failing, holds);
+    EXPECT_EQ(trace::printKernelSpec(again),
+              trace::printKernelSpec(minimal));
+}
+
+TEST(SpecShrink, CandidatesAreAlwaysValid)
+{
+    const KernelSpec spec = parseOrDie(
+        "[iters=96,mix=rand]stride(wset=96,step=8),pick(k=16,esz=4);"
+        "[]chase(wset=12,step=32)");
+    for (const auto &cand :
+         qa::Shrinkable<KernelSpec>::candidates(spec))
+        EXPECT_TRUE(trace::validateKernelSpec(cand).empty())
+            << trace::printKernelSpec(cand);
+}

@@ -29,6 +29,10 @@ echo "== ctest: smoke + lint =="
 ctest --test-dir "$build" -L 'smoke|lint' --output-on-failure \
       -j"$(nproc)"
 
+echo "== ctest: spec fuzz (kernel-spec DSL vs ground truth) =="
+ctest --test-dir "$build" -R 'SpecTruthFuzz|SpecShrink' \
+      --output-on-failure -j"$(nproc)"
+
 echo "== lvplint =="
 python3 tools/lint/lvplint.py --root .
 

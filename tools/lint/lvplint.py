@@ -720,6 +720,59 @@ class ConfigSyncCheck(Check):
                     % (field, values[field], pat.pattern),
                 )
 
+        yield from self.check_spec_grammar(tree)
+
+    # ------------------------------------------------------------------
+    # Second sync pair: the synth: kernel-spec grammar vocabulary
+    # (kSpecGrammarFields in src/trace/kernel_spec.cc) against the
+    # field table in docs/kernel_dsl.md. Set equality both ways: a
+    # key added to the parser must be documented, and a documented
+    # key must exist in the parser.
+
+    SPEC_CC = "src/trace/kernel_spec.cc"
+    SPEC_MD = "docs/kernel_dsl.md"
+
+    SPEC_ARRAY_RE = re.compile(
+        r"kSpecGrammarFields\[\]\s*=\s*\{(.*?)\};", re.S
+    )
+    SPEC_NAME_RE = re.compile(r'"(\w+)"')
+    # Table rows: the leading backticked token of a | `key` | ... row.
+    SPEC_ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|")
+
+    def check_spec_grammar(self, tree: Tree) -> Iterator[Finding]:
+        cc = tree.read(self.SPEC_CC)
+        md = tree.read(self.SPEC_MD)
+        if cc is None or md is None:
+            # Inert without both subjects, like the Table III pair.
+            return
+        m = self.SPEC_ARRAY_RE.search(cc)
+        if m is None:
+            yield Finding(
+                self.SPEC_CC, 0, self.check_id,
+                "kSpecGrammarFields[] initializer not found",
+            )
+            return
+        in_code = {n.group(1) for n in
+                   self.SPEC_NAME_RE.finditer(m.group(1))}
+        in_doc: Dict[str, int] = {}
+        for lineno, line in enumerate(md.splitlines(), start=1):
+            row = self.SPEC_ROW_RE.match(line)
+            if row:
+                in_doc.setdefault(row.group(1), lineno)
+        for name in sorted(in_code - set(in_doc)):
+            yield Finding(
+                self.SPEC_MD, 0, self.check_id,
+                "grammar key '%s' (kSpecGrammarFields, %s) has no "
+                "`%s` table row in %s"
+                % (name, self.SPEC_CC, name, self.SPEC_MD),
+            )
+        for name in sorted(set(in_doc) - in_code):
+            yield Finding(
+                self.SPEC_MD, in_doc[name], self.check_id,
+                "documented grammar key '%s' is not in "
+                "kSpecGrammarFields (%s)" % (name, self.SPEC_CC),
+            )
+
 
 # ---------------------------------------------------------------------------
 # Check 5: header hygiene

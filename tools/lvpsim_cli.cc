@@ -28,6 +28,7 @@
 #include "sim/results_json.hh"
 #include "sim/simulator.hh"
 #include "sim/tableio.hh"
+#include "trace/kernel_spec.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_spec.hh"
 #include "trace/workloads.hh"
@@ -109,7 +110,10 @@ usage()
         "  --verbose              dump full run statistics\n\n"
         "  --workload also accepts trace specs: NAME (synthetic "
         "kernel),\n"
-        "  lvpt:PATH, cvp:PATH (see docs/traces.md)\n";
+        "  lvpt:PATH, cvp:PATH (see docs/traces.md), and kernel "
+        "specs like\n"
+        "  'synth:[iters=100]stride(wset=400),const(v=0x42)' "
+        "(see docs/kernel_dsl.md)\n";
 }
 
 bool
@@ -354,9 +358,22 @@ main(int argc, char **argv)
     if (parsed.kind == trace::TraceKind::Synthetic) {
         if (!trace::WorkloadRegistry::instance().contains(
                 parsed.name)) {
-            std::cerr << "unknown workload '" << parsed.name
-                      << "' (use --list)\n";
-            return 2;
+            if (trace::looksLikeKernelSpec(parsed.name)) {
+                // A kernel-spec workload (docs/kernel_dsl.md):
+                // validate up front for a friendly error.
+                std::string err;
+                trace::parseKernelSpec(parsed.name, &err);
+                if (!err.empty()) {
+                    std::cerr << "bad kernel spec '" << parsed.name
+                              << "': " << err << "\n";
+                    return 2;
+                }
+            } else {
+                std::cerr << "unknown workload '" << parsed.name
+                          << "' (use --list, or a kernel spec; "
+                             "see docs/kernel_dsl.md)\n";
+                return 2;
+            }
         }
     } else {
         // Probe the file up front for a friendly error (TraceCache

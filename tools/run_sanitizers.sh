@@ -29,7 +29,7 @@ only=${LVPSIM_SAN_ONLY:-}
 # whole tree (benches, examples, every test binary) under a
 # sanitizer takes many times longer for no extra coverage.
 targets="test_containers test_common test_trace test_harness \
-test_qa test_fuzz lvpsim_cli"
+test_qa test_kernel_spec test_fuzz lvpsim_cli"
 
 run_config() {
     name=$1
