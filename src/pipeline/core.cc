@@ -847,6 +847,11 @@ Core::simulate(std::uint64_t commit_target)
         any |= dispatchStage();
         any |= fetchStage();
 
+        if (committed >= nextProgressAt) {
+            progressHook(committed);
+            nextProgressAt = committed + progressEvery;
+        }
+
 #if LVPSIM_CHECKS_ENABLED
         checkCycleInvariants();
         if (now % fullCheckPeriod == 0)
@@ -884,6 +889,98 @@ Core::warmup(std::uint64_t n)
                  "warmup drain left %zu ROB + %zu fetch-buffer + %zu "
                  "stashed entries",
                  rob.size(), fetchBuf.size(), refetchStash.size());
+}
+
+void
+Core::drain()
+{
+    fetchFrozen = true;
+    simulate(0);
+    fetchFrozen = false;
+    // Squashes during the drain can park predictions (with live
+    // predictor tokens) in the refetch stash; nothing will re-fetch
+    // them on this core, so release their snapshots. Tokens are
+    // abandoned in sorted order — FlatMap iteration order is
+    // hash-shaped, and the predictor must see the same sequence on
+    // every run.
+    std::vector<std::uint64_t> stale;
+    stale.reserve(refetchStash.size());
+    for (const auto &kv : refetchStash)
+        stale.push_back(kv.second.token);
+    std::sort(stale.begin(), stale.end());
+    for (std::uint64_t t : stale)
+        vp->abandon(t);
+    refetchStash.clear();
+    LVPSIM_CHECK(rob.empty() && fetchBuf.empty() &&
+                     vp->pendingProbes() == 0,
+                 "drain left %zu ROB + %zu fetch-buffer entries, %zu "
+                 "pending probes",
+                 rob.size(), fetchBuf.size(), vp->pendingProbes());
+}
+
+void
+Core::functionalWarmup(std::uint64_t n)
+{
+    lvp_assert(rob.empty() && fetchBuf.empty(),
+               "functionalWarmup needs a quiescent machine");
+    const std::uint64_t end =
+        std::min<std::uint64_t>(fetchIdx + n, code.size());
+    while (fetchIdx < end) {
+        const MicroOp &op = code[fetchIdx];
+        // Branch-predictor training replicates fetchOne()'s
+        // first-fetch sequence exactly; with an empty pipeline every
+        // index is a first fetch (fetchIdx >= contextIdx always).
+        switch (op.cls) {
+          case OpClass::Branch: {
+            const bool pred = tage.predict(op.pc);
+            (void)pred;
+            tage.update(op.pc, op.taken);
+            break;
+          }
+          case OpClass::Call:
+            ras.push(op.pc + 4);
+            tage.updateHistoryOnly(op.pc, true);
+            break;
+          case OpClass::Ret:
+            (void)ras.pop();
+            tage.updateHistoryOnly(op.pc, true);
+            break;
+          case OpClass::IndirBr:
+            (void)ittage.predict(op.pc);
+            ittage.update(op.pc, op.target);
+            tage.updateHistoryOnly(op.pc, true);
+            break;
+          case OpClass::Load:
+            memory.dataAccess(op.pc, op.effAddr, false);
+            break;
+          case OpClass::Store:
+            memory.dataAccess(op.pc, op.effAddr, true);
+            break;
+          default:
+            break;
+        }
+        contextIdx = fetchIdx + 1;
+        ++fetchIdx;
+        ++committed;
+        if (committed >= nextProgressAt) {
+            progressHook(committed);
+            nextProgressAt = committed + progressEvery;
+        }
+    }
+}
+
+void
+Core::setProgressHook(std::uint64_t every, ProgressHook fn)
+{
+    if (every == 0 || !fn) {
+        progressHook = nullptr;
+        progressEvery = 0;
+        nextProgressAt = std::numeric_limits<std::uint64_t>::max();
+        return;
+    }
+    progressHook = std::move(fn);
+    progressEvery = every;
+    nextProgressAt = committed + every;
 }
 
 SimStats

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <ostream>
 #include <vector>
 
@@ -100,6 +101,36 @@ class Core
      */
     void warmup(std::uint64_t n);
 
+    /**
+     * Fast-forward @p n instructions *functionally*: no cycle loop,
+     * no queues — the trace streams straight through the substrate,
+     * training the caches, TLB and prefetcher (at commit order) and
+     * the branch predictors (the exact first-fetch training sequence
+     * fetchOne() performs, so TAGE/ITTAGE/RAS state matches a
+     * detailed pass bit for bit). The value predictor and the memory
+     * dependence predictor are untouched, and no cycles elapse.
+     *
+     * This is the sampled-simulation fast-forward primitive
+     * (docs/sampling.md): an order of magnitude cheaper than
+     * warmup(), at the cost of timing-dependent substrate effects
+     * (out-of-order access interleaving, wrong-path fills). Requires
+     * a quiescent machine (fresh, post-warmup or post-restore with
+     * empty queues); leaves it quiescent.
+     */
+    void functionalWarmup(std::uint64_t n);
+
+    /**
+     * Run the in-flight window dry after an early run() stop: freeze
+     * fetch, simulate until every issued instruction commits or
+     * squashes, then abandon() any predictor tokens still parked in
+     * the refetch stash (their instructions will never be re-fetched
+     * on this core). Leaves the machine quiescent and the attached
+     * predictor free of per-token state, so a shared predictor can
+     * move on to another core — the sampled-run driver does this
+     * between representative segments (docs/sampling.md).
+     */
+    void drain();
+
     /** Substrate statistics (caches, TLB, branch predictors). */
     void dumpSubstrateStats(std::ostream &os) const;
 
@@ -110,6 +141,17 @@ class Core
      */
     using CommitHook = std::function<void(const CommitRecord &)>;
     void setCommitHook(CommitHook fn) { commitHook = std::move(fn); }
+
+    /**
+     * Observe long-running simulations: fn(total committed
+     * instructions) fires every @p every committed instructions,
+     * from both the cycle loop and functionalWarmup(). Costs one
+     * predictable compare per cycle when unset (every == 0
+     * uninstalls). Reporting only — never part of checkpoints or
+     * results.
+     */
+    using ProgressHook = std::function<void(std::uint64_t)>;
+    void setProgressHook(std::uint64_t every, ProgressHook fn);
 
   private:
     struct Inflight
@@ -272,6 +314,17 @@ class Core
 
     // lvplint: allow(state-snapshot) -- external wiring, not model state
     CommitHook commitHook;
+
+    // Progress reporting (setProgressHook): external wiring plus a
+    // cached next-fire threshold, none of it model state.
+    // lvplint: allow(state-snapshot) -- external wiring, not model state
+    ProgressHook progressHook;
+    // lvplint: allow(state-snapshot) -- reporting cadence, not model state
+    std::uint64_t progressEvery = 0;
+    // lvplint: allow(state-snapshot) -- derived from progressEvery at
+    // install time, recomputed by setProgressHook after any restore
+    std::uint64_t nextProgressAt =
+        std::numeric_limits<std::uint64_t>::max();
 
     SimStats stats;
 

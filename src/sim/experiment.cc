@@ -6,6 +6,7 @@
 
 #include "common/mathutils.hh"
 #include "sim/parallel_executor.hh"
+#include "sim/sampled.hh"
 
 namespace lvpsim
 {
@@ -203,7 +204,21 @@ SuiteRunner::run(const std::string &label,
         r.checkpointSeconds = base->checkpointSeconds;
         const auto t0 = Clock::now();
         auto vp = make_vp();
-        r.withVp = runWorkload(r.workload, vp.get(), rc);
+        if (rc.sampleK > 0) {
+            // Sampled row: go through the sampled driver directly so
+            // the error bound and sampling metadata reach the report
+            // (runWorkload() would discard them).
+            const auto sr =
+                runSampledWorkload(r.workload, vp.get(), rc);
+            r.withVp = sr.stats;
+            r.sampled = true;
+            r.sampleError = sr.sampleError;
+            r.sampleK = sr.sampleK;
+            r.intervalLength = sr.intervalLen;
+            r.checkpointSeconds = sr.checkpointSeconds;
+        } else {
+            r.withVp = runWorkload(r.workload, vp.get(), rc);
+        }
         r.vpSeconds = secondsSince(t0);
         r.storageBits = vp->storageBits();
     };

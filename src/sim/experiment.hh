@@ -49,10 +49,20 @@ struct WorkloadResult
     /// from determinism comparisons (see tools/check_determinism.sh).
     double baseSeconds = 0.0;
     double vpSeconds = 0.0;
-    /// One-time cost of building this workload's post-warmup
-    /// checkpoint (0 when warmupInstrs == 0 or on later reuse of a
-    /// memoized baseline). Informational, like the fields above.
+    /// One-time cost of building this workload's post-warmup (or,
+    /// for sampled rows, interval) checkpoints (0 when neither
+    /// warmup nor sampling is active). Informational, like the
+    /// fields above.
     double checkpointSeconds = 0.0;
+
+    /// Sampled-run metadata (docs/sampling.md): true when the stats
+    /// in this row were extrapolated from sampleK representative
+    /// intervals of intervalLength instructions each; sampleError is
+    /// that run's confidence bound. Zero / false for full runs.
+    bool sampled = false;
+    double sampleError = 0.0;
+    std::uint64_t sampleK = 0;
+    std::uint64_t intervalLength = 0;
 
     double speedup() const { return withVp.ipc() / base.ipc() - 1.0; }
     double coverage() const { return withVp.coverage(); }

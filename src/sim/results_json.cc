@@ -78,6 +78,10 @@ toJson(const WorkloadResult &r)
     o.set("accuracy", finiteOrNull(r.accuracy()));
     o.set("base", toJson(r.base));
     o.set("with_vp", toJson(r.withVp));
+    o.set("sampled", JsonValue(r.sampled));
+    o.set("sample_error", finiteOrNull(r.sampleError));
+    o.set("sample_k", JsonValue(r.sampleK));
+    o.set("interval_length", JsonValue(r.intervalLength));
     o.set("base_seconds", JsonValue(r.baseSeconds));
     o.set("vp_seconds", JsonValue(r.vpSeconds));
     o.set("checkpoint_seconds", JsonValue(r.checkpointSeconds));
@@ -108,6 +112,15 @@ workloadResultFromJson(const JsonValue &v, WorkloadResult &out)
     if (!base || !with || !simStatsFromJson(*base, out.base) ||
         !simStatsFromJson(*with, out.withVp))
         return false;
+    // Pre-sampling files lack the sampled block; keep the defaults
+    // (full run) for those.
+    if (const JsonValue *sm = v.find("sampled"))
+        out.sampled = sm->asBool();
+    out.sampleError = numberOr(v.find("sample_error"), 0.0);
+    out.sampleK =
+        std::uint64_t(numberOr(v.find("sample_k"), 0.0));
+    out.intervalLength =
+        std::uint64_t(numberOr(v.find("interval_length"), 0.0));
     out.baseSeconds = numberOr(v.find("base_seconds"), 0.0);
     out.vpSeconds = numberOr(v.find("vp_seconds"), 0.0);
     out.checkpointSeconds =
@@ -170,6 +183,9 @@ resultsToJson(const std::vector<SuiteResult> &suites,
     m.set("instructions", JsonValue(meta.maxInstrs));
     m.set("warmup_instructions", JsonValue(meta.warmupInstrs));
     m.set("trace_seed", JsonValue(meta.traceSeed));
+    m.set("sample_k", JsonValue(meta.sampleK));
+    m.set("interval_length", JsonValue(meta.intervalLen));
+    m.set("progress_instructions", JsonValue(meta.progressInstrs));
     m.set("suite", JsonValue(meta.suite));
     o.set("meta", std::move(m));
     JsonValue arr = JsonValue::array();
@@ -199,6 +215,12 @@ resultsFromJson(const JsonValue &v, std::vector<SuiteResult> &suites,
                 numberOr(m->find("warmup_instructions"), 0.0));
             meta->traceSeed =
                 std::uint64_t(numberOr(m->find("trace_seed"), 0.0));
+            meta->sampleK =
+                std::size_t(numberOr(m->find("sample_k"), 0.0));
+            meta->intervalLen = std::size_t(
+                numberOr(m->find("interval_length"), 0.0));
+            meta->progressInstrs = std::uint64_t(
+                numberOr(m->find("progress_instructions"), 0.0));
             if (const JsonValue *s = m->find("suite"))
                 if (s->isString())
                     meta->suite = s->asString();

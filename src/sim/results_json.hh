@@ -33,6 +33,12 @@ struct ReportMeta
     std::size_t maxInstrs = 0;
     std::size_t warmupInstrs = 0;
     std::uint64_t traceSeed = 0;
+    /// Sampling parameters (docs/sampling.md); 0 = full simulation.
+    std::size_t sampleK = 0;
+    std::size_t intervalLen = 0;
+    /// Progress-report interval (CLI --progress; reporting only,
+    /// stripped by tools/check_determinism.sh).
+    std::uint64_t progressInstrs = 0;
     std::string suite; ///< e.g. "full", "smoke", or a bench tag
 };
 

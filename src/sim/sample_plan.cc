@@ -1,0 +1,260 @@
+#include "sim/sample_plan.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+namespace
+{
+
+using Sig = trace::IntervalSignature;
+
+/** Squared Euclidean distance between two signature vectors. Values
+ *  are <= 1 << 16 per dimension, so each term fits 32 bits and the
+ *  80-dimension sum stays far below 2^64. */
+std::uint64_t
+dist2(const std::array<std::uint32_t, Sig::dims> &a,
+      const std::array<std::uint32_t, Sig::dims> &b)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t d = 0; d < Sig::dims; ++d) {
+        const std::int64_t diff =
+            std::int64_t(a[d]) - std::int64_t(b[d]);
+        sum += std::uint64_t(diff * diff);
+    }
+    return sum;
+}
+
+} // anonymous namespace
+
+SamplePlan
+buildSamplePlan(const trace::IntervalProfile &profile, std::size_t k,
+                std::uint64_t seed)
+{
+    using Point = std::array<std::uint32_t, Sig::dims>;
+
+    SamplePlan plan;
+    plan.intervalLen = profile.intervalLen;
+    plan.totalInstructions = profile.totalInstructions;
+
+    const std::size_t n = profile.intervals.size();
+    if (n == 0)
+        return plan;
+    k = std::min(k, n);
+    lvp_assert(k > 0, "sample plan needs k > 0");
+
+    Xoshiro256 rng(seed ^ 0x5a6d506c616e2121ull);
+
+    // ---- k-means++ initialization ---------------------------------
+    // First centroid: a seeded uniform draw; each further centroid is
+    // drawn proportionally to D^2 (distance to the nearest chosen
+    // centroid) via an integer prefix-sum inverse draw. When the
+    // total D^2 collapses to zero every remaining point duplicates a
+    // centroid, so fewer than k clusters suffice.
+    std::vector<Point> centroids;
+    centroids.reserve(k);
+    std::vector<std::uint64_t> best(
+        n, std::numeric_limits<std::uint64_t>::max());
+
+    centroids.push_back(profile.intervals[rng.below(n)].v);
+    while (centroids.size() < k) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t d =
+                dist2(profile.intervals[i].v, centroids.back());
+            if (d < best[i])
+                best[i] = d;
+            total += best[i];
+        }
+        if (total == 0)
+            break;
+        std::uint64_t r = rng.below(total);
+        std::size_t pick = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (r < best[i]) {
+                pick = i;
+                break;
+            }
+            r -= best[i];
+        }
+        centroids.push_back(profile.intervals[pick].v);
+    }
+
+    // ---- Lloyd iterations (fixed cap, ties -> lowest index) -------
+    constexpr unsigned maxIters = 16;
+    std::vector<std::uint32_t> assign(n, 0);
+    for (unsigned iter = 0; iter < maxIters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t bestC = 0;
+            std::uint64_t bestD =
+                std::numeric_limits<std::uint64_t>::max();
+            for (std::size_t c = 0; c < centroids.size(); ++c) {
+                const std::uint64_t d =
+                    dist2(profile.intervals[i].v, centroids[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    bestC = std::uint32_t(c);
+                }
+            }
+            if (assign[i] != bestC) {
+                assign[i] = bestC;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Weighted integer centroid update: sums stay within 64 bits
+        // (total instructions * fixedOne < 2^48 + 2^16 headroom).
+        std::vector<std::array<std::uint64_t, Sig::dims>> sums(
+            centroids.size());
+        std::vector<std::uint64_t> weights(centroids.size(), 0);
+        for (auto &s : sums)
+            s.fill(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t w =
+                profile.intervals[i].instructions;
+            weights[assign[i]] += w;
+            for (std::size_t d = 0; d < Sig::dims; ++d)
+                sums[assign[i]][d] +=
+                    w * profile.intervals[i].v[d];
+        }
+        // Drop empty clusters deterministically (compact in order)
+        // and renumber the assignments to match.
+        std::vector<Point> next;
+        std::vector<std::uint32_t> renumber(centroids.size(), 0);
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+            if (weights[c] == 0)
+                continue;
+            renumber[c] = std::uint32_t(next.size());
+            Point p;
+            for (std::size_t d = 0; d < Sig::dims; ++d)
+                p[d] = std::uint32_t(sums[c][d] / weights[c]);
+            next.push_back(p);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            assign[i] = renumber[assign[i]];
+        centroids = std::move(next);
+    }
+
+    // ---- Strata: spend the whole k-budget -------------------------
+    // Signature clustering alone is not enough: behavior drifts over
+    // time even when the signature does not (predictors keep
+    // training, working sets migrate), and for homogeneous workloads
+    // every interval ties so k-means collapses to one cluster whose
+    // single representative would then speak for the whole trace —
+    // startup transient and all. So when fewer than k clusters
+    // survive, the spare measurement slots subdivide clusters by
+    // TIME: each cluster's member list (already in interval order)
+    // is cut into contiguous strata, one measured representative
+    // per stratum, weighted by the stratum's own instructions. Slots
+    // go to clusters greedily by instructions-per-slot (d'Hondt
+    // rounding; integer cross-multiplication, ties -> lowest
+    // cluster), so heavy phases get sampled at more points in time.
+    const std::size_t C = centroids.size();
+    std::vector<std::vector<std::size_t>> members(C);
+    std::vector<std::uint64_t> clusterWeight(C, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        members[assign[i]].push_back(i);
+        clusterWeight[assign[i]] += profile.intervals[i].instructions;
+    }
+
+    std::vector<std::size_t> slots(C, 1);
+    std::size_t totalSlots = C;
+    while (totalSlots < k) {
+        std::size_t pick = C;
+        for (std::size_t c = 0; c < C; ++c) {
+            if (slots[c] >= members[c].size())
+                continue;
+            if (pick == C ||
+                clusterWeight[c] * slots[pick] >
+                    clusterWeight[pick] * slots[c])
+                pick = c;
+        }
+        if (pick == C)
+            break; // every cluster already measures all its members
+        ++slots[pick];
+        ++totalSlots;
+    }
+
+    // Within a stratum the representative is the member closest to
+    // the cluster centroid; distance ties break toward the middle of
+    // the stratum. The tie-break matters precisely in the collapsed
+    // case above — the signature records what code runs, not what
+    // state it runs against, so among look-alike members the
+    // mid-stratum one is the best stand-in for its neighbors.
+    struct Stratum
+    {
+        std::size_t rep = 0;
+        std::uint64_t weight = 0;
+        std::uint32_t size = 0;
+    };
+    std::vector<Stratum> strata;
+    strata.reserve(totalSlots);
+    std::vector<std::uint32_t> stratumOf(n, 0);
+    for (std::size_t c = 0; c < C; ++c) {
+        const std::size_t s = members[c].size();
+        const std::size_t m = slots[c];
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t lo = j * s / m;
+            const std::size_t hi = (j + 1) * s / m;
+            Stratum st;
+            std::uint64_t bestD =
+                std::numeric_limits<std::uint64_t>::max();
+            std::uint64_t bestBias = 0;
+            for (std::size_t p = lo; p < hi; ++p) {
+                const std::size_t i = members[c][p];
+                stratumOf[i] = std::uint32_t(strata.size());
+                st.weight += profile.intervals[i].instructions;
+                ++st.size;
+                const std::uint64_t d =
+                    dist2(profile.intervals[i].v, centroids[c]);
+                const std::uint64_t mid = lo + hi - 1;
+                const std::uint64_t bias =
+                    2 * p > mid ? 2 * p - mid : mid - 2 * p;
+                if (d < bestD || (d == bestD && bias < bestBias)) {
+                    bestD = d;
+                    bestBias = bias;
+                    st.rep = i;
+                }
+            }
+            strata.push_back(st);
+        }
+    }
+
+    // Emit sorted by interval index so the checkpoint builder can
+    // stream forward through the trace once.
+    std::vector<std::size_t> order(strata.size());
+    for (std::size_t p = 0; p < order.size(); ++p)
+        order[p] = p;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return strata[a].rep < strata[b].rep;
+              });
+
+    std::vector<std::uint32_t> posOf(strata.size(), 0);
+    for (std::size_t p = 0; p < order.size(); ++p) {
+        const Stratum &st = strata[order[p]];
+        posOf[order[p]] = std::uint32_t(p);
+        SampleRep rep;
+        rep.interval = std::uint32_t(st.rep);
+        rep.weightInstructions = st.weight;
+        rep.clusterSize = st.size;
+        plan.reps.push_back(rep);
+    }
+    plan.assignment.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        plan.assignment[i] = posOf[stratumOf[i]];
+    return plan;
+}
+
+} // namespace sim
+} // namespace lvpsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SimPoint-style representative-interval selection
+ * (docs/sampling.md).
+ *
+ * buildSamplePlan() clusters the interval signatures produced by
+ * trace::IntervalProfiler with a deterministic, seeded k-means
+ * (k-means++ initialization, fixed iteration cap), then spends the
+ * whole k-budget: when fewer than k clusters survive (homogeneous
+ * traces collapse to one), the spare slots subdivide clusters into
+ * time-contiguous strata, so behavior the signature cannot see —
+ * predictor training curves, startup transients, working-set drift —
+ * is still sampled at several points in time. Each stratum
+ * contributes one representative interval weighted by the stratum's
+ * instruction count. The sampled-run driver (sim/sampled.hh) then
+ * simulates only the representatives and extrapolates.
+ *
+ * Determinism contract: every quantity on the signature and
+ * assignment paths — distances, centroids, k-means++ target draws,
+ * slot allocation — is integer arithmetic in a fixed iteration
+ * order with deterministic tie-breaks, and all randomness flows
+ * through the seeded Xoshiro256 from common/random.hh. Two runs
+ * with the same (profile, k, seed) produce identical plans on any
+ * platform.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/interval_profile.hh"
+
+namespace lvpsim
+{
+namespace sim
+{
+
+/** One representative interval: simulate it, scale by its weight. */
+struct SampleRep
+{
+    std::uint32_t interval = 0; ///< interval index in the profile
+    /** Instructions this representative stands for (its stratum's
+     *  total, partial tail included). */
+    std::uint64_t weightInstructions = 0;
+    std::uint32_t clusterSize = 0; ///< intervals in the stratum
+};
+
+struct SamplePlan
+{
+    std::uint64_t intervalLen = 0;
+    std::uint64_t totalInstructions = 0;
+    /** Representatives, sorted by interval index (ascending). */
+    std::vector<SampleRep> reps;
+    /** interval index -> position in reps (stratum membership). */
+    std::vector<std::uint32_t> assignment;
+};
+
+/**
+ * Cluster the profile, subdivide clusters into time strata until
+ * min(@p k, interval count) measurement slots are in use, and pick
+ * weighted representatives. @p seed drives the k-means++ draws.
+ */
+SamplePlan buildSamplePlan(const trace::IntervalProfile &profile,
+                           std::size_t k, std::uint64_t seed);
+
+} // namespace sim
+} // namespace lvpsim

@@ -1,8 +1,11 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 
 #include "common/logging.hh"
+#include "sim/sampled.hh"
 #include "trace/kernel_spec.hh"
 #include "trace/trace_spec.hh"
 #include "trace/workloads.hh"
@@ -26,13 +29,48 @@ secondsSince(WallClock::time_point t0)
         .count();
 }
 
+// Progress reporting is process-wide opt-in state (CLI --progress):
+// reads/writes are relaxed because the value only gates stderr lines,
+// never simulation behavior.
+std::atomic<std::uint64_t> progressEvery{0};
+std::mutex progressPrintMx;
+
 } // anonymous namespace
+
+void
+setProgressReportEvery(std::uint64_t every)
+{
+    progressEvery.store(every, std::memory_order_relaxed);
+}
+
+std::uint64_t
+progressReportEvery()
+{
+    return progressEvery.load(std::memory_order_relaxed);
+}
+
+void
+installProgressHook(pipe::Core &core, const std::string &label)
+{
+    const std::uint64_t every = progressReportEvery();
+    if (every == 0)
+        return;
+    core.setProgressHook(every, [label](std::uint64_t committed) {
+        // One line per tick; serialized so --jobs runs don't
+        // interleave partial lines. stderr only: --json output (and
+        // the determinism diff) never sees these.
+        std::lock_guard<std::mutex> lk(progressPrintMx);
+        std::fprintf(stderr, "progress: %s %" PRIu64 " instructions\n",
+                     label.c_str(), committed);
+    });
+}
 
 pipe::SimStats
 runTrace(const std::vector<trace::MicroOp> &ops,
          pipe::LoadValuePredictor *vp, const RunConfig &rc)
 {
     pipe::Core core(rc.core, ops, vp);
+    installProgressHook(core, "run");
     if (rc.warmupInstrs)
         core.warmup(rc.warmupInstrs);
     return core.run();
@@ -53,6 +91,8 @@ runConfigKey(const RunConfig &rc)
     add(rc.maxInstrs);
     add(rc.warmupInstrs);
     add(rc.traceSeed);
+    add(rc.sampleK);
+    add(rc.sampleIntervalLen);
 
     const pipe::CoreConfig &c = rc.core;
     add(c.fetchWidth);
@@ -210,21 +250,9 @@ CheckpointCache::instance()
     return c;
 }
 
-CheckpointCache::CheckpointPtr
-CheckpointCache::get(const std::string &workload, const RunConfig &rc)
+std::shared_ptr<CheckpointCache::Slot>
+CheckpointCache::ensure(const std::string &key)
 {
-    lvp_assert(rc.warmupInstrs > 0,
-               "CheckpointCache::get with zero warmup");
-    // Key on the trace identity, not the raw spec string: for
-    // file-backed traces the identity embeds a content hash, so a
-    // rewritten file can never alias a stale checkpoint.
-    const std::string key =
-        runConfigKey(rc) + "#" +
-        TraceCache::instance()
-            .info(workload, rc.maxInstrs + rc.warmupInstrs,
-                  rc.traceSeed)
-            .identity;
-
     std::shared_ptr<Slot> slot;
     {
         std::shared_lock rd(mapMx);
@@ -240,6 +268,24 @@ CheckpointCache::get(const std::string &workload, const RunConfig &rc)
         slot = it->second;
         (void)inserted;
     }
+    return slot;
+}
+
+CheckpointCache::CheckpointPtr
+CheckpointCache::get(const std::string &workload, const RunConfig &rc)
+{
+    lvp_assert(rc.warmupInstrs > 0,
+               "CheckpointCache::get with zero warmup");
+    // Key on the trace identity, not the raw spec string: for
+    // file-backed traces the identity embeds a content hash, so a
+    // rewritten file can never alias a stale checkpoint.
+    const std::string key =
+        runConfigKey(rc) + "#" +
+        TraceCache::instance()
+            .info(workload, rc.maxInstrs + rc.warmupInstrs,
+                  rc.traceSeed)
+            .identity;
+    auto slot = ensure(key);
 
     // Exactly one caller simulates the warmup region; concurrent
     // callers for the same key block until the checkpoint is ready.
@@ -259,6 +305,72 @@ CheckpointCache::get(const std::string &workload, const RunConfig &rc)
     return slot->ckpt;
 }
 
+std::vector<CheckpointCache::CheckpointPtr>
+CheckpointCache::getIntervals(const std::string &workload,
+                              const RunConfig &rc,
+                              const std::vector<std::uint64_t> &indices)
+{
+    const std::string prefix =
+        runConfigKey(rc) + "#" +
+        TraceCache::instance()
+            .info(workload, rc.maxInstrs + rc.warmupInstrs,
+                  rc.traceSeed)
+            .identity;
+
+    std::vector<std::shared_ptr<Slot>> slots;
+    slots.reserve(indices.size());
+    for (std::uint64_t idx : indices)
+        slots.push_back(
+            ensure(prefix + "#interval" + std::to_string(idx)));
+
+    // One streaming pass over the trace: the builder core starts from
+    // the newest checkpoint at or before the next missing index (any
+    // earlier slot in this batch, cached or just built) and
+    // fast-forwards only the gap. Per-slot call_once keeps each
+    // checkpoint built exactly once process-wide; a concurrent batch
+    // can duplicate forward progress, never publish different state.
+    TraceCache::TracePtr ops;
+    std::unique_ptr<pipe::Core> core;
+    std::uint64_t pos = 0;
+    CheckpointPtr prev;
+    std::uint64_t prevIdx = 0;
+    std::vector<CheckpointPtr> out(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const std::uint64_t idx = indices[i];
+        lvp_assert(i == 0 || indices[i - 1] < idx,
+                   "interval indices must be ascending and unique");
+        std::call_once(slots[i]->once, [&] {
+            const auto t0 = WallClock::now();
+            if (!ops)
+                ops = TraceCache::instance().get(
+                    workload, rc.maxInstrs + rc.warmupInstrs,
+                    rc.traceSeed);
+            if (!core || pos > idx) {
+                core = std::make_unique<pipe::Core>(rc.core, *ops,
+                                                    nullptr);
+                pos = 0;
+                installProgressHook(*core, workload + " (warmup)");
+            }
+            if (prev && prevIdx <= idx && prevIdx > pos) {
+                core->restoreState(prev->core);
+                pos = prevIdx;
+            }
+            core->functionalWarmup(idx - pos);
+            pos = idx;
+            auto ck = std::make_shared<SimCheckpoint>();
+            ck->warmupInstrs = idx;
+            core->saveState(ck->core);
+            ck->buildSeconds = secondsSince(t0);
+            slots[i]->ckpt = std::move(ck);
+            generated.fetch_add(1, std::memory_order_relaxed);
+        });
+        out[i] = slots[i]->ckpt;
+        prev = out[i];
+        prevIdx = idx;
+    }
+    return out;
+}
+
 void
 CheckpointCache::clear()
 {
@@ -270,6 +382,8 @@ pipe::SimStats
 runWorkload(const std::string &workload, pipe::LoadValuePredictor *vp,
             const RunConfig &rc)
 {
+    if (rc.sampleK > 0)
+        return runSampledWorkload(workload, vp, rc).stats;
     auto ops = TraceCache::instance().get(
         workload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
     if (rc.warmupInstrs == 0)
@@ -279,6 +393,7 @@ runWorkload(const std::string &workload, pipe::LoadValuePredictor *vp,
     // warmup region never touches the (freshly constructed) VP.
     auto ckpt = CheckpointCache::instance().get(workload, rc);
     pipe::Core core(rc.core, *ops, vp);
+    installProgressHook(core, workload);
     core.restoreState(ckpt->core);
     return core.run();
 }

@@ -40,6 +40,17 @@ struct RunConfig
      */
     std::size_t warmupInstrs = 0;
     std::uint64_t traceSeed = 1;
+    /**
+     * SimPoint-style sampled simulation (docs/sampling.md): when
+     * sampleK > 0, runWorkload() profiles the trace into
+     * sampleIntervalLen-instruction intervals, clusters them, and
+     * simulates only up to sampleK representative intervals,
+     * extrapolating the suite counters as weighted sums. Mutually
+     * exclusive with warmupInstrs (sampling fast-forwards
+     * functionally to each representative instead).
+     */
+    std::size_t sampleK = 0;
+    std::size_t sampleIntervalLen = 100000;
     pipe::CoreConfig core{};
 };
 
@@ -50,6 +61,19 @@ struct RunConfig
  * CheckpointCache and BaselineCache.
  */
 std::string runConfigKey(const RunConfig &rc);
+
+/**
+ * Process-wide progress reporting for long runs (CLI --progress).
+ * When `every` > 0, cores created by the sim layer emit one stderr
+ * line per `every` committed instructions. 0 (the default) disables
+ * reporting; nothing about the simulated results changes either way.
+ */
+void setProgressReportEvery(std::uint64_t every);
+std::uint64_t progressReportEvery();
+
+/** Install the global progress reporter on @p core (no-op when the
+ *  report interval is 0). `label` names the run in each line. */
+void installProgressHook(pipe::Core &core, const std::string &label);
 
 /**
  * Run one already-generated trace through a fresh core. When
@@ -177,6 +201,23 @@ class CheckpointCache
      *  rc.warmupInstrs > 0. */
     CheckpointPtr get(const std::string &workload, const RunConfig &rc);
 
+    /**
+     * Interval checkpoints for sampled runs: the machine state after
+     * functionally fast-forwarding (Core::functionalWarmup) to each
+     * instruction index in @p indices, which must be sorted ascending
+     * with no duplicates. Missing checkpoints are built in one
+     * streaming pass — the builder restores the nearest earlier
+     * checkpoint from this batch and fast-forwards only the gap, so a
+     * whole batch costs one traversal of the trace. Each slot is
+     * memoized under the same runConfigKey() + trace-identity
+     * discipline as get(), with the interval index appended;
+     * concurrent batches may duplicate forward progress but each slot
+     * is still published exactly once.
+     */
+    std::vector<CheckpointPtr>
+    getIntervals(const std::string &workload, const RunConfig &rc,
+                 const std::vector<std::uint64_t> &indices);
+
     /** Number of checkpoints actually simulated (not cache hits). */
     std::uint64_t generations() const
     {
@@ -195,6 +236,8 @@ class CheckpointCache
         std::once_flag once;
         CheckpointPtr ckpt;
     };
+
+    std::shared_ptr<Slot> ensure(const std::string &key);
 
     mutable std::shared_mutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never

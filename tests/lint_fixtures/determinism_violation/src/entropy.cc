@@ -1,9 +1,12 @@
-/** Fixture: seeded determinism violations (ambient entropy and a
- *  wall-clock read), nothing else. */
+/** Fixture: seeded determinism violations (ambient entropy, a
+ *  wall-clock read, a default-constructed RNG engine, and an
+ *  order-unspecified float reduction), nothing else. */
 
 #include <chrono>
 #include <cstdlib>
+#include <numeric>
 #include <random>
+#include <vector>
 
 namespace fixture
 {
@@ -19,6 +22,19 @@ long
 wallClockNanos()
 {
     return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned
+defaultSeededDraw()
+{
+    std::mt19937 gen;
+    return gen();
+}
+
+double
+unorderedSum(const std::vector<double> &xs)
+{
+    return std::reduce(xs.begin(), xs.end(), 0.0);
 }
 
 } // namespace fixture

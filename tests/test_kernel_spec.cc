@@ -210,3 +210,46 @@ TEST(KernelSpecFrontier, PinnedBreakdownCtxPeriod16)
     const double gap = fam.unionFrac() - ps.coverage();
     EXPECT_GT(gap, 0.45);
 }
+
+/**
+ * Second pinned frontier breakdown, from the browser/JS-like
+ * phase-mix corner of the grid: randomly interleaved inline-cache
+ * hits (short ctx) and property lookups over a large rng-filled
+ * table (pick), then a shuffled DOM-style pointer walk (chase),
+ * then a constant burst. The ideal family union captures most of
+ * the stream (the ctx and const parts are near-perfect, the chase
+ * addresses stride-predictable), but the composite realizes well
+ * under half: the rapid phase changes churn its confidence counters
+ * and the value-context part is invisible to its branch-path
+ * hashing. Re-pin the bounds (and the frontier docs) if the
+ * predictor learns to close this gap.
+ */
+TEST(KernelSpecFrontier, PinnedBreakdownBrowserPhaseMix)
+{
+    const std::string text =
+        "[iters=96,mix=rand]ctx(period=8),pick(k=1024,fill=rng);"
+        "[iters=128]chase(wset=128,order=shuffle);"
+        "[iters=256]const(v=0x1)";
+    std::string err;
+    const auto spec = trace::parseKernelSpec(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    const std::size_t instrs = 20000;
+    const auto ops = trace::generateWorkload(text, instrs, 1);
+    const auto fam = qa::measureIdealFamilies(ops);
+
+    ASSERT_GT(fam.loads, 1000u);
+    EXPECT_GT(fam.unionFrac(), 0.7);
+
+    auto cfg = vp::CompositeConfig::bestOf(1024);
+    cfg.epochInstrs = 5000;
+    vp::CompositePredictor pred(cfg);
+    sim::RunConfig rc;
+    rc.maxInstrs = instrs;
+    rc.traceSeed = 1;
+    const auto ps = sim::runTrace(ops, &pred, rc);
+    EXPECT_LT(ps.coverage(), 0.5);
+
+    const double gap = fam.unionFrac() - ps.coverage();
+    EXPECT_GT(gap, 0.3);
+}

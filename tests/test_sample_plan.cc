@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Sample-plan construction (sim/sample_plan.hh): deterministic
+ * seeded k-means, weight conservation, representative ordering, and
+ * degenerate-input behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sample_plan.hh"
+#include "trace/interval_profile.hh"
+#include "trace/workloads.hh"
+
+using namespace lvpsim;
+using sim::SamplePlan;
+using sim::buildSamplePlan;
+
+namespace
+{
+
+trace::IntervalProfile
+phasedProfile(std::size_t per_phase, std::uint64_t interval_len)
+{
+    // Three phases with different code and memory behavior, so
+    // clustering has real structure to find.
+    auto t = trace::generateWorkload("stream_sum", per_phase, 1);
+    for (const char *k : {"pointer_chase", "hash_probe"}) {
+        const auto more =
+            trace::generateWorkload(k, per_phase, 1);
+        t.insert(t.end(), more.begin(), more.end());
+    }
+    return trace::profileTrace(t, interval_len);
+}
+
+bool
+samePlan(const SamplePlan &a, const SamplePlan &b)
+{
+    if (a.intervalLen != b.intervalLen ||
+        a.totalInstructions != b.totalInstructions ||
+        a.reps.size() != b.reps.size() ||
+        a.assignment != b.assignment)
+        return false;
+    for (std::size_t i = 0; i < a.reps.size(); ++i) {
+        if (a.reps[i].interval != b.reps[i].interval ||
+            a.reps[i].weightInstructions !=
+                b.reps[i].weightInstructions ||
+            a.reps[i].clusterSize != b.reps[i].clusterSize)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(SamplePlan, SeedStableAndDeterministic)
+{
+    const auto profile = phasedProfile(10000, 3000);
+    const auto a = buildSamplePlan(profile, 4, 42);
+    const auto b = buildSamplePlan(profile, 4, 42);
+    EXPECT_TRUE(samePlan(a, b));
+}
+
+TEST(SamplePlan, WeightsConserveInstructionsAndIntervals)
+{
+    const auto profile = phasedProfile(10000, 3000);
+    const auto plan = buildSamplePlan(profile, 5, 7);
+
+    std::uint64_t weight = 0, members = 0;
+    for (const auto &rep : plan.reps) {
+        weight += rep.weightInstructions;
+        members += rep.clusterSize;
+    }
+    EXPECT_EQ(weight, profile.totalInstructions);
+    EXPECT_EQ(members, profile.intervals.size());
+}
+
+TEST(SamplePlan, RepsSortedUniqueAndAssignmentConsistent)
+{
+    const auto profile = phasedProfile(10000, 3000);
+    const auto plan = buildSamplePlan(profile, 5, 7);
+
+    ASSERT_FALSE(plan.reps.empty());
+    for (std::size_t r = 1; r < plan.reps.size(); ++r)
+        EXPECT_LT(plan.reps[r - 1].interval, plan.reps[r].interval);
+
+    ASSERT_EQ(plan.assignment.size(), profile.intervals.size());
+    std::vector<std::uint32_t> counted(plan.reps.size(), 0);
+    for (std::uint32_t pos : plan.assignment) {
+        ASSERT_LT(pos, plan.reps.size());
+        ++counted[pos];
+    }
+    for (std::size_t r = 0; r < plan.reps.size(); ++r) {
+        // A representative belongs to its own cluster.
+        EXPECT_EQ(plan.assignment[plan.reps[r].interval], r);
+        EXPECT_EQ(counted[r], plan.reps[r].clusterSize);
+    }
+}
+
+TEST(SamplePlan, HomogeneousProfileStratifiesByTime)
+{
+    // Identical signatures everywhere: k-means++ stops adding
+    // centroids once total D^2 hits zero and clustering collapses
+    // to one cluster — but the k-budget must then subdivide it into
+    // time strata, not speak for the whole trace through a single
+    // interval. Behavior the signature cannot see (startup
+    // transients, predictor training) varies over time even when
+    // the code mix does not.
+    trace::IntervalProfile profile;
+    profile.intervalLen = 1000;
+    for (int i = 0; i < 20; ++i) {
+        trace::IntervalSignature sig;
+        sig.v.fill(512);
+        sig.instructions = 1000;
+        profile.intervals.push_back(sig);
+        profile.totalInstructions += 1000;
+    }
+    const auto plan = buildSamplePlan(profile, 8, 3);
+    ASSERT_EQ(plan.reps.size(), 8u);
+
+    std::uint64_t weight = 0;
+    std::uint32_t covered = 0;
+    for (const auto &rep : plan.reps) {
+        weight += rep.weightInstructions;
+        covered += rep.clusterSize;
+    }
+    EXPECT_EQ(weight, 20000u);
+    EXPECT_EQ(covered, 20u);
+    // The representatives spread through the trace: the last one
+    // must come from the final quarter, not huddle near the start.
+    EXPECT_GE(plan.reps.back().interval, 15u);
+    // Strata are time-contiguous: assignment is non-decreasing.
+    for (std::size_t i = 1; i < plan.assignment.size(); ++i)
+        EXPECT_GE(plan.assignment[i], plan.assignment[i - 1]);
+}
+
+TEST(SamplePlan, KClampsToIntervalCount)
+{
+    const auto t = trace::generateWorkload("stream_sum", 9000, 1);
+    const auto profile = trace::profileTrace(t, 3000);
+    ASSERT_LE(profile.intervals.size(), 4u);
+    const auto plan = buildSamplePlan(profile, 64, 1);
+    EXPECT_LE(plan.reps.size(), profile.intervals.size());
+}
+
+TEST(SamplePlan, EmptyProfileYieldsEmptyPlan)
+{
+    trace::IntervalProfile empty;
+    empty.intervalLen = 1000;
+    const auto plan = buildSamplePlan(empty, 4, 1);
+    EXPECT_TRUE(plan.reps.empty());
+    EXPECT_TRUE(plan.assignment.empty());
+}

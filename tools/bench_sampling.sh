@@ -1,0 +1,33 @@
+#!/bin/sh
+# Measure SimPoint-style sampled simulation (docs/sampling.md)
+# against full detailed simulation with the optimized build (the
+# `bench-release` CMake preset: Release, -O3, LVPSIM_ASSERTIONS=OFF)
+# and write the result as BENCH_sampling.json so the repo keeps a
+# committed record of the sampling speedup. The binary verifies warm
+# reproducibility and its own error bounds before reporting anything.
+#
+# Usage: tools/bench_sampling.sh [output.json]
+#   LVPSIM_BENCH_JOBS=<n>  worker threads (default 1 — single-
+#                          threaded numbers are the comparable ones)
+#   LVPSIM_INSTRS / LVPSIM_SUITE scale the run as everywhere else
+#   (defaults here: 2000000 instructions, full suite — the scale the
+#   sampled_vs_full gate replays).
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-$src_dir/BENCH_sampling.json}
+jobs=${LVPSIM_BENCH_JOBS:-1}
+build_jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure (bench-release preset) =="
+cmake -S "$src_dir" --preset bench-release >/dev/null
+
+echo "== build sampling_throughput =="
+cmake --build "$src_dir/build-release" -j "$build_jobs" \
+    --target sampling_throughput
+
+echo "== measure (jobs=$jobs) =="
+LVPSIM_INSTRS=${LVPSIM_INSTRS:-2000000} \
+LVPSIM_SUITE=${LVPSIM_SUITE:-full} \
+    "$src_dir/build-release/bench/sampling_throughput" \
+    --jobs "$jobs" --json "$out"

@@ -2,12 +2,14 @@
 # Regression gate for the parallel suite runner: a suite run at
 # --jobs 4 must produce byte-identical per-workload results to
 # --jobs 1. Only the timing fields (wall_seconds / base_seconds /
-# vp_seconds / checkpoint_seconds), the recorded jobs count, and the
-# per-trace metadata (trace_format / trace_instructions — stable
-# run-to-run, but stripped so this gate also diffs cleanly against
-# JSON written before those fields existed) may differ — those lines
-# are stripped before the diff (the schema pretty-prints one field
-# per line precisely so this filter stays a one-liner; see
+# vp_seconds / checkpoint_seconds), the recorded jobs count, the
+# progress-hook tally (progress_instructions — sampled on a
+# wall-clock cadence, so run-dependent by design), and the per-trace
+# metadata (trace_format / trace_instructions — stable run-to-run,
+# but stripped so this gate also diffs cleanly against JSON written
+# before those fields existed) may differ — those lines are stripped
+# before the diff (the schema pretty-prints one field per line
+# precisely so this filter stays a one-liner; see
 # docs/results_schema.md).
 #
 # Usage: check_determinism.sh <path-to-lvpsim_cli> [workdir]
@@ -27,7 +29,7 @@ export LVPSIM_SUITE=${LVPSIM_SUITE:-smoke}
        --jobs 4 --json "$DIR/jobs4.json" > /dev/null
 
 strip_timing() {
-    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions)"' "$1"
+    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions|progress_instructions)"' "$1"
 }
 
 strip_timing "$DIR/jobs1.json" > "$DIR/jobs1.stripped"

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Sampled-simulation gate: run the sampling_throughput benchmark at
+# real scale (2M instructions per workload, full suite) and require
+# the sampled suite to beat full detailed simulation by a minimum
+# speedup while staying inside its own reported error bounds. The
+# binary itself refuses to report a speedup (exit 3/4) when the warm
+# rerun is not bit-identical or a sampled row misses the full
+# reference by more than its sample_error, so this script only has
+# to enforce the speedup floor.
+#
+# Usage: check_sampling_gate.sh <sampling_throughput> <baseline.json> \
+#            <build-type>
+#   LVPSIM_SAMPLING_MIN_SPEEDUP=<x>  fail when cold speedup < x
+#                                    (default 5.0)
+#   LVPSIM_SAMPLING_INSTRS=<n>       instructions per workload
+#                                    (default 2000000)
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) on non-Release trees — the
+# speedup ratio is only meaningful at -O3 without assertions — and
+# when python3 is unavailable. The committed BENCH_sampling.json is
+# reported for context but the gate judges the fresh measurement:
+# a speedup is a ratio of two runs on the same machine, so it does
+# not suffer the cross-machine variance that makes absolute kIPS
+# baselines unusable as hard floors.
+set -eu
+
+bin=${1:?usage: check_sampling_gate.sh <sampling_throughput> <baseline.json> <build-type>}
+ref=${2:-}
+build_type=${3:-}
+min=${LVPSIM_SAMPLING_MIN_SPEEDUP:-5.0}
+instrs=${LVPSIM_SAMPLING_INSTRS:-2000000}
+
+if [ "$build_type" != "Release" ]; then
+    echo "SKIP: build type '$build_type' is not Release;" \
+         "sampling speedups are only meaningful at -O3" \
+         "without assertions"
+    exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "SKIP: python3 not available"
+    exit 77
+fi
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== measure (full suite, $instrs instructions/workload) =="
+LVPSIM_INSTRS=$instrs LVPSIM_SUITE=${LVPSIM_SUITE:-full} \
+    "$bin" --json "$dir/now.json"
+
+python3 - "$dir/now.json" "$ref" "$min" <<'EOF'
+import json
+import os
+import sys
+
+now_path, ref_path, min_speedup = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]))
+now = json.load(open(now_path))
+
+if ref_path and os.path.exists(ref_path):
+    ref = json.load(open(ref_path))
+    print(f"  committed baseline: {ref['speedup']:.2f}x cold, "
+          f"{ref['warm_speedup']:.2f}x warm "
+          f"(max ipc err {100 * ref['max_rel_ipc_error']:.2f}%)")
+
+print(f"  this machine:       {now['speedup']:.2f}x cold, "
+      f"{now['warm_speedup']:.2f}x warm "
+      f"(max ipc err {100 * now['max_rel_ipc_error']:.2f}%, "
+      f"mean bound {100 * now['mean_sample_error']:.2f}%)")
+
+if not (now["within_bounds"] and now["identical"]):
+    # Unreachable in practice: the binary exits nonzero first.
+    print("FAIL: benchmark self-checks did not pass")
+    sys.exit(1)
+if now["speedup"] < min_speedup:
+    print(f"FAIL: cold sampling speedup {now['speedup']:.2f}x is "
+          f"below the {min_speedup:.1f}x floor")
+    sys.exit(1)
+print(f"OK: sampled suite is {now['speedup']:.2f}x faster than "
+      f"full simulation (floor {min_speedup:.1f}x), within bounds")
+EOF

@@ -33,6 +33,15 @@ echo "== ctest: spec fuzz (kernel-spec DSL vs ground truth) =="
 ctest --test-dir "$build" -R 'SpecTruthFuzz|SpecShrink' \
       --output-on-failure -j"$(nproc)"
 
+echo "== ctest: perf gates (bench-release tree) =="
+# The perf label runs the bench bit-rot smokes at toy scale plus the
+# two Release-only gates: perf_regression (throughput floor vs the
+# committed BENCH_throughput.json) and sampled_vs_full (sampling
+# speedup + error bounds vs full simulation, docs/sampling.md).
+cmake -S . --preset bench-release >/dev/null
+cmake --build build-release -j"$(nproc)"
+ctest --test-dir build-release -L perf --output-on-failure
+
 echo "== lvplint =="
 python3 tools/lint/lvplint.py --root .
 

@@ -19,7 +19,8 @@
  * union and the composite's realized pipeline coverage. Rows whose
  * gap exceeds the --gap threshold are flagged as breakdowns — specs
  * the predictor *could* capture (some ideal family does) but does
- * not. One such breakdown is pinned as a regression test in
+ * not. Two such breakdowns (a finite-context loop and a browser-like
+ * phase mix) are pinned as regression tests in
  * tests/test_kernel_spec.cc.
  *
  * The championship column is deliberately secondary: the cvp.h
@@ -123,6 +124,19 @@ buildGrid()
     g.push_back("[iters=256]ctx(period=4);[iters=256]ctx(period=1024)");
     g.push_back("[iters=512]stride(wset=512,fill=rng);"
                 "[]chase(wset=256,order=shuffle)");
+
+    // Browser/JS-engine-like phase mixes: property lookups over a
+    // large hash-shaped table (pick, rng fill) interleaved with
+    // DOM-style pointer walks (chase), punctuated by GC-sweep
+    // strides and inline-cache-hit bursts (const / short ctx).
+    g.push_back("[iters=256,mix=rr]pick(k=512,fill=rng),"
+                "chase(wset=256);[iters=512]stride(wset=4096)");
+    g.push_back("[iters=96,mix=rand]ctx(period=8),"
+                "pick(k=1024,fill=rng);"
+                "[iters=128]chase(wset=128,order=shuffle);"
+                "[iters=256]const(v=0x1)");
+    g.push_back("[iters=128]stride(wset=1024,esz=4),const()*2;"
+                "[iters=128,mix=rr]pick(k=64),ctx(period=32)");
     return g;
 }
 

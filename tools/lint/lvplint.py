@@ -322,6 +322,24 @@ class DeterminismCheck(Check):
             "pointer-keyed container: iteration order depends on "
             "allocation addresses",
         ),
+        (
+            re.compile(
+                r"std\s*::\s*(mt19937(_64)?|default_random_engine|"
+                r"minstd_rand0?|ranlux(24|48)(_base)?|knuth_b)\b"
+                r"\s*\w+\s*(;|\{\s*\}|\(\s*\))"
+            ),
+            "default-constructed standard RNG engine hides its seed "
+            "from the (workload, seed, config) contract; thread the "
+            "run seed through common/random.hh instead",
+        ),
+        (
+            re.compile(r"std\s*::\s*(transform_)?reduce\s*\("),
+            "std::reduce/std::transform_reduce may reassociate the "
+            "accumulation, so floating-point results depend on the "
+            "implementation's partitioning; use std::accumulate or "
+            "a fixed-order loop, or suppress with proof the "
+            "operands are integral",
+        ),
     ]
 
     def run(self, tree: Tree) -> Iterator[Finding]:

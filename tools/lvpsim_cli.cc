@@ -26,6 +26,7 @@
 #include "sim/options.hh"
 #include "sim/parallel_executor.hh"
 #include "sim/results_json.hh"
+#include "sim/sampled.hh"
 #include "sim/simulator.hh"
 #include "sim/tableio.hh"
 #include "trace/kernel_spec.hh"
@@ -45,6 +46,9 @@ struct CliOptions
     std::size_t entries = 1024;
     std::size_t instrs = 0;
     std::size_t warmup = 0;
+    std::size_t sampleK = 0;
+    std::size_t intervalLen = 0;
+    std::uint64_t progress = 0;
     std::string am = "none";
     bool smart = false;
     bool fusion = false;
@@ -78,6 +82,17 @@ usage()
         "  --warmup <n>           warmup instructions before "
         "measurement (VP disabled;\n"
         "                         default LVPSIM_WARMUP or 0)\n"
+        "  --sample <k>           sampled simulation "
+        "(docs/sampling.md): simulate only\n"
+        "                         k representative intervals and "
+        "extrapolate\n"
+        "  --interval-len <n>     sampling interval length in "
+        "instructions\n"
+        "                         (default 100000)\n"
+        "  --progress <n>         print a progress line every n "
+        "committed\n"
+        "                         instructions (stderr; default "
+        "off)\n"
         "  --am none|m|pc|pcinf   accuracy monitor (composite only)\n"
         "  --smart                enable smart training\n"
         "  --fusion               enable table fusion\n"
@@ -140,6 +155,13 @@ parse(int argc, char **argv, CliOptions &o)
             o.instrs = std::size_t(atoll(next("--instrs")));
         else if (a == "--warmup")
             o.warmup = std::size_t(atoll(next("--warmup")));
+        else if (a == "--sample")
+            o.sampleK = std::size_t(atoll(next("--sample")));
+        else if (a == "--interval-len")
+            o.intervalLen =
+                std::size_t(atoll(next("--interval-len")));
+        else if (a == "--progress")
+            o.progress = std::uint64_t(atoll(next("--progress")));
         else if (a == "--am")
             o.am = next("--am");
         else if (a == "--smart")
@@ -254,6 +276,9 @@ emitJson(const CliOptions &o, const sim::RunConfig &rc,
     meta.maxInstrs = rc.maxInstrs;
     meta.warmupInstrs = rc.warmupInstrs;
     meta.traceSeed = rc.traceSeed;
+    meta.sampleK = rc.sampleK;
+    meta.intervalLen = rc.sampleK ? rc.sampleIntervalLen : 0;
+    meta.progressInstrs = o.progress;
     meta.suite = suite_name;
     std::string err;
     if (!sim::writeResultsFile(o.jsonPath, suites, meta, &err)) {
@@ -289,6 +314,9 @@ runSuite(const CliOptions &o, const sim::RunConfig &rc)
               << " instructions, jobs " << o.jobs;
     if (rc.warmupInstrs)
         std::cout << ", warmup " << rc.warmupInstrs;
+    if (rc.sampleK)
+        std::cout << ", sampled " << rc.sampleK << "x"
+                  << rc.sampleIntervalLen;
     std::cout << "\n"
               << "predictor:  " << o.predictor << " ("
               << res.storageKB() << " KB)\n"
@@ -330,6 +358,15 @@ main(int argc, char **argv)
     rc.maxInstrs = o.instrs ? o.instrs : sim::instrsFromEnv(150000);
     rc.warmupInstrs = o.warmup ? o.warmup : sim::warmupFromEnv();
     rc.traceSeed = o.seed;
+    rc.sampleK = o.sampleK;
+    if (o.intervalLen)
+        rc.sampleIntervalLen = o.intervalLen;
+    if (rc.sampleK && rc.warmupInstrs) {
+        std::cerr << "--sample replaces --warmup with functional "
+                     "fast-forward; use one or the other\n";
+        return 2;
+    }
+    sim::setProgressReportEvery(o.progress);
 
     if (o.suite)
         return runSuite(o, rc);
@@ -455,15 +492,29 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Sampled single runs go through the sampled driver; full runs
+    // keep the historical inline path.
     pipe::NullPredictor none;
-    const auto base = sim::runTrace(*ops, &none, rc);
-
     auto pred = makePredictor(o, rc.maxInstrs);
-    const auto s = sim::runTrace(*ops, pred.get(), rc);
+    pipe::SimStats base, s;
+    sim::SampledRunResult sampledVp;
+    if (rc.sampleK) {
+        base = sim::runSampledWorkload(source, &none, rc).stats;
+        sampledVp = sim::runSampledWorkload(source, pred.get(), rc);
+        s = sampledVp.stats;
+    } else {
+        base = sim::runTrace(*ops, &none, rc);
+        s = sim::runTrace(*ops, pred.get(), rc);
+    }
 
     std::cout << "workload:   " << source << "  ("
-              << rc.maxInstrs << " instructions)\n"
-              << "predictor:  " << pred->name() << " ("
+              << rc.maxInstrs << " instructions)\n";
+    if (rc.sampleK)
+        std::cout << "sampled:    " << sampledVp.sampleK
+                  << " intervals x " << sampledVp.intervalLen
+                  << " instructions, error bound "
+                  << 100.0 * sampledVp.sampleError << "%\n";
+    std::cout << "predictor:  " << pred->name() << " ("
               << double(pred->storageBits()) / 8192.0 << " KB)\n"
               << "baseline:   " << base.ipc() << " IPC\n"
               << "predicted:  " << s.ipc() << " IPC\n"
@@ -488,6 +539,13 @@ main(int argc, char **argv)
         row.traceInstructions = tinfo.trace->size();
         row.base = base;
         row.withVp = s;
+        if (rc.sampleK) {
+            row.sampled = true;
+            row.sampleError = sampledVp.sampleError;
+            row.sampleK = sampledVp.sampleK;
+            row.intervalLength = sampledVp.intervalLen;
+            row.checkpointSeconds = sampledVp.checkpointSeconds;
+        }
         row.storageBits = pred->storageBits();
         res.rows.push_back(std::move(row));
         if (!emitJson(o, rc, {res}, "single"))
