@@ -12,7 +12,7 @@
 #include <string>
 
 #include "core/composite.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "sim/options.hh"
 #include "sim/simulator.hh"
 

@@ -9,9 +9,11 @@
  * hot paths (the core's per-cycle occupancy checks, predictor state
  * bounds) cost nothing in production binaries.
  *
- * The macro lives in src/qa but depends only on common/, so lower
- * layers (pipeline, core) may use it without linking against the qa
- * library.
+ * The macro lives in src/common (it depends only on logging.hh), so
+ * every layer — pipeline, core, the qa harness itself — can state
+ * invariants without a dependency on the qa library. Layering is
+ * enforced by the lvplint `layering` check against
+ * tools/lint/layering.manifest.
  */
 
 #pragma once
@@ -31,8 +33,6 @@
 
 namespace lvpsim
 {
-namespace qa
-{
 
 /** True when this binary was built with invariant checks. */
 constexpr bool
@@ -41,6 +41,5 @@ checksEnabled()
     return LVPSIM_CHECKS_ENABLED != 0;
 }
 
-} // namespace qa
 } // namespace lvpsim
 

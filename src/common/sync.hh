@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Capability-annotated mutex wrappers for Clang thread-safety
+ * analysis (common/thread_annotations.hh).
+ *
+ * libstdc++'s `std::mutex` / `std::shared_mutex` carry no capability
+ * attributes, so `GUARDED_BY(someStdMutex)` is rejected by Clang's
+ * analysis. These zero-overhead wrappers annotate the same
+ * primitives so every lock/unlock is visible to `-Wthread-safety`:
+ *
+ *   Mutex / SharedMutex      the capabilities
+ *   MutexLock                lock_guard equivalent (exclusive)
+ *   UniqueLock               unique_lock equivalent; exposes the
+ *                            underlying std::unique_lock for
+ *                            condition-variable waits
+ *   WriterLock / ReaderLock  scoped shared_mutex access
+ *
+ * All shared mutable state in src/ hangs off these types — the
+ * lvplint `lock-discipline` check flags raw std:: mutexes in model
+ * code and unannotated members of mutex-holding classes
+ * (docs/static_analysis.md).
+ */
+
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace lvpsim
+{
+
+/** `std::mutex` as a Clang capability. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() ACQUIRE() { m.lock(); }
+    void unlock() RELEASE() { m.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m.try_lock(); }
+
+    /** The wrapped mutex, for condition-variable waits (the wait
+     *  contract keeps the capability held across the call, which is
+     *  exactly what the analysis assumes). */
+    std::mutex &native() { return m; }
+
+  private:
+    std::mutex m;
+};
+
+/** `std::shared_mutex` as a Clang capability. */
+class CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    void lock() ACQUIRE() { m.lock(); }
+    void unlock() RELEASE() { m.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m.try_lock(); }
+    void lock_shared() ACQUIRE_SHARED() { m.lock_shared(); }
+    void unlock_shared() RELEASE_SHARED() { m.unlock_shared(); }
+    bool try_lock_shared() TRY_ACQUIRE_SHARED(true)
+    {
+        return m.try_lock_shared();
+    }
+
+  private:
+    std::shared_mutex m;
+};
+
+/** `std::lock_guard` equivalent over Mutex. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) ACQUIRE(m) : mu(m) { mu.lock(); }
+    ~MutexLock() RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * `std::unique_lock` equivalent over Mutex. Locks on construction;
+ * native() hands the underlying std::unique_lock to
+ * condition_variable / condition_variable_any waits.
+ */
+class SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &m) ACQUIRE(m) : lk(m.native()) {}
+    ~UniqueLock() RELEASE() {}
+
+    /** Early release (the dtor then has nothing left to do). */
+    void unlock() RELEASE() { lk.unlock(); }
+
+    std::unique_lock<std::mutex> &native() { return lk; }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+  private:
+    std::unique_lock<std::mutex> lk;
+};
+
+/** Scoped exclusive (writer) access to a SharedMutex. */
+class SCOPED_CAPABILITY WriterLock
+{
+  public:
+    explicit WriterLock(SharedMutex &m) ACQUIRE(m) : mu(m)
+    {
+        mu.lock();
+    }
+    ~WriterLock() RELEASE() { mu.unlock(); }
+
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mu;
+};
+
+/** Scoped shared (reader) access to a SharedMutex. */
+class SCOPED_CAPABILITY ReaderLock
+{
+  public:
+    explicit ReaderLock(SharedMutex &m) ACQUIRE_SHARED(m) : mu(m)
+    {
+        mu.lock_shared();
+    }
+    ~ReaderLock() RELEASE_GENERIC() { mu.unlock_shared(); }
+
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mu;
+};
+
+} // namespace lvpsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * Under Clang these expand to the `-Wthread-safety` attributes
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), turning
+ * the repo's locking contracts into compile errors in the
+ * `LVPSIM_THREAD_SAFETY` build tree (`-Werror=thread-safety`; see
+ * tools/check_thread_safety.sh). Everywhere else — GCC, MSVC — every
+ * macro degrades to a no-op, so annotated code builds identically on
+ * any toolchain.
+ *
+ * Raw `std::mutex` members cannot carry these annotations (libstdc++
+ * types are not capability-annotated), so shared-state classes use
+ * the wrappers in common/sync.hh instead; the lvplint
+ * `lock-discipline` check enforces both halves of that contract
+ * (docs/static_analysis.md).
+ */
+
+#pragma once
+
+#if defined(__clang__)
+#define LVPSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LVPSIM_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define CAPABILITY(x) LVPSIM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in dtor. */
+#define SCOPED_CAPABILITY LVPSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define GUARDED_BY(x) LVPSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the capability. */
+#define PT_GUARDED_BY(x) LVPSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that may only be called while holding the capability. */
+#define REQUIRES(...) \
+    LVPSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Like REQUIRES, but shared (reader) access suffices. */
+#define REQUIRES_SHARED(...) \
+    LVPSIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability and holds it on return. */
+#define ACQUIRE(...) \
+    LVPSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Shared-mode ACQUIRE. */
+#define ACQUIRE_SHARED(...) \
+    LVPSIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function that releases a held capability. */
+#define RELEASE(...) \
+    LVPSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Shared-mode RELEASE. */
+#define RELEASE_SHARED(...) \
+    LVPSIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** RELEASE in whichever mode (exclusive or shared) is held — the
+ *  right dtor annotation for a scoped lock usable in either mode. */
+#define RELEASE_GENERIC(...) \
+    LVPSIM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/** Function that acquires only on a given return value. */
+#define TRY_ACQUIRE(...) \
+    LVPSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Shared-mode TRY_ACQUIRE. */
+#define TRY_ACQUIRE_SHARED(...) \
+    LVPSIM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/** Function that must NOT be entered holding the capability
+ *  (documents "acquires internally"; catches self-deadlock). */
+#define EXCLUDES(...) LVPSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Lock-ordering declarations (deadlock prevention). */
+#define ACQUIRED_BEFORE(...) \
+    LVPSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    LVPSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the named capability. */
+#define RETURN_CAPABILITY(x) LVPSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Escape hatch: the function is excluded from the analysis. Reserved
+ * for condition-variable wait predicates, which run with the lock
+ * held by the wait contract but inside a lambda the analysis cannot
+ * see through. Every use must sit next to a comment saying which
+ * lock protects it.
+ */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    LVPSIM_THREAD_ANNOTATION(no_thread_safety_analysis)

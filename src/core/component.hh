@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 
 namespace lvpsim
 {

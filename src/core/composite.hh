@@ -22,8 +22,8 @@
 #include "common/flat_map.hh"
 #include "core/accuracy_monitor.hh"
 #include "core/component.hh"
+#include "core/lvp_interface.hh"
 #include "core/value_store.hh"
-#include "pipeline/lvp_interface.hh"
 
 namespace lvpsim
 {

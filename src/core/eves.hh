@@ -25,7 +25,7 @@
 #include "common/random.hh"
 #include "common/sat_counter.hh"
 #include "common/tagged_table.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 
 namespace lvpsim
 {

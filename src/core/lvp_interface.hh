@@ -8,6 +8,12 @@
  * architectural outcome. Tokens tie a probe to its eventual train or
  * abandon (squash) so stateful predictors can keep per-instance
  * snapshots.
+ *
+ * The interface lives in src/core (the predictor layer that
+ * implements it) so that core never needs to reach up into
+ * src/pipeline — the module DAG pinned in tools/lint/layering.manifest
+ * has pipeline depending on core, not the reverse. The `pipe`
+ * namespace is kept: it is the vocabulary the consumer speaks.
  */
 
 #pragma once

@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "trace/instruction.hh"
 
 namespace lvpsim

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
-#include "qa/check.hh"
 
 namespace lvpsim
 {
@@ -695,7 +695,7 @@ Core::rebuildRenameMap()
 }
 
 // --------------------------------------------------------------------
-// Invariants (checked builds only; see qa/check.hh)
+// Invariants (checked builds only; see common/check.hh)
 // --------------------------------------------------------------------
 
 void

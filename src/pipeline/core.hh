@@ -36,10 +36,10 @@
 #include "common/flat_map.hh"
 #include "common/ring_buffer.hh"
 #include "common/types.hh"
+#include "core/lvp_interface.hh"
 #include "memory/hierarchy.hh"
 #include "memory/memdep.hh"
 #include "pipeline/core_config.hh"
-#include "pipeline/lvp_interface.hh"
 #include "pipeline/sim_stats.hh"
 #include "trace/instruction.hh"
 
@@ -228,7 +228,7 @@ class Core
 
     /**
      * Pipeline invariants, compiled in via LVPSIM_ASSERTIONS (see
-     * qa/check.hh). checkCycleInvariants is O(1) and runs every
+     * common/check.hh). checkCycleInvariants is O(1) and runs every
      * cycle: structure occupancies never exceed their configured
      * capacities (ROB/IQ/LDQ/STQ/PAQ/fetch buffer). The O(window)
      * structural cross-checks (seq ordering, queue/ROB sync, IQ
@@ -321,8 +321,8 @@ class Core
     ProgressHook progressHook;
     // lvplint: allow(state-snapshot) -- reporting cadence, not model state
     std::uint64_t progressEvery = 0;
-    // lvplint: allow(state-snapshot) -- derived from progressEvery at
-    // install time, recomputed by setProgressHook after any restore
+    // Derived from progressEvery at install time and recomputed by
+    // setProgressHook after any restore.
     std::uint64_t nextProgressAt =
         std::numeric_limits<std::uint64_t>::max();
 

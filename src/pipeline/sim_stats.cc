@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 
 namespace lvpsim
 {

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "trace/cvp_trace.hh"
 #include "trace/instruction.hh"
 

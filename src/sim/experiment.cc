@@ -111,13 +111,13 @@ BaselineCache::get(const std::string &workload, const RunConfig &rc)
 
     std::shared_ptr<Slot> slot;
     {
-        std::shared_lock rd(mapMx);
+        ReaderLock rd(mapMx);
         auto it = cache.find(key);
         if (it != cache.end())
             slot = it->second;
     }
     if (!slot) {
-        std::unique_lock wr(mapMx);
+        WriterLock wr(mapMx);
         // Re-check: another worker may have inserted meanwhile.
         auto [it, inserted] =
             cache.try_emplace(key, std::make_shared<Slot>());
@@ -149,7 +149,7 @@ BaselineCache::get(const std::string &workload, const RunConfig &rc)
 void
 BaselineCache::clear()
 {
-    std::unique_lock wr(mapMx);
+    WriterLock wr(mapMx);
     cache.clear();
 }
 

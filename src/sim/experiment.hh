@@ -18,12 +18,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "pipeline/lvp_interface.hh"
+#include "common/sync.hh"
+#include "core/lvp_interface.hh"
 #include "pipeline/sim_stats.hh"
 #include "sim/simulator.hh"
 
@@ -118,7 +118,8 @@ class BaselineCache
 
     /** Run (once) or fetch the no-VP baseline for this key. The
      *  returned entry stays valid until clear(). */
-    EntryPtr get(const std::string &workload, const RunConfig &rc);
+    EntryPtr get(const std::string &workload, const RunConfig &rc)
+        EXCLUDES(mapMx);
 
     /** Number of baselines actually simulated (not cache hits). */
     std::uint64_t generations() const
@@ -127,7 +128,7 @@ class BaselineCache
     }
 
     /** Drop every cached baseline (test hook; not used by benches). */
-    void clear();
+    void clear() EXCLUDES(mapMx);
 
     /** The process-wide cache used by SuiteRunner. */
     static BaselineCache &instance();
@@ -139,10 +140,11 @@ class BaselineCache
         EntryPtr entry;
     };
 
-    mutable std::shared_mutex mapMx;
+    mutable SharedMutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never
     // iterated; entries are deterministic simulation results
-    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache
+        GUARDED_BY(mapMx);
     std::atomic<std::uint64_t> generated{0};
 };
 

@@ -54,8 +54,8 @@ ParallelExecutor::parseJobs(std::string_view text, std::size_t &jobs)
 void
 ParallelExecutor::submit(std::function<void()> task)
 {
-    std::unique_lock lk(mx);
-    cvSpace.wait(lk, [this] { return queue.size() < capacity; });
+    UniqueLock lk(mx);
+    cvSpace.wait(lk.native(), [this] { return queueHasSpace(); });
     queue.push_back(std::move(task));
     ++inFlight;
     cvTask.notify_one();
@@ -64,8 +64,8 @@ ParallelExecutor::submit(std::function<void()> task)
 void
 ParallelExecutor::wait()
 {
-    std::unique_lock lk(mx);
-    cvIdle.wait(lk, [this] { return inFlight == 0; });
+    UniqueLock lk(mx);
+    cvIdle.wait(lk.native(), [this] { return allIdle(); });
     if (!firstError)
         return;
     auto e = firstError;
@@ -103,8 +103,9 @@ ParallelExecutor::workerLoop(std::stop_token st)
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lk(mx);
-            cvTask.wait(lk, st, [this] { return !queue.empty(); });
+            UniqueLock lk(mx);
+            cvTask.wait(lk.native(), st,
+                        [this] { return queueNonEmpty(); });
             if (queue.empty())
                 return; // stop requested and queue drained
             task = std::move(queue.front());
@@ -114,13 +115,13 @@ ParallelExecutor::workerLoop(std::stop_token st)
         try {
             task();
         } catch (...) {
-            std::lock_guard lk(mx);
+            MutexLock lk(mx);
             ++errorCount;
             if (!firstError)
                 firstError = std::current_exception();
         }
         {
-            std::lock_guard lk(mx);
+            MutexLock lk(mx);
             if (--inFlight == 0)
                 cvIdle.notify_all();
         }

@@ -21,10 +21,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace lvpsim
 {
@@ -50,7 +51,7 @@ class ParallelExecutor
      * (2 x jobs) — backpressure, not failure. Tasks must not
      * submit to the same executor (no nesting).
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) EXCLUDES(mx);
 
     /**
      * Block until every task submitted so far has finished. If any
@@ -59,7 +60,7 @@ class ParallelExecutor
      * how many further failures were suppressed so multi-failure
      * runs are not mistaken for single ones.
      */
-    void wait();
+    void wait() EXCLUDES(mx);
 
     /**
      * Run `n` independent tasks `fn(0) .. fn(n-1)` and wait.
@@ -81,17 +82,39 @@ class ParallelExecutor
     static bool parseJobs(std::string_view text, std::size_t &jobs);
 
   private:
-    void workerLoop(std::stop_token st);
+    void workerLoop(std::stop_token st) EXCLUDES(mx);
 
-    std::mutex mx;
+    // Condition-variable wait predicates. Each runs with `mx` held —
+    // that is the wait() contract — but inside a lambda the analysis
+    // cannot see through, hence NO_THREAD_SAFETY_ANALYSIS (see
+    // common/thread_annotations.hh).
+    bool queueHasSpace() const NO_THREAD_SAFETY_ANALYSIS
+    {
+        return queue.size() < capacity;
+    }
+    bool queueNonEmpty() const NO_THREAD_SAFETY_ANALYSIS
+    {
+        return !queue.empty();
+    }
+    bool allIdle() const NO_THREAD_SAFETY_ANALYSIS
+    {
+        return inFlight == 0;
+    }
+
+    Mutex mx;
     std::condition_variable_any cvTask;  ///< queue not empty
     std::condition_variable cvSpace;     ///< queue not full
     std::condition_variable cvIdle;      ///< all work finished
-    std::deque<std::function<void()>> queue;
-    std::size_t capacity = 0;
-    std::size_t inFlight = 0; ///< queued + currently executing
-    std::exception_ptr firstError;
-    std::size_t errorCount = 0; ///< tasks failed since last wait()
+    std::deque<std::function<void()>> queue GUARDED_BY(mx);
+    std::size_t capacity GUARDED_BY(mx) = 0;
+    /// Queued + currently executing tasks.
+    std::size_t inFlight GUARDED_BY(mx) = 0;
+    std::exception_ptr firstError GUARDED_BY(mx);
+    /// Tasks failed since the last wait().
+    std::size_t errorCount GUARDED_BY(mx) = 0;
+    // lvplint: allow(lock-discipline) -- written only in the ctor and
+    // joined in the dtor, when no worker thread exists to race with;
+    // jobs() reads only the size fixed at construction
     std::vector<std::jthread> workers;
 };
 

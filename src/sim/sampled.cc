@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "trace/instruction.hh"
 #include "trace/interval_profile.hh"
 
@@ -129,13 +129,13 @@ PlanCache::get(const std::string &workload, const RunConfig &rc)
 
     std::shared_ptr<Slot> slot;
     {
-        std::shared_lock rd(mapMx);
+        ReaderLock rd(mapMx);
         auto it = cache.find(key);
         if (it != cache.end())
             slot = it->second;
     }
     if (!slot) {
-        std::unique_lock wr(mapMx);
+        WriterLock wr(mapMx);
         auto [it, inserted] =
             cache.try_emplace(key, std::make_shared<Slot>());
         slot = it->second;
@@ -155,7 +155,7 @@ PlanCache::get(const std::string &workload, const RunConfig &rc)
 void
 PlanCache::clear()
 {
-    std::unique_lock wr(mapMx);
+    WriterLock wr(mapMx);
     cache.clear();
 }
 

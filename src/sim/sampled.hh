@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/sync.hh"
 #include "sim/sample_plan.hh"
 #include "sim/simulator.hh"
 
@@ -62,7 +63,8 @@ class PlanCache
 
     /** Profile + cluster (once) or fetch the plan for this key.
      *  Requires rc.sampleK > 0. */
-    PlanPtr get(const std::string &workload, const RunConfig &rc);
+    PlanPtr get(const std::string &workload, const RunConfig &rc)
+        EXCLUDES(mapMx);
 
     /** Number of plans actually built (not cache hits). */
     std::uint64_t generations() const
@@ -71,7 +73,7 @@ class PlanCache
     }
 
     /** Drop every cached plan (test hook). */
-    void clear();
+    void clear() EXCLUDES(mapMx);
 
     /** The process-wide cache used by runSampledWorkload(). */
     static PlanCache &instance();
@@ -83,10 +85,11 @@ class PlanCache
         PlanPtr plan;
     };
 
-    mutable std::shared_mutex mapMx;
+    mutable SharedMutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never
     // iterated; plans are deterministic given (trace, k, seed)
-    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache
+        GUARDED_BY(mapMx);
     std::atomic<std::uint64_t> generated{0};
 };
 

@@ -33,7 +33,7 @@ secondsSince(WallClock::time_point t0)
 // reads/writes are relaxed because the value only gates stderr lines,
 // never simulation behavior.
 std::atomic<std::uint64_t> progressEvery{0};
-std::mutex progressPrintMx;
+Mutex progressPrintMx;
 
 } // anonymous namespace
 
@@ -59,7 +59,7 @@ installProgressHook(pipe::Core &core, const std::string &label)
         // One line per tick; serialized so --jobs runs don't
         // interleave partial lines. stderr only: --json output (and
         // the determinism diff) never sees these.
-        std::lock_guard<std::mutex> lk(progressPrintMx);
+        MutexLock lk(progressPrintMx);
         std::fprintf(stderr, "progress: %s %" PRIu64 " instructions\n",
                      label.c_str(), committed);
     });
@@ -164,13 +164,13 @@ TraceCache::ensure(const std::string &workload, std::size_t max_ops,
 
     std::shared_ptr<Slot> slot;
     {
-        std::shared_lock rd(mapMx);
+        ReaderLock rd(mapMx);
         auto it = cache.find(key);
         if (it != cache.end())
             slot = it->second;
     }
     if (!slot) {
-        std::unique_lock wr(mapMx);
+        WriterLock wr(mapMx);
         // Re-check: another worker may have inserted meanwhile.
         auto [it, inserted] =
             cache.try_emplace(key, std::make_shared<Slot>());
@@ -239,7 +239,7 @@ TraceCache::info(const std::string &workload, std::size_t max_ops,
 void
 TraceCache::clear()
 {
-    std::unique_lock wr(mapMx);
+    WriterLock wr(mapMx);
     cache.clear();
 }
 
@@ -255,13 +255,13 @@ CheckpointCache::ensure(const std::string &key)
 {
     std::shared_ptr<Slot> slot;
     {
-        std::shared_lock rd(mapMx);
+        ReaderLock rd(mapMx);
         auto it = cache.find(key);
         if (it != cache.end())
             slot = it->second;
     }
     if (!slot) {
-        std::unique_lock wr(mapMx);
+        WriterLock wr(mapMx);
         // Re-check: another worker may have inserted meanwhile.
         auto [it, inserted] =
             cache.try_emplace(key, std::make_shared<Slot>());
@@ -374,7 +374,7 @@ CheckpointCache::getIntervals(const std::string &workload,
 void
 CheckpointCache::clear()
 {
-    std::unique_lock wr(mapMx);
+    WriterLock wr(mapMx);
     cache.clear();
 }
 

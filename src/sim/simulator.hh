@@ -10,14 +10,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hh"
+#include "core/lvp_interface.hh"
 #include "pipeline/core.hh"
 #include "pipeline/core_config.hh"
-#include "pipeline/lvp_interface.hh"
 #include "pipeline/sim_stats.hh"
 #include "trace/instruction.hh"
 
@@ -101,7 +101,7 @@ pipe::SimStats runTrace(const std::vector<trace::MicroOp> &ops,
  * per-key `std::once_flag` while later callers for the same key block
  * until the trace is ready, and callers for other keys proceed
  * unimpeded (the map itself is only held under a short-lived
- * `std::shared_mutex`).
+ * `SharedMutex`, see common/sync.hh).
  */
 class TraceCache
 {
@@ -124,11 +124,11 @@ class TraceCache
     };
 
     TracePtr get(const std::string &workload, std::size_t max_ops,
-                 std::uint64_t seed);
+                 std::uint64_t seed) EXCLUDES(mapMx);
 
     /** Like get(), but also returning identity and format. */
     Info info(const std::string &workload, std::size_t max_ops,
-              std::uint64_t seed);
+              std::uint64_t seed) EXCLUDES(mapMx);
 
     /** Number of traces actually generated (not cache hits). */
     std::uint64_t generations() const
@@ -137,7 +137,7 @@ class TraceCache
     }
 
     /** Drop every cached trace (test hook; not used by benches). */
-    void clear();
+    void clear() EXCLUDES(mapMx);
 
     /** The process-wide cache used by benches. */
     static TraceCache &instance();
@@ -153,12 +153,13 @@ class TraceCache
 
     std::shared_ptr<Slot> ensure(const std::string &workload,
                                  std::size_t max_ops,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed) EXCLUDES(mapMx);
 
-    mutable std::shared_mutex mapMx;
+    mutable SharedMutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never
     // iterated; each trace is produced by a seeded generator
-    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache
+        GUARDED_BY(mapMx);
     std::atomic<std::uint64_t> generated{0};
 };
 
@@ -199,7 +200,8 @@ class CheckpointCache
 
     /** Build (once) or fetch the checkpoint for this key. Requires
      *  rc.warmupInstrs > 0. */
-    CheckpointPtr get(const std::string &workload, const RunConfig &rc);
+    CheckpointPtr get(const std::string &workload, const RunConfig &rc)
+        EXCLUDES(mapMx);
 
     /**
      * Interval checkpoints for sampled runs: the machine state after
@@ -216,7 +218,8 @@ class CheckpointCache
      */
     std::vector<CheckpointPtr>
     getIntervals(const std::string &workload, const RunConfig &rc,
-                 const std::vector<std::uint64_t> &indices);
+                 const std::vector<std::uint64_t> &indices)
+        EXCLUDES(mapMx);
 
     /** Number of checkpoints actually simulated (not cache hits). */
     std::uint64_t generations() const
@@ -225,7 +228,7 @@ class CheckpointCache
     }
 
     /** Drop every cached checkpoint (test hook; not used by benches). */
-    void clear();
+    void clear() EXCLUDES(mapMx);
 
     /** The process-wide cache used by runWorkload(). */
     static CheckpointCache &instance();
@@ -237,12 +240,14 @@ class CheckpointCache
         CheckpointPtr ckpt;
     };
 
-    std::shared_ptr<Slot> ensure(const std::string &key);
+    std::shared_ptr<Slot> ensure(const std::string &key)
+        EXCLUDES(mapMx);
 
-    mutable std::shared_mutex mapMx;
+    mutable SharedMutex mapMx;
     // lvplint: allow(determinism) -- keyed lookup cache, never
     // iterated; checkpoints are deterministic simulation state
-    std::unordered_map<std::string, std::shared_ptr<Slot>> cache;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> cache
+        GUARDED_BY(mapMx);
     std::atomic<std::uint64_t> generated{0};
 };
 

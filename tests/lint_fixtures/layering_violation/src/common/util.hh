@@ -1,0 +1,10 @@
+/** Fixture: bottom-layer header; nothing to see. */
+
+#pragma once
+
+namespace fixture
+{
+
+constexpr int kUtil = 1;
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+/** Fixture: top-layer header with a legal downward include. */
+
+#pragma once
+
+#include "common/util.hh"
+
+namespace fixture
+{
+
+constexpr int kRunner = kUtil + 1;
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+/** Fixture: a trace-layer header reaching *up* into sim — the edge
+ *  the layering manifest forbids. */
+
+#pragma once
+
+#include "sim/runner.hh"
+
+namespace fixture
+{
+
+constexpr int kGen = kRunner + 1;
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+/** Fixture: every way to lose the lock-discipline contract — a raw
+ *  std::mutex (invisible to thread-safety analysis), an unguarded
+ *  member of a mutex-holding class, and a GUARDED_BY naming a mutex
+ *  the class does not declare. */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace fixture
+{
+
+class Racy
+{
+  public:
+    void bump();
+
+  private:
+    std::mutex mx;
+    std::uint64_t counter = 0;
+    std::uint64_t total GUARDED_BY(otherMx) = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+/** Project-model fixture: the bottom-layer header. */
+
+#pragma once
+
+namespace fixture
+{
+
+constexpr int kBase = 1;
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+/** Project-model fixture: one mutex-holding class exercising every
+ *  member classification the cross-TU index knows about — mutex,
+ *  condition variable, guarded, atomic, once_flag, const, and one
+ *  deliberately unguarded plain member ('scratch'). */
+
+#pragma once
+
+#include "cache_support.hh"
+#include "common/base.hh"
+#include "vendor/not_in_tree.hh"
+
+namespace fixture
+{
+
+class Cache
+{
+  public:
+    int lookup(int key) EXCLUDES(mx);
+
+  private:
+    Mutex mx;
+    std::condition_variable ready;
+    std::map<int, int> table GUARDED_BY(mx);
+    std::atomic<int> hits{0};
+    std::once_flag init;
+    const int capacity = 64;
+    int scratch = 0;
+};
+
+} // namespace fixture

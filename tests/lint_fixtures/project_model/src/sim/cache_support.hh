@@ -1,0 +1,14 @@
+/** Project-model fixture: reached via a directory-relative include
+ *  spelling ("cache_support.hh"), not an src/-rooted one. */
+
+#pragma once
+
+namespace fixture
+{
+
+struct Support
+{
+    int payload = 0;
+};
+
+} // namespace fixture

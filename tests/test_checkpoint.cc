@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/composite.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "trace/workloads.hh"

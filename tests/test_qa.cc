@@ -10,7 +10,7 @@
 
 #include <set>
 
-#include "qa/check.hh"
+#include "common/check.hh"
 #include "qa/generators.hh"
 #include "qa/property.hh"
 #include "qa/shrink.hh"

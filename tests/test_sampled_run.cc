@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "core/composite.hh"
-#include "pipeline/lvp_interface.hh"
+#include "core/lvp_interface.hh"
 #include "sim/experiment.hh"
 #include "sim/sampled.hh"
 #include "sim/simulator.hh"

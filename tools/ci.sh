@@ -1,12 +1,16 @@
 #!/bin/sh
 # The pre-PR gate, in one command (documented in README.md):
 #
-#   configure -> build -> ctest (smoke + lint labels) -> lvplint
+#   configure -> build -> ctest (smoke + lint labels) -> spec fuzz
+#   -> perf gates -> thread-safety tree -> lvplint -> doc links
+#   -> strict doxygen
 #
 #   tools/ci.sh [build-dir]            default build dir: ./build
 #
-# The smoke label covers the fast correctness suites; the lint label
-# covers lvplint (repo + fixtures) and the formatting check.  The
+# Each gate is timed; the run ends with a wall-clock table so slow
+# gates are visible at a glance.  The smoke label covers the fast
+# correctness suites; the lint label covers lvplint (repo +
+# fixtures), the formatting check and the thread-safety tree.  The
 # final explicit lvplint run is belt-and-braces so the gate still
 # bites when ctest filtering is misconfigured, and prints findings in
 # the terminal where they are easiest to read.
@@ -19,36 +23,82 @@ set -eu
 cd "$(dirname "$0")/.."
 build="${1:-build}"
 
-echo "== configure =="
-cmake -B "$build" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+timings=""
 
-echo "== build =="
-cmake --build "$build" -j"$(nproc)"
+# gate NAME CMD...: run CMD under a banner and record its wall-clock.
+gate() {
+    _name="$1"
+    shift
+    echo "== $_name =="
+    _t0=$(date +%s)
+    "$@"
+    _dt=$(( $(date +%s) - _t0 ))
+    timings="${timings}${_name}\t${_dt}\n"
+}
 
-echo "== ctest: smoke + lint =="
-ctest --test-dir "$build" -L 'smoke|lint' --output-on-failure \
-      -j"$(nproc)"
+configure() {
+    # compile_commands.json is exported by default (CMakeLists.txt);
+    # clang-tidy and lvplint's project model read it from $build.
+    cmake -B "$build" -S .
+}
 
-echo "== ctest: spec fuzz (kernel-spec DSL vs ground truth) =="
-ctest --test-dir "$build" -R 'SpecTruthFuzz|SpecShrink' \
-      --output-on-failure -j"$(nproc)"
+build_tree() { cmake --build "$build" -j"$(nproc)"; }
 
-echo "== ctest: perf gates (bench-release tree) =="
-# The perf label runs the bench bit-rot smokes at toy scale plus the
-# two Release-only gates: perf_regression (throughput floor vs the
-# committed BENCH_throughput.json) and sampled_vs_full (sampling
-# speedup + error bounds vs full simulation, docs/sampling.md).
-cmake -S . --preset bench-release >/dev/null
-cmake --build build-release -j"$(nproc)"
-ctest --test-dir build-release -L perf --output-on-failure
+smoke_lint() {
+    ctest --test-dir "$build" -L 'smoke|lint' --output-on-failure \
+          -j"$(nproc)"
+}
 
-echo "== lvplint =="
-python3 tools/lint/lvplint.py --root .
+spec_fuzz() {
+    ctest --test-dir "$build" -R 'SpecTruthFuzz|SpecShrink' \
+          --output-on-failure -j"$(nproc)"
+}
 
-echo "== docs links =="
-python3 tools/check_doc_links.py --root .
+perf_gates() {
+    # The perf label runs the bench bit-rot smokes at toy scale plus
+    # the two Release-only gates: perf_regression (throughput floor
+    # vs the committed BENCH_throughput.json) and sampled_vs_full
+    # (sampling speedup + error bounds vs full simulation,
+    # docs/sampling.md).
+    cmake -S . --preset bench-release >/dev/null
+    cmake --build build-release -j"$(nproc)"
+    ctest --test-dir build-release -L perf --output-on-failure
+}
 
-echo "== docs (strict doxygen; skips when not installed) =="
-cmake --build "$build" --target docs
+thread_safety() {
+    # Clang-only -Werror=thread-safety tree; skips (not fails) on
+    # containers without clang++, same policy as the ctest gate.
+    if sh tools/check_thread_safety.sh "$build-tsa"; then
+        :
+    else
+        _st=$?
+        if [ "$_st" -eq 77 ]; then
+            echo "thread-safety: clang++ not found; skipped"
+        else
+            return "$_st"
+        fi
+    fi
+}
+
+lvplint() { python3 tools/lint/lvplint.py --root .; }
+
+doc_links() { python3 tools/check_doc_links.py --root .; }
+
+docs_strict() { cmake --build "$build" --target docs; }
+
+gate "configure" configure
+gate "build" build_tree
+gate "ctest: smoke + lint" smoke_lint
+gate "ctest: spec fuzz" spec_fuzz
+gate "ctest: perf gates" perf_gates
+gate "thread-safety tree" thread_safety
+gate "lvplint" lvplint
+gate "docs links" doc_links
+gate "docs (strict doxygen)" docs_strict
+
+echo "== gate timings =="
+printf "%b" "$timings" | while IFS="$(printf '\t')" read -r name dt; do
+    printf '  %-28s %4ss\n' "$name" "$dt"
+done
 
 echo "ci.sh: all gates green"

@@ -36,6 +36,23 @@ Checks (see docs/static_analysis.md for the rationale of each):
                   mentioned in both bodies, or carries a justified
                   suppression — forgetting a member silently breaks
                   checkpoint/restore bit-identity.
+  lock-discipline raw std:: mutex/lock types outside common/sync.hh
+                  (they are invisible to Clang thread-safety
+                  analysis), and members of mutex-holding classes
+                  that are neither GUARDED_BY a declared mutex nor
+                  atomic/const.
+  layering        quote-include edges between src/ modules against
+                  the dependency DAG pinned in
+                  tools/lint/layering.manifest.
+  stale-suppression  ``lvplint: allow`` comments whose check no
+                  longer fires on the suppressed line — dead
+                  suppressions misdocument the code and mask future
+                  regressions.
+
+The last three run on a cross-TU *project model* (class ProjectModel):
+the resolved quote-include graph plus a per-class member index that
+understands the annotation macros of common/thread_annotations.hh.
+Still plain lexical analysis — no libclang, no compile step.
 
 Findings print as ``file:line: [check-id] message`` and the tool
 exits nonzero; ``--json`` emits the machine-readable equivalent.
@@ -919,6 +936,33 @@ def find_matching_brace(text: str, open_idx: int) -> Optional[int]:
     return None
 
 
+CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
+
+
+def iter_class_bodies(code: str) -> Iterator[Tuple[str, int, int]]:
+    """(name, body_start, body_end) for every class/struct definition
+    in stripped code, nested ones included."""
+    for m in CLASS_RE.finditer(code):
+        i = m.end()
+        while i < len(code) and code[i].isspace():
+            i += 1
+        if code.startswith("final", i):
+            i += len("final")
+        # Only a base clause or an immediate body counts as a
+        # definition; anything else (forward declaration,
+        # `template <class T>`, elaborated type) is skipped.
+        if i >= len(code) or code[i] not in ":{":
+            continue
+        while i < len(code) and code[i] not in "{;":
+            i += 1
+        if i >= len(code) or code[i] == ";":
+            continue
+        close = find_matching_brace(code, i)
+        if close is None:
+            continue
+        yield m.group(2), i + 1, close
+
+
 @register
 class StateSnapshotCheck(Check):
     """Checkpoint/restore (pipe::Core::saveState and friends) is only
@@ -940,7 +984,6 @@ class StateSnapshotCheck(Check):
         "justification)"
     )
 
-    CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
     MEMBER_SKIP = {
         "using", "typedef", "friend", "static", "template", "enum",
         "class", "struct", "union", "operator", "virtual", "explicit",
@@ -961,27 +1004,7 @@ class StateSnapshotCheck(Check):
     def class_bodies(
         self, code: str
     ) -> Iterator[Tuple[str, int, int]]:
-        """(name, body_start, body_end) for every class/struct
-        definition, nested ones included."""
-        for m in self.CLASS_RE.finditer(code):
-            i = m.end()
-            while i < len(code) and code[i].isspace():
-                i += 1
-            if code.startswith("final", i):
-                i += len("final")
-            # Only a base clause or an immediate body counts as a
-            # definition; anything else (forward declaration,
-            # `template <class T>`, elaborated type) is skipped.
-            if i >= len(code) or code[i] not in ":{":
-                continue
-            while i < len(code) and code[i] not in "{;":
-                i += 1
-            if i >= len(code) or code[i] == ";":
-                continue
-            close = find_matching_brace(code, i)
-            if close is None:
-                continue
-            yield m.group(2), i + 1, close
+        return iter_class_bodies(code)
 
     def check_class(
         self,
@@ -1113,6 +1136,424 @@ class StateSnapshotCheck(Check):
 
 
 # ---------------------------------------------------------------------------
+# Cross-TU project model (lock-discipline, layering)
+
+
+class IncludeRef(NamedTuple):
+    line: int  # 1-based line of the #include in the including file
+    spec: str  # the path as written between the quotes
+    resolved: Optional[str]  # repo-relative target, None if external
+
+
+class MemberInfo(NamedTuple):
+    name: str
+    line: int  # 1-based in the declaring file
+    decl: str  # statement text, annotation macros included
+    guards: Tuple[str, ...]  # (PT_)GUARDED_BY arguments, in order
+    kind: str  # mutex | cv | atomic | once | plain
+
+
+class ClassIndex(NamedTuple):
+    name: str
+    path: str  # repo-relative declaring file
+    line: int  # 1-based line of the class keyword
+    members: Tuple[MemberInfo, ...]
+
+
+QUOTE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+GUARD_ARG_RE = re.compile(
+    r"\b(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)"
+)
+ANNOTATION_RE = re.compile(
+    r"\b(?:PT_)?GUARDED_BY\s*\([^()]*\)"
+    r"|\bACQUIRED_(?:BEFORE|AFTER)\s*\([^()]*\)"
+)
+MUTEX_TYPE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(?:recursive_mutex|shared_mutex|timed_mutex|mutex"
+    r"|SharedMutex|Mutex)\b"
+)
+
+
+class ProjectModel:
+    """Cross-TU facts the per-file checks cannot see: the resolved
+    quote-include graph over the scan set, and a per-class index of
+    depth-1 data members classified by synchronization role.  Built
+    lazily, once per Tree (``project_model(tree)``); still lexical —
+    quote includes are resolved against src/ (the single include
+    root, see CMakeLists.txt) and then against the including file's
+    directory."""
+
+    MEMBER_SKIP = StateSnapshotCheck.MEMBER_SKIP
+
+    def __init__(self, tree: Tree):
+        known = {sf.relpath for sf in tree.files}
+        self.includes: Dict[str, List[IncludeRef]] = {}
+        self.classes: List[ClassIndex] = []
+        for sf in tree.files:
+            refs = []
+            # Parse raw lines: the stripper blanks "quoted" paths.
+            # Commented-out includes are excluded by requiring the
+            # stripped line to still be a preprocessor directive.
+            for lineno, raw in enumerate(sf.lines, start=1):
+                m = QUOTE_INCLUDE_RE.match(raw)
+                if not m:
+                    continue
+                code = sf.code_lines[lineno - 1]
+                if not code.lstrip().startswith("#"):
+                    continue
+                spec = m.group(1)
+                refs.append(IncludeRef(
+                    lineno, spec,
+                    self.resolve(tree, sf.relpath, spec, known),
+                ))
+            self.includes[sf.relpath] = refs
+            for name, start, end in iter_class_bodies(sf.code):
+                members = self.scan_members(
+                    sf.code, sf.code[start:end], start
+                )
+                self.classes.append(ClassIndex(
+                    name, sf.relpath,
+                    sf.code.count("\n", 0, start) + 1,
+                    tuple(members),
+                ))
+
+    @staticmethod
+    def resolve(
+        tree: Tree, includer: str, spec: str, known: set
+    ) -> Optional[str]:
+        src_rooted = "src/" + spec
+        rel_to_dir = os.path.normpath(
+            os.path.join(os.path.dirname(includer), spec)
+        ).replace(os.sep, "/")
+        for cand in (src_rooted, rel_to_dir, spec):
+            if cand in known or os.path.isfile(
+                os.path.join(tree.root, cand)
+            ):
+                return cand
+        return None
+
+    def scan_members(
+        self, code: str, body: str, body_off: int
+    ) -> List[MemberInfo]:
+        """Depth-1 data members of one class body.  Unlike the
+        state-snapshot scanner this understands the thread-safety
+        annotation macros, whose parentheses would otherwise make an
+        annotated member look like a function declaration."""
+        members: List[MemberInfo] = []
+
+        def flush(stmt: str, start: Optional[int]) -> None:
+            if start is None:
+                return
+            guards = tuple(GUARD_ARG_RE.findall(stmt))
+            s = ANNOTATION_RE.sub(" ", stmt)
+            s = re.sub(r"\b(public|private|protected)\s*:", " ", s)
+            s = re.sub(r"=.*$", "", s, flags=re.S)
+            if "(" in s or ")" in s or "[[" in s:
+                return
+            tokens = re.findall(r"[A-Za-z_]\w*", s)
+            if len(tokens) < 2 or tokens[0] in self.MEMBER_SKIP:
+                return
+            if "condition_variable" in stmt:
+                kind = "cv"
+            elif "once_flag" in stmt:
+                kind = "once"
+            elif re.search(r"\batomic\b", stmt):
+                kind = "atomic"
+            elif MUTEX_TYPE_RE.search(s):
+                kind = "mutex"
+            else:
+                kind = "plain"
+            members.append(MemberInfo(
+                tokens[-1], code.count("\n", 0, start) + 1,
+                stmt.strip(), guards, kind,
+            ))
+
+        depth = 1
+        stmt = ""
+        start: Optional[int] = None
+        i = 0
+        while i < len(body):
+            c = body[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 1:
+                    j = i + 1
+                    while j < len(body) and body[j].isspace():
+                        j += 1
+                    if j >= len(body) or body[j] != ";":
+                        stmt, start = "", None
+            elif depth == 1:
+                if c == ";":
+                    flush(stmt, start)
+                    stmt, start = "", None
+                else:
+                    if start is None and not c.isspace():
+                        start = body_off + i
+                    stmt += c
+            i += 1
+        return members
+
+
+def project_model(tree: Tree) -> ProjectModel:
+    model = getattr(tree, "_project_model", None)
+    if model is None:
+        model = ProjectModel(tree)
+        tree._project_model = model
+    return model
+
+
+def module_of(relpath: str) -> Optional[str]:
+    """src/<module>/... -> module name; None outside src/."""
+    parts = relpath.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+@register
+class LockDisciplineCheck(Check):
+    """The thread-safety contracts (docs/static_analysis.md) only
+    bite if (a) every lock in model code is one of the annotated
+    wrappers from common/sync.hh — raw std:: mutexes carry no
+    capability attributes, so Clang's analysis silently ignores them
+    — and (b) shared state actually declares its guard.  Half (b) is
+    structural: in any class holding a Mutex/SharedMutex member,
+    every plain data member must be GUARDED_BY one of the class's
+    declared mutexes, or be inherently safe (atomic, const,
+    condition variable, once_flag), or carry a justified
+    suppression explaining the protocol that makes it safe."""
+
+    check_id = "lock-discipline"
+    description = (
+        "annotated sync wrappers only in src/, and every member of "
+        "a mutex-holding class guarded, atomic/const, or justified"
+    )
+
+    RAW_STD_RE = re.compile(
+        r"\bstd\s*::\s*(recursive_mutex|shared_mutex|timed_mutex"
+        r"|mutex|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    )
+
+    # The wrappers themselves are built from the raw primitives.
+    EXEMPT_FILES = ("src/common/sync.hh",)
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        for sf in tree.files:
+            if not sf.relpath.startswith("src/"):
+                continue
+            if sf.relpath in self.EXEMPT_FILES:
+                continue
+            for lineno, line in enumerate(sf.code_lines, start=1):
+                m = self.RAW_STD_RE.search(line)
+                if m:
+                    yield Finding(
+                        sf.relpath, lineno, self.check_id,
+                        "raw std::%s is invisible to thread-safety "
+                        "analysis; use the annotated wrappers in "
+                        "common/sync.hh (Mutex/SharedMutex, "
+                        "MutexLock/UniqueLock, ReaderLock/WriterLock)"
+                        % m.group(1),
+                    )
+        for ci in project_model(tree).classes:
+            if not ci.path.startswith("src/"):
+                continue
+            yield from self.check_class(ci)
+
+    def check_class(self, ci: ClassIndex) -> Iterator[Finding]:
+        mutexes = {m.name for m in ci.members if m.kind == "mutex"}
+        if not mutexes:
+            return
+        for m in ci.members:
+            for g in m.guards:
+                if g not in mutexes:
+                    yield Finding(
+                        ci.path, m.line, self.check_id,
+                        "GUARDED_BY(%s) on '%s' does not name a "
+                        "mutex member of '%s' (declared: %s)"
+                        % (g, m.name, ci.name,
+                           ", ".join(sorted(mutexes))),
+                    )
+            if m.kind != "plain" or m.guards:
+                continue
+            if re.search(r"\bconst\b", m.decl):
+                continue
+            yield Finding(
+                ci.path, m.line, self.check_id,
+                "member '%s' of mutex-holding class '%s' is neither "
+                "GUARDED_BY a declared mutex nor atomic/const; "
+                "annotate it (common/thread_annotations.hh) or "
+                "justify a suppression" % (m.name, ci.name),
+            )
+
+
+@register
+class LayeringCheck(Check):
+    """The module DAG (common -> trace -> branch/memory/core ->
+    pipeline -> sim -> qa) is what keeps the predictor layer
+    reusable outside the pipeline and the qa harness able to wrap
+    everything.  It is pinned in tools/lint/layering.manifest; this
+    check walks the resolved quote-include graph and flags any src/
+    edge the manifest does not allow, plus drift in the manifest
+    itself (unknown modules, undeclared modules, cycles).  A tree
+    without a manifest (the lint fixtures) has no layering contract
+    and is left alone."""
+
+    check_id = "layering"
+    description = (
+        "src/ module include edges respect the DAG pinned in "
+        "tools/lint/layering.manifest"
+    )
+
+    MANIFEST = "tools/lint/layering.manifest"
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        text = tree.read(self.MANIFEST)
+        if text is None:
+            return
+        allowed: Dict[str, set] = {}
+        deferred: List[Tuple[int, str, str]] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if ":" not in line:
+                yield Finding(
+                    self.MANIFEST, lineno, self.check_id,
+                    "manifest line is not 'module: dep dep ...'",
+                )
+                continue
+            mod, deps = line.split(":", 1)
+            mod = mod.strip()
+            allowed[mod] = set()
+            for dep in deps.split():
+                allowed[mod].add(dep)
+                deferred.append((lineno, mod, dep))
+        for lineno, mod, dep in deferred:
+            if dep not in allowed:
+                yield Finding(
+                    self.MANIFEST, lineno, self.check_id,
+                    "dependency '%s' of module '%s' is not itself "
+                    "declared in the manifest" % (dep, mod),
+                )
+        cycle = self.find_cycle(allowed)
+        if cycle:
+            yield Finding(
+                self.MANIFEST, 0, self.check_id,
+                "manifest allows a dependency cycle: %s"
+                % " -> ".join(cycle),
+            )
+            return
+        model = project_model(tree)
+        undeclared: set = set()
+        for sf in tree.files:
+            mod = module_of(sf.relpath)
+            if mod is None:
+                continue
+            if mod not in allowed:
+                if mod not in undeclared:
+                    undeclared.add(mod)
+                    yield Finding(
+                        self.MANIFEST, 0, self.check_id,
+                        "module 'src/%s' (e.g. %s) is not declared "
+                        "in the layering manifest"
+                        % (mod, sf.relpath),
+                    )
+                continue
+            for ref in model.includes[sf.relpath]:
+                if ref.resolved is None:
+                    continue
+                dep = module_of(ref.resolved)
+                if dep is None or dep == mod or dep in allowed[mod]:
+                    continue
+                yield Finding(
+                    sf.relpath, ref.line, self.check_id,
+                    "module '%s' must not include \"%s\" (module "
+                    "'%s'); allowed dependencies: %s — see "
+                    "tools/lint/layering.manifest"
+                    % (mod, ref.spec, dep,
+                       ", ".join(sorted(allowed[mod])) or "none"),
+                )
+
+    @staticmethod
+    def find_cycle(allowed: Dict[str, set]) -> Optional[List[str]]:
+        state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+        def dfs(mod: str, path: List[str]) -> Optional[List[str]]:
+            state[mod] = 1
+            path.append(mod)
+            for dep in sorted(allowed.get(mod, ())):
+                if dep not in allowed:
+                    continue
+                if state.get(dep) == 1:
+                    return path[path.index(dep):] + [dep]
+                if state.get(dep) is None:
+                    found = dfs(dep, path)
+                    if found:
+                        return found
+            path.pop()
+            state[mod] = 2
+            return None
+
+        for mod in sorted(allowed):
+            if state.get(mod) is None:
+                found = dfs(mod, [])
+                if found:
+                    return found
+        return None
+
+
+@register
+class StaleSuppressionCheck(Check):
+    """A ``// lvplint: allow(...)`` whose check no longer fires on
+    its line is worse than dead weight: the justification keeps
+    describing a hazard that is gone, and if the hazard ever comes
+    back in a different form the stale blanket hides it.  This check
+    re-derives every *raw* (pre-suppression) finding and flags each
+    well-formed suppression that covers none of them.  Malformed
+    suppressions (no justification, unknown check-id) are already
+    findings of class ``suppression`` and are skipped here."""
+
+    check_id = "stale-suppression"
+    description = (
+        "every lvplint suppression still matches a finding on its "
+        "target line"
+    )
+
+    def run(self, tree: Tree) -> Iterator[Finding]:
+        # Driven by run_checks(), which hands in the raw findings of
+        # every other check; standalone run() has nothing to compare
+        # against.
+        return iter(())
+
+    def run_with_raw(
+        self, tree: Tree, raw: List[Finding]
+    ) -> Iterator[Finding]:
+        hits: Dict[Tuple[str, str], set] = {}
+        for f in raw:
+            hits.setdefault((f.path, f.check), set()).add(f.line)
+        known = {c.check_id for c in CHECKS}
+        for sf in tree.files:
+            for s in sf.suppressions:
+                if not s.justification:
+                    continue
+                if any(c not in known for c in s.checks):
+                    continue
+                for c in s.checks:
+                    lines = hits.get((sf.relpath, c), set())
+                    if {s.line, s.target} & lines:
+                        continue
+                    yield Finding(
+                        sf.relpath, s.line, self.check_id,
+                        "suppression for '%s' matches no finding on "
+                        "line %d; the check would not fire here — "
+                        "delete the stale allow()" % (c, s.target),
+                    )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
@@ -1178,11 +1619,22 @@ def apply_suppressions(
 
 def run_checks(root: str, only: Optional[List[str]]) -> List[Finding]:
     tree = Tree(root, collect_files(root))
-    findings: List[Finding] = []
+    # Two phases: every ordinary check runs unconditionally (their
+    # raw, pre-suppression findings are what stale-suppression
+    # compares the tree's allow() comments against), then --check
+    # filters what is reported.  The whole pass is milliseconds, so
+    # always running phase 1 costs nothing and keeps staleness exact.
+    stale = next(
+        c for c in CHECKS if isinstance(c, StaleSuppressionCheck)
+    )
+    raw: List[Finding] = []
     for check in CHECKS:
-        if only and check.check_id not in only:
+        if check is stale:
             continue
-        findings.extend(check.run(tree))
+        raw.extend(check.run(tree))
+    findings = [f for f in raw if not only or f.check in only]
+    if not only or stale.check_id in only:
+        findings.extend(stale.run_with_raw(tree, raw))
     return apply_suppressions(tree, findings)
 
 

@@ -16,6 +16,12 @@
 #              including the checkpoint/restore fuzz in
 #              test_checkpoint_fuzz.cc
 #
+# The TSan tree additionally runs the differential and sampling
+# labels at ctest -j4 — four concurrent simulations hammering the
+# TraceCache / CheckpointCache / PlanCache slot discipline, which is
+# exactly the interleaving the annotated locking contracts
+# (common/sync.hh, docs/static_analysis.md) claim to make safe.
+#
 # Usage: tools/run_sanitizers.sh [source-dir]
 #   LVPSIM_SAN_JOBS=<n>   build/test parallelism (default: nproc)
 #   LVPSIM_SAN_ONLY=asan|tsan   run just one configuration
@@ -30,6 +36,7 @@ only=${LVPSIM_SAN_ONLY:-}
 # sanitizer takes many times longer for no extra coverage.
 targets="test_containers test_common test_trace test_harness \
 test_qa test_kernel_spec test_fuzz lvpsim_cli"
+tsan_targets="test_differential test_sampling"
 
 run_config() {
     name=$1
@@ -51,6 +58,16 @@ run_config() {
 
     echo "== [$name] ctest -L fuzz =="
     (cd "$build_dir" && ctest -L fuzz --output-on-failure -j "$jobs")
+
+    if [ "$name" = tsan ]; then
+        echo "== [$name] build (differential + sampling) =="
+        # shellcheck disable=SC2086  # word-splitting is intended
+        cmake --build "$build_dir" -j "$jobs" --target $tsan_targets
+
+        echo "== [$name] ctest -L 'differential|sampling' -j4 =="
+        (cd "$build_dir" &&
+             ctest -L 'differential|sampling' --output-on-failure -j 4)
+    fi
 }
 
 case $only in
