@@ -44,6 +44,19 @@ class HistoryRing
         return bits[(head + bits.size() - distance) % bits.size()];
     }
 
+    /** Serialization access (pipeline/snapshot_io): raw ring state. */
+    const std::vector<std::uint8_t> &rawBits() const { return bits; }
+    std::size_t rawHead() const { return head; }
+
+    void
+    restoreRaw(std::vector<std::uint8_t> newBits, std::size_t newHead)
+    {
+        lvp_assert(!newBits.empty() && newHead < newBits.size(),
+                   "bad history ring restore");
+        bits = std::move(newBits);
+        head = newHead;
+    }
+
   private:
     std::vector<std::uint8_t> bits;
     std::size_t head;
@@ -77,6 +90,16 @@ class FoldedHistory
 
     std::uint32_t value() const { return comp; }
     unsigned length() const { return origLength; }
+
+    /** Serialization access (pipeline/snapshot_io): the fold width. */
+    unsigned foldedLength() const { return compLength; }
+
+    /** Restore a fold value captured by value(). */
+    void
+    restoreRaw(std::uint32_t v)
+    {
+        comp = v & ((std::uint32_t(1) << compLength) - 1);
+    }
 
     void reset() { comp = 0; }
 

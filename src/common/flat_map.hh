@@ -223,6 +223,29 @@ class FlatMap
         eraseSlot(it.slot);
     }
 
+    /**
+     * Serialization access (pipeline/snapshot_io.hh). The probe-chain
+     * layout depends on the full insertion/erase history — reinserting
+     * the live entries into a fresh map can land them in different
+     * slots — so a bit-identical checkpoint restore must round-trip
+     * the physical slot arrays verbatim rather than rebuild them.
+     */
+    const std::vector<value_type> &rawSlots() const { return slots; }
+    const std::vector<std::uint8_t> &rawUsed() const { return used; }
+
+    /** Restore a physical layout captured by rawSlots()/rawUsed(). */
+    void restoreRaw(std::vector<value_type> newSlots,
+                    std::vector<std::uint8_t> newUsed, std::size_t live)
+    {
+        lvp_assert(newSlots.size() == newUsed.size() &&
+                       (newSlots.empty() || isPowerOf2(newSlots.size())),
+                   "bad flat map raw restore");
+        slots = std::move(newSlots);
+        used = std::move(newUsed);
+        maskBits = slots.empty() ? 0 : slots.size() - 1;
+        count = live;
+    }
+
   private:
     static constexpr std::size_t npos = ~std::size_t(0);
     static constexpr std::size_t minSlots = 16;

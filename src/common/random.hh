@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace lvpsim
@@ -51,6 +52,24 @@ class Xoshiro256
 
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type(0); }
+
+    /**
+     * Serialization access (pipeline/snapshot_io): the raw 256-bit
+     * engine state, so a restored checkpoint resumes the exact
+     * stream rather than reseeding.
+     */
+    std::array<std::uint64_t, 4>
+    rawState() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    void
+    restoreRaw(const std::array<std::uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = state[static_cast<std::size_t>(i)];
+    }
 
     result_type
     operator()()

@@ -14,10 +14,11 @@ ParallelExecutor::ParallelExecutor(std::size_t jobs)
 {
     const std::size_t n = std::max<std::size_t>(1, jobs);
     capacity = 2 * n;
+    queues.resize(n);
     workers.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         workers.emplace_back(
-            [this](std::stop_token st) { workerLoop(st); });
+            [this, i](std::stop_token st) { workerLoop(i, st); });
 }
 
 ParallelExecutor::~ParallelExecutor()
@@ -25,7 +26,7 @@ ParallelExecutor::~ParallelExecutor()
     for (auto &w : workers)
         w.request_stop();
     cvTask.notify_all();
-    // jthread joins on destruction; workers drain the queue before
+    // jthread joins on destruction; workers drain the queues before
     // honouring the stop request.
 }
 
@@ -52,13 +53,48 @@ ParallelExecutor::parseJobs(std::string_view text, std::size_t &jobs)
 }
 
 void
-ParallelExecutor::submit(std::function<void()> task)
+ParallelExecutor::submit(std::function<void()> task,
+                         std::size_t affinity)
 {
     UniqueLock lk(mx);
     cvSpace.wait(lk.native(), [this] { return queueHasSpace(); });
-    queue.push_back(std::move(task));
+    std::size_t home;
+    if (affinity == kNoAffinity) {
+        home = nextRoundRobin;
+        nextRoundRobin = (nextRoundRobin + 1) % queues.size();
+    } else {
+        home = affinity % queues.size();
+    }
+    queues[home].push_back(std::move(task));
+    ++queuedTotal;
     ++inFlight;
-    cvTask.notify_one();
+    // Any worker may end up running this task (stealing), so wake
+    // them all rather than guessing which one is idle.
+    cvTask.notify_all();
+}
+
+std::function<void()>
+ParallelExecutor::takeTask(std::size_t self)
+{
+    std::function<void()> task;
+    if (!queues[self].empty()) {
+        task = std::move(queues[self].front());
+        queues[self].pop_front();
+    } else {
+        // Steal from the *back* of a sibling's deque: its owner pops
+        // the front, so contention concentrates on opposite ends and
+        // affinity runs stay mostly in submission order at home.
+        for (std::size_t k = 1; k < queues.size() && !task; ++k) {
+            auto &victim = queues[(self + k) % queues.size()];
+            if (!victim.empty()) {
+                task = std::move(victim.back());
+                victim.pop_back();
+            }
+        }
+    }
+    if (task)
+        --queuedTotal;
+    return task;
 }
 
 void
@@ -98,7 +134,17 @@ ParallelExecutor::parallelFor(
 }
 
 void
-ParallelExecutor::workerLoop(std::stop_token st)
+ParallelExecutor::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)> &fn,
+    const std::function<std::size_t(std::size_t)> &affinityOf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); }, affinityOf(i));
+    wait();
+}
+
+void
+ParallelExecutor::workerLoop(std::size_t self, std::stop_token st)
 {
     for (;;) {
         std::function<void()> task;
@@ -106,10 +152,9 @@ ParallelExecutor::workerLoop(std::stop_token st)
             UniqueLock lk(mx);
             cvTask.wait(lk.native(), st,
                         [this] { return queueNonEmpty(); });
-            if (queue.empty())
-                return; // stop requested and queue drained
-            task = std::move(queue.front());
-            queue.pop_front();
+            task = takeTask(self);
+            if (!task)
+                return; // stop requested and queues drained
             cvSpace.notify_one();
         }
         try {

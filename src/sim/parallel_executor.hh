@@ -2,16 +2,25 @@
  * @file
  * Fixed-size thread pool used to fan suite runs out across cores.
  *
- * Deliberately simple — no work stealing, no priorities: a bounded
- * FIFO task queue drained by N `std::jthread` workers. Simulation
- * tasks are seconds long, so queueing costs are irrelevant; what
- * matters is backpressure (the bounded queue keeps the producer from
- * materializing thousands of closures) and clean join-on-destroy.
+ * Tasks land in per-worker deques with optional *submit affinity*:
+ * tasks sharing an affinity value are routed to the same worker's
+ * deque (so, e.g., suite cells restoring the same warmup checkpoint
+ * queue behind each other and hit it warm in that worker's caches),
+ * while tasks submitted without affinity round-robin across workers.
+ * An idle worker first drains its own deque front-to-back, then
+ * *steals* from the back of a sibling's deque — affinity is a
+ * placement hint, never a serialization constraint, so a long run of
+ * same-affinity tasks cannot idle the rest of the pool. All deques
+ * sit under one mutex: simulation tasks are seconds long, so queueing
+ * costs are irrelevant; what matters is backpressure (a bounded total
+ * keeps the producer from materializing thousands of closures) and
+ * clean join-on-destroy.
  *
  * Determinism contract: the executor never reorders *results* —
  * callers index their output slots up front (one slot per task) so
- * the assembled result is independent of completion order. See
- * docs/architecture.md §"Simulation harness".
+ * the assembled result is independent of completion order and of
+ * which worker ran (or stole) each task. See docs/architecture.md
+ * §"Simulation harness".
  */
 
 #pragma once
@@ -35,6 +44,10 @@ namespace sim
 class ParallelExecutor
 {
   public:
+    /** submit() affinity meaning "no placement preference". */
+    static constexpr std::size_t kNoAffinity =
+        static_cast<std::size_t>(-1);
+
     /** Spawn `jobs` workers (clamped to >= 1). */
     explicit ParallelExecutor(std::size_t jobs);
 
@@ -47,11 +60,14 @@ class ParallelExecutor
     std::size_t jobs() const { return workers.size(); }
 
     /**
-     * Enqueue a task. Blocks while the queue is at capacity
-     * (2 x jobs) — backpressure, not failure. Tasks must not
+     * Enqueue a task. Tasks with equal `affinity` are routed to the
+     * same worker's deque (`affinity % jobs()`); kNoAffinity
+     * round-robins. Blocks while the pool is at capacity (2 x jobs
+     * tasks queued) — backpressure, not failure. Tasks must not
      * submit to the same executor (no nesting).
      */
-    void submit(std::function<void()> task) EXCLUDES(mx);
+    void submit(std::function<void()> task,
+                std::size_t affinity = kNoAffinity) EXCLUDES(mx);
 
     /**
      * Block until every task submitted so far has finished. If any
@@ -70,6 +86,13 @@ class ParallelExecutor
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /** parallelFor with a placement hint: task `i` is submitted with
+     *  affinity `affinityOf(i)` (see submit()). */
+    void
+    parallelFor(std::size_t n,
+                const std::function<void(std::size_t)> &fn,
+                const std::function<std::size_t(std::size_t)> &affinityOf);
+
     /** `--jobs 0` / "auto": one worker per hardware thread. */
     static std::size_t hardwareJobs();
 
@@ -82,7 +105,12 @@ class ParallelExecutor
     static bool parseJobs(std::string_view text, std::size_t &jobs);
 
   private:
-    void workerLoop(std::stop_token st) EXCLUDES(mx);
+    void workerLoop(std::size_t self, std::stop_token st)
+        EXCLUDES(mx);
+
+    /** Pop own front, else steal a sibling's back ({} when all
+     *  deques are empty). */
+    std::function<void()> takeTask(std::size_t self) REQUIRES(mx);
 
     // Condition-variable wait predicates. Each runs with `mx` held —
     // that is the wait() contract — but inside a lambda the analysis
@@ -90,11 +118,11 @@ class ParallelExecutor
     // common/thread_annotations.hh).
     bool queueHasSpace() const NO_THREAD_SAFETY_ANALYSIS
     {
-        return queue.size() < capacity;
+        return queuedTotal < capacity;
     }
     bool queueNonEmpty() const NO_THREAD_SAFETY_ANALYSIS
     {
-        return !queue.empty();
+        return queuedTotal > 0;
     }
     bool allIdle() const NO_THREAD_SAFETY_ANALYSIS
     {
@@ -102,10 +130,17 @@ class ParallelExecutor
     }
 
     Mutex mx;
-    std::condition_variable_any cvTask;  ///< queue not empty
-    std::condition_variable cvSpace;     ///< queue not full
+    std::condition_variable_any cvTask;  ///< some deque not empty
+    std::condition_variable cvSpace;     ///< pool not full
     std::condition_variable cvIdle;      ///< all work finished
-    std::deque<std::function<void()>> queue GUARDED_BY(mx);
+    /// One deque per worker; workers pop their own front and steal
+    /// from siblings' backs.
+    std::vector<std::deque<std::function<void()>>> queues
+        GUARDED_BY(mx);
+    /// Tasks sitting in any deque (not yet executing).
+    std::size_t queuedTotal GUARDED_BY(mx) = 0;
+    /// Round-robin cursor for kNoAffinity submissions.
+    std::size_t nextRoundRobin GUARDED_BY(mx) = 0;
     std::size_t capacity GUARDED_BY(mx) = 0;
     /// Queued + currently executing tasks.
     std::size_t inFlight GUARDED_BY(mx) = 0;
@@ -120,4 +155,3 @@ class ParallelExecutor
 
 } // namespace sim
 } // namespace lvpsim
-

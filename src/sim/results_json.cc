@@ -187,6 +187,9 @@ resultsToJson(const std::vector<SuiteResult> &suites,
     m.set("interval_length", JsonValue(meta.intervalLen));
     m.set("progress_instructions", JsonValue(meta.progressInstrs));
     m.set("suite", JsonValue(meta.suite));
+    m.set("store_hits", JsonValue(meta.storeHits));
+    m.set("store_misses", JsonValue(meta.storeMisses));
+    m.set("store_seconds", JsonValue(meta.storeSeconds));
     o.set("meta", std::move(m));
     JsonValue arr = JsonValue::array();
     for (const auto &s : suites)
@@ -224,6 +227,12 @@ resultsFromJson(const JsonValue &v, std::vector<SuiteResult> &suites,
             if (const JsonValue *s = m->find("suite"))
                 if (s->isString())
                     meta->suite = s->asString();
+            meta->storeHits =
+                std::uint64_t(numberOr(m->find("store_hits"), 0.0));
+            meta->storeMisses =
+                std::uint64_t(numberOr(m->find("store_misses"), 0.0));
+            meta->storeSeconds =
+                numberOr(m->find("store_seconds"), 0.0);
         }
     }
     const JsonValue *arr = v.find("suites");

@@ -40,6 +40,12 @@ struct ReportMeta
     /// stripped by tools/check_determinism.sh).
     std::uint64_t progressInstrs = 0;
     std::string suite; ///< e.g. "full", "smoke", or a bench tag
+    /// Checkpoint-store traffic for this run (sim/checkpoint_store.hh;
+    /// all zero when the store is disabled). Environment-dependent, so
+    /// stripped by tools/check_determinism.sh like the timing fields.
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    double storeSeconds = 0.0;
 };
 
 JsonValue toJson(const pipe::SimStats &s);

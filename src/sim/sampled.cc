@@ -4,8 +4,11 @@
 #include <cmath>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/logging.hh"
 #include "core/lvp_interface.hh"
+#include "pipeline/snapshot_io.hh"
+#include "sim/checkpoint_store.hh"
 #include "trace/instruction.hh"
 #include "trace/interval_profile.hh"
 
@@ -103,6 +106,51 @@ functionalVpTrain(const std::vector<trace::MicroOp> &ops,
         vp.onRetire(retired);
 }
 
+void
+encodePlan(BinWriter &w, const SamplePlan &plan)
+{
+    w.u32(pipe::kSnapshotFormatVersion);
+    w.u64(plan.intervalLen);
+    w.u64(plan.totalInstructions);
+    w.u64(plan.reps.size());
+    for (const SampleRep &rep : plan.reps) {
+        w.u32(rep.interval);
+        w.u64(rep.weightInstructions);
+        w.u32(rep.clusterSize);
+    }
+    w.u64(plan.assignment.size());
+    for (std::uint32_t a : plan.assignment)
+        w.u32(a);
+}
+
+bool
+decodePlan(BinReader &r, SamplePlan &plan)
+{
+    if (r.u32() != pipe::kSnapshotFormatVersion)
+        return false;
+    plan.intervalLen = r.u64();
+    plan.totalInstructions = r.u64();
+    const std::size_t nReps = r.count(16);
+    plan.reps.resize(r.ok() ? nReps : 0);
+    for (SampleRep &rep : plan.reps) {
+        rep.interval = r.u32();
+        rep.weightInstructions = r.u64();
+        rep.clusterSize = r.u32();
+    }
+    const std::size_t nAssign = r.count(4);
+    plan.assignment.resize(r.ok() ? nAssign : 0);
+    for (std::uint32_t &a : plan.assignment)
+        a = r.u32();
+    // Structural cross-checks mirror what buildSamplePlan guarantees;
+    // a violation means a foreign/corrupt payload, so force a miss.
+    if (!r.ok() || !r.atEnd() || plan.intervalLen == 0)
+        return false;
+    for (std::uint32_t a : plan.assignment)
+        if (a >= plan.reps.size())
+            return false;
+    return true;
+}
+
 } // anonymous namespace
 
 PlanCache &
@@ -143,11 +191,28 @@ PlanCache::get(const std::string &workload, const RunConfig &rc)
     }
 
     std::call_once(slot->once, [&] {
-        const trace::IntervalProfile profile =
-            trace::profileTrace(*info.trace, rc.sampleIntervalLen);
-        slot->plan = std::make_shared<const SamplePlan>(
-            buildSamplePlan(profile, rc.sampleK, rc.traceSeed));
-        generated.fetch_add(1, std::memory_order_relaxed);
+        auto plan = std::make_shared<SamplePlan>();
+        const auto buildInline = [&] {
+            const trace::IntervalProfile profile =
+                trace::profileTrace(*info.trace, rc.sampleIntervalLen);
+            *plan = buildSamplePlan(profile, rc.sampleK, rc.traceSeed);
+            generated.fetch_add(1, std::memory_order_relaxed);
+        };
+        auto &store = CheckpointStore::instance();
+        if (store.enabled()) {
+            // L2: profiling + clustering is a full trace pass, so
+            // persist the finished plan across processes.
+            store.fetchOrBuild(
+                "plan:" + key,
+                [&](BinReader &r) { return decodePlan(r, *plan); },
+                [&](BinWriter &w) {
+                    buildInline();
+                    encodePlan(w, *plan);
+                });
+        } else {
+            buildInline();
+        }
+        slot->plan = std::move(plan);
     });
     return slot->plan;
 }

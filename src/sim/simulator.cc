@@ -1,10 +1,13 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "pipeline/snapshot_io.hh"
+#include "sim/checkpoint_store.hh"
 #include "sim/sampled.hh"
 #include "trace/kernel_spec.hh"
 #include "trace/trace_spec.hh"
@@ -34,6 +37,31 @@ secondsSince(WallClock::time_point t0)
 // never simulation behavior.
 std::atomic<std::uint64_t> progressEvery{0};
 Mutex progressPrintMx;
+
+/** On-disk payload for one SimCheckpoint (CheckpointStore entry). */
+void
+encodeCheckpoint(BinWriter &w, const SimCheckpoint &ck)
+{
+    w.u32(pipe::kSnapshotFormatVersion);
+    pipe::serializeSnapshot(w, ck.core);
+    w.u64(ck.warmupInstrs);
+}
+
+bool
+decodeCheckpoint(BinReader &r, SimCheckpoint &ck)
+{
+    if (r.u32() != pipe::kSnapshotFormatVersion)
+        return false;
+    pipe::deserializeSnapshot(r, ck.core);
+    ck.warmupInstrs = r.u64();
+    return r.ok() && r.atEnd();
+}
+
+std::string
+intervalKey(const std::string &prefix, std::uint64_t idx)
+{
+    return prefix + "#interval" + std::to_string(idx);
+}
 
 } // anonymous namespace
 
@@ -287,22 +315,143 @@ CheckpointCache::get(const std::string &workload, const RunConfig &rc)
             .identity;
     auto slot = ensure(key);
 
-    // Exactly one caller simulates the warmup region; concurrent
-    // callers for the same key block until the checkpoint is ready.
+    // Exactly one caller in this process resolves the key (L1
+    // once_flag); with the disk store enabled it first consults L2
+    // and only simulates the warmup region on a disk miss, claiming
+    // the key so concurrent *processes* also build it at most once.
     std::call_once(slot->once, [&] {
         const auto t0 = WallClock::now();
-        auto ops = TraceCache::instance().get(
-            workload, rc.maxInstrs + rc.warmupInstrs, rc.traceSeed);
         auto ck = std::make_shared<SimCheckpoint>();
         ck->warmupInstrs = rc.warmupInstrs;
-        pipe::Core core(rc.core, *ops, nullptr);
-        core.warmup(rc.warmupInstrs);
-        core.saveState(ck->core);
+        const auto buildInline = [&] {
+            auto ops = TraceCache::instance().get(
+                workload, rc.maxInstrs + rc.warmupInstrs,
+                rc.traceSeed);
+            pipe::Core core(rc.core, *ops, nullptr);
+            core.warmup(rc.warmupInstrs);
+            core.saveState(ck->core);
+            generated.fetch_add(1, std::memory_order_relaxed);
+        };
+        auto &store = CheckpointStore::instance();
+        if (store.enabled()) {
+            store.fetchOrBuild(
+                "ckpt:" + key,
+                [&](BinReader &r) {
+                    return decodeCheckpoint(r, *ck) &&
+                           ck->warmupInstrs == rc.warmupInstrs;
+                },
+                [&](BinWriter &w) {
+                    buildInline();
+                    encodeCheckpoint(w, *ck);
+                });
+        } else {
+            buildInline();
+        }
         ck->buildSeconds = secondsSince(t0);
         slot->ckpt = std::move(ck);
-        generated.fetch_add(1, std::memory_order_relaxed);
     });
     return slot->ckpt;
+}
+
+std::shared_ptr<CheckpointCache::IntervalSlot>
+CheckpointCache::ensureInterval(const std::string &key)
+{
+    {
+        ReaderLock rd(mapMx);
+        auto it = intervalCache.find(key);
+        if (it != intervalCache.end())
+            return it->second;
+    }
+    WriterLock wr(mapMx);
+    auto [it, inserted] =
+        intervalCache.try_emplace(key, std::make_shared<IntervalSlot>());
+    (void)inserted;
+    return it->second;
+}
+
+std::shared_ptr<CheckpointCache::TraceState>
+CheckpointCache::ensureTraceState(const std::string &prefix)
+{
+    {
+        ReaderLock rd(mapMx);
+        auto it = traceStates.find(prefix);
+        if (it != traceStates.end())
+            return it->second;
+    }
+    WriterLock wr(mapMx);
+    auto [it, inserted] =
+        traceStates.try_emplace(prefix, std::make_shared<TraceState>());
+    (void)inserted;
+    return it->second;
+}
+
+void
+CheckpointCache::publishInterval(TraceState &ts,
+                                 const std::string &prefix,
+                                 std::uint64_t idx, double buildSeconds)
+{
+    auto slot = ensureInterval(intervalKey(prefix, idx));
+    if (!slot->ready.load(std::memory_order_acquire)) {
+        auto ck = std::make_shared<SimCheckpoint>();
+        ck->warmupInstrs = idx;
+        ts.core->saveState(ck->core);
+        ck->buildSeconds = buildSeconds;
+        auto &store = CheckpointStore::instance();
+        if (store.enabled()) {
+            store.publish("ckpt:" + intervalKey(prefix, idx),
+                          [&](BinWriter &w) {
+                              encodeCheckpoint(w, *ck);
+                          });
+        }
+        slot->ckpt = std::move(ck);
+        slot->ready.store(true, std::memory_order_release);
+        generated.fetch_add(1, std::memory_order_relaxed);
+    }
+    MutexLock lk(ts.claimMx);
+    ts.claims.erase(idx);
+}
+
+void
+CheckpointCache::advanceAndPublish(TraceState &ts,
+                                   const std::string &prefix,
+                                   std::uint64_t target)
+{
+    // Chunked so claims registered by batches that arrive *while* we
+    // stream are still honored at the next chunk boundary instead of
+    // forcing that batch to re-traverse the whole gap.
+    constexpr std::uint64_t kClaimChunk = 65536;
+    auto segStart = WallClock::now();
+    if (ts.pos == target) {
+        // Already there (index 0 on a fresh core, or a prior batch
+        // parked the cursor exactly here): save without stepping.
+        publishInterval(ts, prefix, target, secondsSince(segStart));
+        return;
+    }
+    while (ts.pos < target) {
+        std::uint64_t stop = target;
+        {
+            MutexLock lk(ts.claimMx);
+            auto it = ts.claims.upper_bound(ts.pos);
+            if (it != ts.claims.end() && *it < stop)
+                stop = *it;
+        }
+        const std::uint64_t step =
+            std::min(stop - ts.pos, kClaimChunk);
+        ts.core->functionalWarmup(step);
+        ts.pos += step;
+        ffInstrs.fetch_add(step, std::memory_order_relaxed);
+
+        bool save = ts.pos == target;
+        if (!save) {
+            MutexLock lk(ts.claimMx);
+            save = ts.claims.count(ts.pos) > 0;
+        }
+        if (save) {
+            publishInterval(ts, prefix, ts.pos,
+                            secondsSince(segStart));
+            segStart = WallClock::now();
+        }
+    }
 }
 
 std::vector<CheckpointCache::CheckpointPtr>
@@ -316,54 +465,102 @@ CheckpointCache::getIntervals(const std::string &workload,
             .info(workload, rc.maxInstrs + rc.warmupInstrs,
                   rc.traceSeed)
             .identity;
+    auto state = ensureTraceState(prefix);
 
-    std::vector<std::shared_ptr<Slot>> slots;
+    std::vector<std::shared_ptr<IntervalSlot>> slots;
     slots.reserve(indices.size());
-    for (std::uint64_t idx : indices)
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        lvp_assert(i == 0 || indices[i - 1] < indices[i],
+                   "interval indices must be ascending and unique");
         slots.push_back(
-            ensure(prefix + "#interval" + std::to_string(idx)));
+            ensureInterval(intervalKey(prefix, indices[i])));
+    }
 
-    // One streaming pass over the trace: the builder core starts from
-    // the newest checkpoint at or before the next missing index (any
-    // earlier slot in this batch, cached or just built) and
-    // fast-forwards only the gap. Per-slot call_once keeps each
-    // checkpoint built exactly once process-wide; a concurrent batch
-    // can duplicate forward progress, never publish different state.
-    TraceCache::TracePtr ops;
-    std::unique_ptr<pipe::Core> core;
-    std::uint64_t pos = 0;
+    // Claim every missing index *before* any building: whichever
+    // batch holds the streaming cursor saves a checkpoint at each
+    // claimed index it passes, so overlapping concurrent batches
+    // traverse each fast-forward gap once instead of once per batch.
+    {
+        MutexLock lk(state->claimMx);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            if (!slots[i]->ready.load(std::memory_order_acquire))
+                state->claims.insert(indices[i]);
+        }
+    }
+
+    auto &store = CheckpointStore::instance();
+    std::vector<CheckpointPtr> out(indices.size());
     CheckpointPtr prev;
     std::uint64_t prevIdx = 0;
-    std::vector<CheckpointPtr> out(indices.size());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         const std::uint64_t idx = indices[i];
-        lvp_assert(i == 0 || indices[i - 1] < idx,
-                   "interval indices must be ascending and unique");
-        std::call_once(slots[i]->once, [&] {
-            const auto t0 = WallClock::now();
-            if (!ops)
-                ops = TraceCache::instance().get(
-                    workload, rc.maxInstrs + rc.warmupInstrs,
-                    rc.traceSeed);
-            if (!core || pos > idx) {
-                core = std::make_unique<pipe::Core>(rc.core, *ops,
-                                                    nullptr);
-                pos = 0;
-                installProgressHook(*core, workload + " (warmup)");
+        if (!slots[i]->ready.load(std::memory_order_acquire)) {
+            MutexLock lk(state->buildMx);
+            if (slots[i]->ready.load(std::memory_order_acquire)) {
+                // Another batch built it while we waited for the
+                // cursor; the claim (ours or theirs) is satisfied.
+                MutexLock clk(state->claimMx);
+                state->claims.erase(idx);
+            } else {
+                if (!state->ops) {
+                    state->ops = TraceCache::instance().get(
+                        workload, rc.maxInstrs + rc.warmupInstrs,
+                        rc.traceSeed);
+                }
+                // L2 first: an exact-index disk hit both serves this
+                // slot and teleports the cursor forward.
+                bool fromDisk = false;
+                if (store.enabled()) {
+                    auto ck = std::make_shared<SimCheckpoint>();
+                    const auto t0 = WallClock::now();
+                    if (store.tryLoad(
+                            "ckpt:" + intervalKey(prefix, idx),
+                            [&](BinReader &r) {
+                                return decodeCheckpoint(r, *ck) &&
+                                       ck->warmupInstrs == idx;
+                            })) {
+                        ck->buildSeconds = secondsSince(t0);
+                        if (!state->core) {
+                            state->core = std::make_unique<pipe::Core>(
+                                rc.core, *state->ops, nullptr);
+                            state->pos = 0;
+                            installProgressHook(*state->core,
+                                                workload +
+                                                    " (warmup)");
+                        }
+                        if (state->pos <= idx) {
+                            state->core->restoreState(ck->core);
+                            state->pos = idx;
+                        }
+                        slots[i]->ckpt = std::move(ck);
+                        slots[i]->ready.store(
+                            true, std::memory_order_release);
+                        MutexLock clk(state->claimMx);
+                        state->claims.erase(idx);
+                        fromDisk = true;
+                    }
+                }
+                if (!fromDisk) {
+                    if (!state->core || state->pos > idx) {
+                        state->core = std::make_unique<pipe::Core>(
+                            rc.core, *state->ops, nullptr);
+                        state->pos = 0;
+                        installProgressHook(*state->core,
+                                            workload + " (warmup)");
+                        if (prev && prevIdx <= idx) {
+                            state->core->restoreState(prev->core);
+                            state->pos = prevIdx;
+                        }
+                    }
+                    advanceAndPublish(*state, prefix, idx);
+                }
             }
-            if (prev && prevIdx <= idx && prevIdx > pos) {
-                core->restoreState(prev->core);
-                pos = prevIdx;
-            }
-            core->functionalWarmup(idx - pos);
-            pos = idx;
-            auto ck = std::make_shared<SimCheckpoint>();
-            ck->warmupInstrs = idx;
-            core->saveState(ck->core);
-            ck->buildSeconds = secondsSince(t0);
-            slots[i]->ckpt = std::move(ck);
-            generated.fetch_add(1, std::memory_order_relaxed);
-        });
+        } else {
+            // Already ready when we got here: drop any stale claim we
+            // registered so the cursor does not stop there for us.
+            MutexLock clk(state->claimMx);
+            state->claims.erase(idx);
+        }
         out[i] = slots[i]->ckpt;
         prev = out[i];
         prevIdx = idx;
@@ -376,6 +573,8 @@ CheckpointCache::clear()
 {
     WriterLock wr(mapMx);
     cache.clear();
+    intervalCache.clear();
+    traceStates.clear();
 }
 
 pipe::SimStats

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -192,6 +193,13 @@ struct SimCheckpoint
  * distinct key is simulated exactly once under a per-key
  * `std::once_flag`; concurrent callers for the same key block until
  * the checkpoint is ready, other keys proceed unimpeded.
+ *
+ * This in-memory map is the L1 of a two-level design: when the
+ * process-wide CheckpointStore (checkpoint_store.hh) is enabled, a
+ * missing key is first looked up on disk and only simulated when the
+ * disk misses too, with the freshly built snapshot published for
+ * future processes. generations() counts only real simulations, so
+ * it distinguishes disk hits from rebuilds in tests.
  */
 class CheckpointCache
 {
@@ -207,14 +215,15 @@ class CheckpointCache
      * Interval checkpoints for sampled runs: the machine state after
      * functionally fast-forwarding (Core::functionalWarmup) to each
      * instruction index in @p indices, which must be sorted ascending
-     * with no duplicates. Missing checkpoints are built in one
-     * streaming pass — the builder restores the nearest earlier
-     * checkpoint from this batch and fast-forwards only the gap, so a
-     * whole batch costs one traversal of the trace. Each slot is
-     * memoized under the same runConfigKey() + trace-identity
-     * discipline as get(), with the interval index appended;
-     * concurrent batches may duplicate forward progress but each slot
-     * is still published exactly once.
+     * with no duplicates. All batches over one trace share a single
+     * streaming builder cursor, and every batch registers its missing
+     * indices as *claims* before building: whichever batch is
+     * currently streaming saves and publishes a checkpoint at each
+     * claimed index it passes, so each fast-forward gap is traversed
+     * once process-wide instead of once per concurrent batch. Each
+     * slot is memoized under the same runConfigKey() +
+     * trace-identity discipline as get(), with the interval index
+     * appended, and is served from the disk store when enabled.
      */
     std::vector<CheckpointPtr>
     getIntervals(const std::string &workload, const RunConfig &rc,
@@ -225,6 +234,14 @@ class CheckpointCache
     std::uint64_t generations() const
     {
         return generated.load(std::memory_order_relaxed);
+    }
+
+    /** Total instructions functionally fast-forwarded by interval
+     *  checkpoint building (regression hook for the claim logic:
+     *  overlapping batches must not re-traverse shared gaps). */
+    std::uint64_t ffInstructions() const
+    {
+        return ffInstrs.load(std::memory_order_relaxed);
     }
 
     /** Drop every cached checkpoint (test hook; not used by benches). */
@@ -240,15 +257,63 @@ class CheckpointCache
         CheckpointPtr ckpt;
     };
 
+    /**
+     * Interval slots publish through an atomic flag instead of a
+     * once_flag because the *builder* of a slot is not necessarily
+     * the batch that requested it: `ckpt` is written (under the
+     * trace's buildMx) before `ready` is released, and readers load
+     * `ready` with acquire before touching `ckpt`.
+     */
+    struct IntervalSlot
+    {
+        std::atomic<bool> ready{false};
+        CheckpointPtr ckpt;
+    };
+
+    /** Shared streaming-builder state for one trace prefix. */
+    struct TraceState
+    {
+        Mutex buildMx; ///< at most one batch streams at a time
+        TraceCache::TracePtr ops GUARDED_BY(buildMx);
+        std::unique_ptr<pipe::Core> core GUARDED_BY(buildMx);
+        std::uint64_t pos GUARDED_BY(buildMx) = 0;
+
+        Mutex claimMx;
+        /** Indices some in-flight batch still needs built. */
+        std::set<std::uint64_t> claims GUARDED_BY(claimMx);
+    };
+
     std::shared_ptr<Slot> ensure(const std::string &key)
         EXCLUDES(mapMx);
+    std::shared_ptr<IntervalSlot>
+    ensureInterval(const std::string &key) EXCLUDES(mapMx);
+    std::shared_ptr<TraceState>
+    ensureTraceState(const std::string &prefix) EXCLUDES(mapMx);
+
+    /** Stream ts.core from ts.pos to @p target, saving + publishing
+     *  a checkpoint at every claimed index passed (and at target). */
+    void advanceAndPublish(TraceState &ts, const std::string &prefix,
+                           std::uint64_t target)
+        REQUIRES(ts.buildMx) EXCLUDES(mapMx);
+
+    /** Publish ts.core's state as interval @p idx and drop its claim. */
+    void publishInterval(TraceState &ts, const std::string &prefix,
+                         std::uint64_t idx, double buildSeconds)
+        REQUIRES(ts.buildMx) EXCLUDES(mapMx);
 
     mutable SharedMutex mapMx;
-    // lvplint: allow(determinism) -- keyed lookup cache, never
+    // lvplint: allow(determinism) -- keyed lookup caches, never
     // iterated; checkpoints are deterministic simulation state
     std::unordered_map<std::string, std::shared_ptr<Slot>> cache
         GUARDED_BY(mapMx);
+    // lvplint: allow(determinism) -- keyed lookup cache, never iterated
+    std::unordered_map<std::string, std::shared_ptr<IntervalSlot>>
+        intervalCache GUARDED_BY(mapMx);
+    // lvplint: allow(determinism) -- keyed lookup cache, never iterated
+    std::unordered_map<std::string, std::shared_ptr<TraceState>>
+        traceStates GUARDED_BY(mapMx);
     std::atomic<std::uint64_t> generated{0};
+    std::atomic<std::uint64_t> ffInstrs{0};
 };
 
 } // namespace sim

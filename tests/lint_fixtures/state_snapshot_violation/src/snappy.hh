@@ -1,5 +1,8 @@
 /** Fixture: checkpointable class with a member missing from its
- *  saveState/restoreState pair (`hits` is the seeded violation). */
+ *  saveState/restoreState pair (`hits` is the seeded violation), and
+ *  a serializeSnapshot/deserializeSnapshot overload pair whose
+ *  deserialize half skips a Snapshot member (`clock` is the second
+ *  seeded violation). */
 
 #pragma once
 
@@ -35,5 +38,21 @@ class Counter
     std::uint64_t clock = 0;
     std::uint64_t hits = 0;
 };
+
+struct ByteSink;
+struct ByteSource;
+
+inline void
+serializeSnapshot(ByteSink &w, const Counter::Snapshot &s)
+{
+    put(w, s.table);
+    put(w, s.clock);
+}
+
+inline void
+deserializeSnapshot(ByteSource &r, Counter::Snapshot &s)
+{
+    get(r, s.table);
+}
 
 } // namespace fixture

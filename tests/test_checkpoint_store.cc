@@ -1,0 +1,526 @@
+/**
+ * @file
+ * The persistent checkpoint store (sim/checkpoint_store.hh):
+ * corruption robustness (version bumps, truncation, flipped bytes,
+ * foreign keys are all misses, never crashes), LRU trimming, claim
+ * timeouts, and the L1/L2 layering — CheckpointCache, BaselineCache
+ * and PlanCache must serve from disk across an in-memory clear()
+ * without re-simulating, bit-identically to the inline build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/binio.hh"
+#include "common/mmap_file.hh"
+#include "core/composite.hh"
+#include "core/lvp_interface.hh"
+#include "pipeline/snapshot_io.hh"
+#include "sim/checkpoint_store.hh"
+#include "sim/experiment.hh"
+#include "sim/sampled.hh"
+#include "sim/simulator.hh"
+
+using namespace lvpsim;
+
+namespace
+{
+
+std::vector<std::pair<std::string, std::uint64_t>>
+flat(const pipe::SimStats &s)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    pipe::forEachCounter(
+        s, [&](std::string_view name, std::uint64_t v) {
+            out.emplace_back(std::string(name), v);
+        });
+    return out;
+}
+
+/** Per-test scratch directory, wiped on entry and exit. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir = std::string("/tmp/lvpsim_store_gtest_") + info->name();
+        wipe();
+        ASSERT_TRUE(makeDirs(dir));
+    }
+
+    void TearDown() override
+    {
+        // Never leave the process-wide store pointed at a dead dir.
+        sim::CheckpointStore::instance().configure("", 0);
+        wipe();
+    }
+
+    void wipe()
+    {
+        for (const DirEntry &e : listDir(dir))
+            removeFile(dir + "/" + e.name);
+        removeFile(dir);
+    }
+
+    std::vector<DirEntry> entries() const { return listDir(dir); }
+
+    std::string dir;
+};
+
+/** Publish `payload` under `key` and return the entry's path. */
+std::string
+publishBytes(sim::CheckpointStore &store, const std::string &key,
+             const std::vector<std::uint8_t> &payload)
+{
+    store.publish(key, [&](BinWriter &w) {
+        w.bytes(payload.data(), payload.size());
+    });
+    return store.entryPath(key);
+}
+
+/** tryLoad that captures the raw payload bytes on success. */
+bool
+loadBytes(sim::CheckpointStore &store, const std::string &key,
+          std::vector<std::uint8_t> *out = nullptr)
+{
+    return store.tryLoad(key, [&](BinReader &r) {
+        std::vector<std::uint8_t> got(r.remaining());
+        r.bytes(got.data(), got.size());
+        if (!r.ok() || !r.atEnd())
+            return false;
+        if (out)
+            *out = std::move(got);
+        return true;
+    });
+}
+
+void
+rewriteFile(const std::string &path,
+            const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             std::streamsize(bytes.size()));
+    ASSERT_TRUE(os.good());
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    MappedFile mf = MappedFile::open(path);
+    std::vector<std::uint8_t> out(mf.size());
+    if (mf.valid())
+        std::copy(mf.data(), mf.data() + mf.size(), out.begin());
+    return out;
+}
+
+const std::vector<std::uint8_t> kPayload = {1, 2, 3, 4, 5,
+                                            6, 7, 8, 9};
+
+} // anonymous namespace
+
+TEST_F(StoreTest, DisabledStoreIsInertButBuilds)
+{
+    sim::CheckpointStore store; // default: no directory
+    EXPECT_FALSE(store.enabled());
+    EXPECT_EQ(store.entryPath("k"), "");
+    EXPECT_FALSE(loadBytes(store, "k"));
+
+    bool built = false;
+    store.fetchOrBuild(
+        "k", [](BinReader &) { return true; },
+        [&](BinWriter &) { built = true; });
+    EXPECT_TRUE(built) << "disabled store must still run the build";
+}
+
+TEST_F(StoreTest, PublishThenLoadRoundTrips)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    ASSERT_TRUE(store.enabled());
+
+    publishBytes(store, "some:key", kPayload);
+    std::vector<std::uint8_t> got;
+    EXPECT_TRUE(loadBytes(store, "some:key", &got));
+    EXPECT_EQ(got, kPayload);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 0u);
+    EXPECT_GE(store.seconds(), 0.0);
+}
+
+TEST_F(StoreTest, VersionBumpIsMiss)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    const auto path = publishBytes(store, "k", kPayload);
+
+    // The format version is the u32 right after the magic; a bumped
+    // store format must invalidate, not misparse, old entries.
+    auto bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 8u);
+    bytes[4] ^= 0xff;
+    rewriteFile(path, bytes);
+    EXPECT_FALSE(loadBytes(store, "k"));
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST_F(StoreTest, EveryTruncationIsMiss)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    const auto path = publishBytes(store, "k", kPayload);
+    const auto bytes = readFile(path);
+    ASSERT_GT(bytes.size(), kPayload.size());
+
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        rewriteFile(path,
+                    {bytes.begin(), bytes.begin() + long(len)});
+        EXPECT_FALSE(loadBytes(store, "k")) << "prefix " << len;
+    }
+    rewriteFile(path, bytes);
+    EXPECT_TRUE(loadBytes(store, "k"));
+}
+
+TEST_F(StoreTest, AnyFlippedByteIsMiss)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    const auto path = publishBytes(store, "k", kPayload);
+    const auto bytes = readFile(path);
+
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto bad = bytes;
+        bad[i] ^= 0x01;
+        rewriteFile(path, bad);
+        EXPECT_FALSE(loadBytes(store, "k")) << "byte " << i;
+    }
+    rewriteFile(path, bytes);
+    EXPECT_TRUE(loadBytes(store, "k"));
+}
+
+TEST_F(StoreTest, EntryServedUnderForeignKeyIsMiss)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    const auto path = publishBytes(store, "key-a", kPayload);
+
+    // A (hypothetical) filename-hash collision must be caught by the
+    // full key string stored in the header: serve key-a's bytes at
+    // key-b's path and the load must reject them.
+    const auto bytes = readFile(path);
+    rewriteFile(store.entryPath("key-b"), bytes);
+    EXPECT_FALSE(loadBytes(store, "key-b"));
+    EXPECT_TRUE(loadBytes(store, "key-a"));
+}
+
+TEST_F(StoreTest, LruTrimKeepsStoreUnderBudget)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+    const auto path = publishBytes(store, "probe", kPayload);
+    const std::uint64_t entryBytes =
+        std::uint64_t(readFile(path).size());
+    removeFile(path);
+
+    // Budget for two entries (the keys share a payload size).
+    sim::CheckpointStore budgeted;
+    budgeted.configure(dir, 2 * entryBytes + 1);
+    publishBytes(budgeted, "k1", kPayload);
+    publishBytes(budgeted, "k2", kPayload);
+    publishBytes(budgeted, "k3", kPayload);
+
+    std::uint64_t total = 0;
+    for (const DirEntry &e : entries())
+        total += e.sizeBytes;
+    EXPECT_LE(total, 2 * entryBytes + 1);
+    EXPECT_LE(entries().size(), 2u);
+    EXPECT_GE(entries().size(), 1u);
+}
+
+TEST_F(StoreTest, FetchOrBuildIsBuildOnceAcrossInstances)
+{
+    sim::CheckpointStore first;
+    first.configure(dir, 0);
+    int builds = 0;
+    const auto decode = [](BinReader &r) {
+        return r.u32() == 42 && r.ok() && r.atEnd();
+    };
+    const auto build = [&](BinWriter &w) {
+        ++builds;
+        w.u32(42);
+    };
+    first.fetchOrBuild("shared", decode, build);
+    EXPECT_EQ(builds, 1);
+
+    // A second store over the same directory — a stand-in for a
+    // second process — must hit the published entry, not rebuild.
+    sim::CheckpointStore second;
+    second.configure(dir, 0);
+    second.fetchOrBuild("shared", decode, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(second.hits(), 1u);
+}
+
+TEST_F(StoreTest, UnresolvableClaimDegradesToLocalBuild)
+{
+    sim::CheckpointStore store;
+    store.configure(dir, 0);
+
+    // Park a live claim on the key with no owner ever publishing.
+    // With a short poll budget the loser must fall back to building
+    // locally (duplicate work, never a wedge) and still publish.
+    ClaimFile claim =
+        ClaimFile::tryAcquire(store.entryPath("k") + ".building");
+    ASSERT_TRUE(claim.owned());
+    setenv("LVPSIM_STORE_CLAIM_TIMEOUT_MS", "50", 1);
+    bool built = false;
+    store.fetchOrBuild(
+        "k", [](BinReader &r) { return r.u32() == 7 && r.atEnd(); },
+        [&](BinWriter &w) {
+            built = true;
+            w.u32(7);
+        });
+    unsetenv("LVPSIM_STORE_CLAIM_TIMEOUT_MS");
+    EXPECT_TRUE(built);
+    EXPECT_TRUE(store.tryLoad("k", [](BinReader &r) {
+        return r.u32() == 7 && r.atEnd();
+    }));
+}
+
+TEST_F(StoreTest, ResolveDirPrecedence)
+{
+    setenv("LVPSIM_STORE", "/tmp/env-store", 1);
+    EXPECT_EQ(sim::CheckpointStore::resolveDir("/cli"), "/cli");
+    EXPECT_EQ(sim::CheckpointStore::resolveDir("off"), "");
+    EXPECT_EQ(sim::CheckpointStore::resolveDir(""),
+              "/tmp/env-store");
+    setenv("LVPSIM_STORE", "none", 1);
+    EXPECT_EQ(sim::CheckpointStore::resolveDir(""), "");
+    unsetenv("LVPSIM_STORE");
+    const char *home = std::getenv("HOME");
+    if (home && *home)
+        EXPECT_EQ(sim::CheckpointStore::resolveDir(""),
+                  std::string(home) + "/.cache/lvpsim");
+}
+
+namespace
+{
+
+sim::RunConfig
+warmRc(std::uint64_t seed)
+{
+    sim::RunConfig rc;
+    rc.maxInstrs = 3000;
+    rc.warmupInstrs = 5000;
+    rc.traceSeed = seed; // distinct seed => distinct cache keys
+    return rc;
+}
+
+} // anonymous namespace
+
+TEST_F(StoreTest, CheckpointCacheServesFromDiskAcrossClear)
+{
+    auto &store = sim::CheckpointStore::instance();
+    store.configure(dir, 0);
+    auto &cache = sim::CheckpointCache::instance();
+    cache.clear();
+
+    const auto rc = warmRc(101);
+    const auto gen0 = cache.generations();
+    const auto built = cache.get("stream_sum", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u);
+
+    cache.clear(); // drop L1; the disk entry must satisfy the re-get
+    const auto restored = cache.get("stream_sum", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u)
+        << "disk hit re-simulated the warmup";
+    EXPECT_EQ(restored->warmupInstrs, built->warmupInstrs);
+
+    // The restored snapshot is bit-identical to the built one.
+    BinWriter a, b;
+    pipe::serializeSnapshot(a, built->core);
+    pipe::serializeSnapshot(b, restored->core);
+    EXPECT_EQ(a.buffer(), b.buffer());
+}
+
+TEST_F(StoreTest, BaselineCacheServesFromDiskAcrossClear)
+{
+    auto &store = sim::CheckpointStore::instance();
+    store.configure(dir, 0);
+    auto &cache = sim::BaselineCache::instance();
+    cache.clear();
+    sim::CheckpointCache::instance().clear();
+
+    const auto rc = warmRc(102);
+    const auto gen0 = cache.generations();
+    const auto built = cache.get("hash_probe", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u);
+
+    cache.clear();
+    sim::CheckpointCache::instance().clear();
+    const auto restored = cache.get("hash_probe", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u)
+        << "disk hit re-simulated the baseline";
+    EXPECT_EQ(flat(restored->stats), flat(built->stats));
+}
+
+TEST_F(StoreTest, PlanCacheServesFromDiskAcrossClear)
+{
+    auto &store = sim::CheckpointStore::instance();
+    store.configure(dir, 0);
+    auto &cache = sim::PlanCache::instance();
+    cache.clear();
+
+    sim::RunConfig rc;
+    rc.maxInstrs = 60000;
+    rc.sampleK = 3;
+    rc.sampleIntervalLen = 10000;
+    rc.traceSeed = 103;
+
+    const auto gen0 = cache.generations();
+    const auto built = cache.get("pointer_chase", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u);
+
+    cache.clear();
+    const auto restored = cache.get("pointer_chase", rc);
+    EXPECT_EQ(cache.generations() - gen0, 1u)
+        << "disk hit re-profiled the trace";
+    ASSERT_EQ(restored->reps.size(), built->reps.size());
+    for (std::size_t i = 0; i < built->reps.size(); ++i) {
+        EXPECT_EQ(restored->reps[i].interval,
+                  built->reps[i].interval);
+        EXPECT_EQ(restored->reps[i].weightInstructions,
+                  built->reps[i].weightInstructions);
+        EXPECT_EQ(restored->reps[i].clusterSize,
+                  built->reps[i].clusterSize);
+    }
+    EXPECT_EQ(restored->assignment, built->assignment);
+    EXPECT_EQ(restored->intervalLen, built->intervalLen);
+    EXPECT_EQ(restored->totalInstructions,
+              built->totalInstructions);
+}
+
+TEST_F(StoreTest, WarmDiskSuiteRunMatchesColdInlineRun)
+{
+    // The acceptance differential: a suite computed cold (inline
+    // warmup, store off) must match one served warm from disk, at
+    // --jobs 1 and --jobs 4.
+    const std::vector<std::string> suite = {"stream_sum",
+                                            "pointer_chase",
+                                            "hash_probe"};
+    const auto rc = warmRc(104);
+    const auto makeVp = [] {
+        return vp::makeSinglePredictor(pipe::ComponentId::LVP, 512);
+    };
+
+    auto clearAll = [] {
+        sim::CheckpointCache::instance().clear();
+        sim::BaselineCache::instance().clear();
+        sim::PlanCache::instance().clear();
+    };
+
+    sim::CheckpointStore::instance().configure("", 0);
+    clearAll();
+    sim::SuiteRunner cold(suite, rc, 1);
+    const auto ref = cold.run("lvp", makeVp);
+
+    // Populate the store, then serve two fresh "processes" from it.
+    sim::CheckpointStore::instance().configure(dir, 0);
+    clearAll();
+    sim::SuiteRunner warmup(suite, rc, 2);
+    (void)warmup.run("lvp", makeVp);
+
+    for (std::size_t jobs : {std::size_t(1), std::size_t(4)}) {
+        clearAll();
+        sim::CheckpointStore::instance().resetCounters();
+        sim::SuiteRunner warm(suite, rc, jobs);
+        const auto got = warm.run("lvp", makeVp);
+        EXPECT_GT(sim::CheckpointStore::instance().hits(), 0u)
+            << "jobs " << jobs << ": warm run never touched disk";
+        ASSERT_EQ(got.rows.size(), ref.rows.size());
+        for (std::size_t i = 0; i < ref.rows.size(); ++i) {
+            EXPECT_EQ(flat(got.rows[i].base), flat(ref.rows[i].base))
+                << "jobs " << jobs << " row " << i;
+            EXPECT_EQ(flat(got.rows[i].withVp),
+                      flat(ref.rows[i].withVp))
+                << "jobs " << jobs << " row " << i;
+        }
+    }
+}
+
+TEST_F(StoreTest, SequentialOverlappingBatchesTraverseGapsOnce)
+{
+    // Regression for the interval-claim redesign: batch B's indices
+    // extend past batch A's, so B must resume from A's cursor
+    // position instead of re-fast-forwarding from zero.
+    sim::CheckpointStore::instance().configure("", 0);
+    auto &cache = sim::CheckpointCache::instance();
+    cache.clear();
+
+    sim::RunConfig rc;
+    rc.maxInstrs = 50000;
+    rc.traceSeed = 105;
+
+    const auto ff0 = cache.ffInstructions();
+    (void)cache.getIntervals("stream_sum", rc, {10000});
+    EXPECT_EQ(cache.ffInstructions() - ff0, 10000u);
+    (void)cache.getIntervals("stream_sum", rc, {10000, 20000});
+    EXPECT_EQ(cache.ffInstructions() - ff0, 20000u)
+        << "overlapping batch re-traversed the shared gap";
+}
+
+TEST_F(StoreTest, ConcurrentOverlappingBatchesShareTheCursor)
+{
+    sim::CheckpointStore::instance().configure("", 0);
+    auto &cache = sim::CheckpointCache::instance();
+    cache.clear();
+
+    sim::RunConfig rc;
+    rc.maxInstrs = 60000;
+    rc.traceSeed = 106;
+    // Generate the trace up front so the racing batches contend on
+    // the claim/cursor logic, not on trace generation.
+    (void)sim::TraceCache::instance().get("hash_probe", rc.maxInstrs,
+                                          rc.traceSeed);
+
+    const auto ff0 = cache.ffInstructions();
+    const auto gen0 = cache.generations();
+    std::vector<sim::CheckpointCache::CheckpointPtr> a, b;
+    {
+        std::thread ta([&] {
+            a = cache.getIntervals("hash_probe", rc, {10000, 30000});
+        });
+        std::thread tb([&] {
+            b = cache.getIntervals("hash_probe", rc,
+                                   {10000, 20000, 30000});
+        });
+        ta.join();
+        tb.join();
+    }
+
+    // Whatever the interleaving, each index is simulated exactly
+    // once. Fast-forward work is bounded by the claim design: the
+    // ideal single pass is 30000 instructions; a batch whose claim
+    // registration loses the race to the streaming cursor re-covers
+    // at most one inter-index gap (10000 here) from the nearest
+    // completed checkpoint — never the whole prefix from zero.
+    EXPECT_EQ(cache.generations() - gen0, 3u);
+    EXPECT_GE(cache.ffInstructions() - ff0, 30000u);
+    EXPECT_LE(cache.ffInstructions() - ff0, 40000u);
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[2]);
+    for (const auto &c : b)
+        ASSERT_NE(c, nullptr);
+}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Measure the persistent checkpoint store (docs/performance.md) with
+# the optimized build (the `bench-release` CMake preset: Release,
+# -O3, LVPSIM_ASSERTIONS=OFF) and write the result as
+# BENCH_store.json so the repo keeps a committed record of the
+# cross-process speedup. Two measurements are combined:
+#
+#   in-process   store_throughput --phase all: inline reference vs
+#                cold store vs warm-memory vs warm-disk, counter-
+#                exact across all four phases (the binary aborts
+#                otherwise).
+#   two-process  --phase cold then --phase warm as separate
+#                processes sharing one fresh store directory — the
+#                real "fresh CI job against a warm cache" number the
+#                store_speedup ctest gate replays. Checksums over
+#                every result counter must match across processes.
+#
+# Usage: tools/bench_store.sh [output.json]
+#   LVPSIM_BENCH_JOBS=<n>  worker threads (default 1 — single-
+#                          threaded numbers are the comparable ones)
+#   LVPSIM_INSTRS / LVPSIM_SUITE scale the run as everywhere else
+#   (defaults here: 20000 measured instructions behind 16x warmup,
+#   full suite — the 12 x 28 sweep the gate replays).
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-$src_dir/BENCH_store.json}
+jobs=${LVPSIM_BENCH_JOBS:-1}
+build_jobs=$(nproc 2>/dev/null || echo 4)
+export LVPSIM_INSTRS=${LVPSIM_INSTRS:-20000}
+export LVPSIM_SUITE=${LVPSIM_SUITE:-full}
+
+echo "== configure (bench-release preset) =="
+cmake -S "$src_dir" --preset bench-release >/dev/null
+
+echo "== build store_throughput =="
+cmake --build "$src_dir/build-release" -j "$build_jobs" \
+    --target store_throughput
+
+bin=$src_dir/build-release/bench/store_throughput
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== in-process phases (jobs=$jobs) =="
+"$bin" --jobs "$jobs" --store "$work/store_all" \
+    --json "$work/all.json"
+
+echo "== two-process cold/warm (jobs=$jobs) =="
+"$bin" --jobs "$jobs" --store "$work/store_xp" --phase cold \
+    --json "$work/cold.json"
+"$bin" --jobs "$jobs" --store "$work/store_xp" --phase warm \
+    --json "$work/warm.json"
+
+python3 - "$work/all.json" "$work/cold.json" "$work/warm.json" \
+    "$out" <<'EOF'
+import json
+import sys
+
+alldoc = json.load(open(sys.argv[1]))
+cold = json.load(open(sys.argv[2]))
+warm = json.load(open(sys.argv[3]))
+
+if cold["results_checksum"] != warm["results_checksum"]:
+    print("FAIL: cold and warm processes disagree on results")
+    sys.exit(1)
+
+cold_s = cold["cold"]["wall_seconds"]
+warm_s = warm["warm"]["wall_seconds"]
+alldoc["cross_process"] = {
+    "cold": cold["cold"],
+    "warm": warm["warm"],
+    "results_checksum": warm["results_checksum"],
+}
+# The headline number: how much faster a *fresh process* runs the
+# sweep when a previous process already populated the store.
+alldoc["speedup"] = cold_s / warm_s if warm_s > 0 else 0.0
+with open(sys.argv[4], "w") as f:
+    json.dump(alldoc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"cross-process speedup: {alldoc['speedup']:.2f}x "
+      f"(in-process warm-disk {alldoc['warm_disk']['wall_seconds']:.3f} s, "
+      f"warm-memory {alldoc['warm_memory']['wall_seconds']:.3f} s)")
+print(f"results: {sys.argv[4]}")
+EOF

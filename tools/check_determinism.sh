@@ -7,7 +7,10 @@
 # wall-clock cadence, so run-dependent by design), and the per-trace
 # metadata (trace_format / trace_instructions — stable run-to-run,
 # but stripped so this gate also diffs cleanly against JSON written
-# before those fields existed) may differ — those lines are stripped
+# before those fields existed), and the checkpoint-store traffic
+# counters (store_hits / store_misses / store_seconds — the second
+# run hits entries the first published) may differ — those lines are
+# stripped
 # before the diff (the schema pretty-prints one field per line
 # precisely so this filter stays a one-liner; see
 # docs/results_schema.md).
@@ -29,7 +32,7 @@ export LVPSIM_SUITE=${LVPSIM_SUITE:-smoke}
        --jobs 4 --json "$DIR/jobs4.json" > /dev/null
 
 strip_timing() {
-    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions|progress_instructions)"' "$1"
+    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions|progress_instructions|store_hits|store_misses|store_seconds)"' "$1"
 }
 
 strip_timing "$DIR/jobs1.json" > "$DIR/jobs1.stripped"

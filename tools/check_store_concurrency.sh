@@ -1,0 +1,90 @@
+#!/bin/sh
+# Concurrency gate for the persistent checkpoint store: two suite
+# processes launched at the same instant against one fresh store
+# directory must (a) both finish with byte-identical results (timing
+# and store-counter lines stripped, same filter as
+# check_determinism.sh), and (b) leave no stale `*.building` claim
+# files behind — every claim is released on publish or on local-build
+# fallback. A third, fresh process then runs against the now-warm
+# store and must report store_misses == 0: everything the pair built
+# is servable from disk.
+#
+# Usage: check_store_concurrency.sh <path-to-lvpsim_cli> [workdir]
+#   LVPSIM_CHECK_INSTRS=<n>   measured instructions (default 8000)
+#   LVPSIM_CHECK_WARMUP=<n>   warmup instructions (default 4000;
+#                             nonzero so "ckpt:" entries are raced
+#                             too, not just baselines and plans)
+# Wired into ctest as `store_concurrency` (tools/CMakeLists.txt).
+set -eu
+
+CLI=${1:?usage: check_store_concurrency.sh <lvpsim_cli> [workdir]}
+DIR=${2:-$(mktemp -d)}
+rm -rf "$DIR"
+mkdir -p "$DIR"
+STORE="$DIR/store"
+INSTRS=${LVPSIM_CHECK_INSTRS:-8000}
+WARMUP=${LVPSIM_CHECK_WARMUP:-4000}
+
+export LVPSIM_SUITE=${LVPSIM_SUITE:-smoke}
+
+run_suite() {
+    "$CLI" --suite --predictor composite --instrs "$INSTRS" \
+           --warmup "$WARMUP" --jobs 2 --store "$STORE" \
+           --json "$1" > /dev/null
+}
+
+# Race two fresh processes on the empty store. The O_EXCL claim
+# protocol decides per key who builds; the loser either waits for the
+# winner's publish or (on claim timeout) builds locally, so both must
+# succeed regardless of interleaving.
+run_suite "$DIR/a.json" &
+pid_a=$!
+run_suite "$DIR/b.json" &
+pid_b=$!
+wait "$pid_a"
+wait "$pid_b"
+
+strip_timing() {
+    grep -vE '"(wall_seconds|base_seconds|vp_seconds|checkpoint_seconds|jobs|trace_format|trace_instructions|progress_instructions|store_hits|store_misses|store_seconds)"' "$1"
+}
+
+strip_timing "$DIR/a.json" > "$DIR/a.stripped"
+strip_timing "$DIR/b.json" > "$DIR/b.stripped"
+if ! diff -u "$DIR/a.stripped" "$DIR/b.stripped"; then
+    echo "FAIL: concurrent store-sharing runs diverged" >&2
+    exit 1
+fi
+
+leftover=$(find "$STORE" -name '*.building' 2>/dev/null | wc -l)
+if [ "$leftover" -ne 0 ]; then
+    echo "FAIL: $leftover stale claim file(s) left in $STORE:" >&2
+    find "$STORE" -name '*.building' >&2
+    exit 1
+fi
+
+entries=$(find "$STORE" -name '*.lvpc' 2>/dev/null | wc -l)
+if [ "$entries" -eq 0 ]; then
+    echo "FAIL: no store entries were published" >&2
+    exit 1
+fi
+
+# Warm check: a third process must be served entirely from disk.
+run_suite "$DIR/c.json"
+strip_timing "$DIR/c.json" > "$DIR/c.stripped"
+if ! diff -u "$DIR/a.stripped" "$DIR/c.stripped"; then
+    echo "FAIL: warm-store run diverged from the cold runs" >&2
+    exit 1
+fi
+if ! grep -q '"store_misses": 0' "$DIR/c.json"; then
+    echo "FAIL: warm-store run still missed:" >&2
+    grep '"store_' "$DIR/c.json" >&2
+    exit 1
+fi
+if grep -q '"store_hits": 0' "$DIR/c.json"; then
+    echo "FAIL: warm-store run reported zero hits" >&2
+    exit 1
+fi
+
+echo "OK: 2 concurrent cold runs + 1 warm run agree" \
+     "($entries entries, no stale claims," \
+     "$LVPSIM_SUITE suite, $INSTRS+$WARMUP instructions)"

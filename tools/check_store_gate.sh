@@ -1,0 +1,79 @@
+#!/bin/sh
+# Persistent-store gate: the headline cross-process property — a
+# fresh process running the 12-config sweep against a store a
+# previous process populated must beat the cold (store-empty)
+# process by a minimum speedup, with byte-identical results. Two
+# separate store_throughput processes share one fresh --store
+# directory; each emits an FNV-1a checksum over every result
+# counter, and the binary itself refuses to report (exit 3) when the
+# warm phase touches anything but the disk store, so this script
+# only has to compare checksums and enforce the speedup floor.
+#
+# Usage: check_store_gate.sh <store_throughput> <workdir> \
+#            <build-type>
+#   LVPSIM_STORE_MIN_SPEEDUP=<x>  fail when speedup < x (default 2.0)
+#   LVPSIM_STORE_INSTRS=<n>       measured instructions per cell
+#                                 (default 20000; warmup is 16x)
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) on non-Release trees — the
+# speedup ratio is only meaningful at -O3 without assertions — and
+# when python3 is unavailable. Like the sampling gate, this judges a
+# fresh same-machine ratio, not a cross-machine absolute number.
+set -eu
+
+bin=${1:?usage: check_store_gate.sh <store_throughput> <workdir> <build-type>}
+workdir=${2:?missing workdir}
+build_type=${3:-}
+min=${LVPSIM_STORE_MIN_SPEEDUP:-2.0}
+instrs=${LVPSIM_STORE_INSTRS:-20000}
+
+if [ "$build_type" != "Release" ]; then
+    echo "SKIP: build type '$build_type' is not Release;" \
+         "store speedups are only meaningful at -O3" \
+         "without assertions"
+    exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "SKIP: python3 not available"
+    exit 77
+fi
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+export LVPSIM_SUITE=${LVPSIM_SUITE:-full}
+export LVPSIM_INSTRS=$instrs
+
+echo "== cold process (empty store) =="
+"$bin" --store "$workdir/store" --phase cold \
+       --json "$workdir/cold.json"
+echo "== warm process (fresh process, populated store) =="
+"$bin" --store "$workdir/store" --phase warm \
+       --json "$workdir/warm.json"
+
+python3 - "$workdir/cold.json" "$workdir/warm.json" "$min" <<'EOF'
+import json
+import sys
+
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+min_speedup = float(sys.argv[3])
+
+if cold["results_checksum"] != warm["results_checksum"]:
+    print("FAIL: warm-process results diverged from the cold "
+          "process (checksum %s vs %s)"
+          % (warm["results_checksum"], cold["results_checksum"]))
+    sys.exit(1)
+
+cold_s = cold["cold"]["wall_seconds"]
+warm_s = warm["warm"]["wall_seconds"]
+speedup = cold_s / warm_s if warm_s > 0 else 0.0
+print(f"  cold process {cold_s:.3f} s, warm process {warm_s:.3f} s "
+      f"-> {speedup:.2f}x (floor {min_speedup:.1f}x, "
+      f"{warm['warm']['store_hits']} store hits)")
+if speedup < min_speedup:
+    print(f"FAIL: fresh-process warm-store speedup {speedup:.2f}x "
+          f"is below the {min_speedup:.1f}x floor")
+    sys.exit(1)
+print(f"OK: a warm store makes a fresh process {speedup:.2f}x "
+      "faster, counter-exact")
+EOF

@@ -2,8 +2,8 @@
 # The pre-PR gate, in one command (documented in README.md):
 #
 #   configure -> build -> ctest (smoke + lint labels) -> spec fuzz
-#   -> perf gates -> thread-safety tree -> lvplint -> doc links
-#   -> strict doxygen
+#   -> store reuse -> perf gates -> thread-safety tree -> lvplint
+#   -> doc links -> strict doxygen
 #
 #   tools/ci.sh [build-dir]            default build dir: ./build
 #
@@ -54,12 +54,35 @@ spec_fuzz() {
           --output-on-failure -j"$(nproc)"
 }
 
+store_gate() {
+    # Cross-process checkpoint-store reuse (docs/performance.md):
+    # two fresh CLI processes run the same smoke sweep against one
+    # empty store directory; the second must be served from the
+    # entries the first published (store_hits > 0 in its JSON).
+    _dir="$build/ci_store_gate"
+    rm -rf "$_dir"
+    mkdir -p "$_dir"
+    for _run in first second; do
+        LVPSIM_SUITE=smoke \
+            "$build/tools/lvpsim_cli" --suite --instrs 8000 \
+            --warmup 4000 --jobs 2 --store "$_dir/store" \
+            --json "$_dir/$_run.json" >/dev/null
+    done
+    if grep -q '"store_hits": 0' "$_dir/second.json"; then
+        echo "store gate: second fresh process had zero store hits" >&2
+        grep '"store_' "$_dir/second.json" >&2
+        return 1
+    fi
+    grep '"store_' "$_dir/second.json" | sed 's/^ *//;s/,$//'
+}
+
 perf_gates() {
     # The perf label runs the bench bit-rot smokes at toy scale plus
-    # the two Release-only gates: perf_regression (throughput floor
-    # vs the committed BENCH_throughput.json) and sampled_vs_full
-    # (sampling speedup + error bounds vs full simulation,
-    # docs/sampling.md).
+    # the three Release-only gates: perf_regression (floors vs every
+    # committed BENCH_*.json), sampled_vs_full (sampling speedup +
+    # error bounds vs full simulation, docs/sampling.md), and
+    # store_speedup (fresh-process warm-store speedup,
+    # docs/performance.md).
     cmake -S . --preset bench-release >/dev/null
     cmake --build build-release -j"$(nproc)"
     ctest --test-dir build-release -L perf --output-on-failure
@@ -90,6 +113,7 @@ gate "configure" configure
 gate "build" build_tree
 gate "ctest: smoke + lint" smoke_lint
 gate "ctest: spec fuzz" spec_fuzz
+gate "store reuse" store_gate
 gate "ctest: perf gates" perf_gates
 gate "thread-safety tree" thread_safety
 gate "lvplint" lvplint

@@ -33,9 +33,13 @@ Checks (see docs/static_analysis.md for the rationale of each):
                   scope in headers, include-order sanity.
   state-snapshot  every data member of a checkpointable class (one
                   declaring both saveState and restoreState) is
-                  mentioned in both bodies, or carries a justified
-                  suppression — forgetting a member silently breaks
-                  checkpoint/restore bit-identity.
+                  mentioned in both bodies, and every member of a
+                  nested Snapshot struct that has a
+                  serializeSnapshot/deserializeSnapshot overload
+                  pair is mentioned in both overload bodies, or
+                  carries a justified suppression — forgetting a
+                  member silently breaks checkpoint/restore
+                  bit-identity or drifts the on-disk store format.
   lock-discipline raw std:: mutex/lock types outside common/sync.hh
                   (they are invisible to Clang thread-safety
                   analysis), and members of mutex-holding classes
@@ -980,9 +984,20 @@ class StateSnapshotCheck(Check):
     check_id = "state-snapshot"
     description = (
         "every data member of a class declaring saveState/"
-        "restoreState appears in both bodies (or is suppressed with "
-        "justification)"
+        "restoreState appears in both bodies, and every member of a "
+        "nested Snapshot struct with a serializeSnapshot/"
+        "deserializeSnapshot overload pair appears in both overload "
+        "bodies (or is suppressed with justification)"
     )
+
+    # A definition (not declaration: the brace is required) of either
+    # half of a snapshot-serializer overload pair. The parameter list
+    # names which snapshot type the overload covers.
+    SERIALIZER_RE = re.compile(
+        r"\b(serializeSnapshot|deserializeSnapshot)\s*"
+        r"\(([^)]*)\)\s*\{"
+    )
+    SNAP_PARAM_RE = re.compile(r"([A-Za-z_]\w*)\s*::\s*Snapshot\s*&")
 
     MEMBER_SKIP = {
         "using", "typedef", "friend", "static", "template", "enum",
@@ -991,14 +1006,34 @@ class StateSnapshotCheck(Check):
     }
 
     def run(self, tree: Tree) -> Iterator[Finding]:
+        ser, deser = self.serializer_bodies(tree)
         for sf in tree.files:
             if not (
                 sf.relpath.startswith("src/") and sf.is_header()
             ):
                 continue
-            for name, start, end in self.class_bodies(sf.code):
+            bodies = list(self.class_bodies(sf.code))
+            for name, start, end in bodies:
                 yield from self.check_class(
                     tree, sf, name, sf.code[start:end], start
+                )
+                if name != "Snapshot":
+                    continue
+                # The disk-format side of the same invariant: a
+                # nested Snapshot that has an explicit serializer
+                # pair (src/pipeline/snapshot_io.*) must push every
+                # member through both halves, or restored state
+                # silently diverges from saved state. Snapshots
+                # without serializers are not on disk and stay out
+                # of scope.
+                owner = self.enclosing_class(bodies, start, end)
+                if owner is None:
+                    continue
+                if owner not in ser or owner not in deser:
+                    continue
+                yield from self.check_snapshot_serializers(
+                    sf, owner, sf.code[start:end], start,
+                    ser[owner], deser[owner]
                 )
 
     def class_bodies(
@@ -1042,6 +1077,75 @@ class StateSnapshotCheck(Check):
                     "data member '%s' of checkpointable class '%s' "
                     "is not mentioned in %s; checkpoint it in both "
                     "or justify with a suppression"
+                    % (name, cls, " or ".join(missing)),
+                )
+
+    @staticmethod
+    def enclosing_class(
+        bodies: List[Tuple[str, int, int]], start: int, end: int
+    ) -> Optional[str]:
+        """Name of the innermost class strictly containing
+        [start, end), skipping other Snapshot structs."""
+        owner: Optional[str] = None
+        best = -1
+        for name, s, e in bodies:
+            if s < start and end <= e and name != "Snapshot":
+                if s > best:
+                    best, owner = s, name
+        return owner
+
+    def serializer_bodies(
+        self, tree: Tree
+    ) -> Tuple[Dict[str, str], Dict[str, str]]:
+        """Concatenated definition bodies of serializeSnapshot /
+        deserializeSnapshot overloads across the scan set, keyed by
+        the snapshot-owning class name (the token before
+        ``::Snapshot`` in the parameter list)."""
+        ser: Dict[str, str] = {}
+        deser: Dict[str, str] = {}
+        for sf in tree.files:
+            for m in self.SERIALIZER_RE.finditer(sf.code):
+                types = self.SNAP_PARAM_RE.findall(m.group(2))
+                if not types:
+                    continue
+                close = find_matching_brace(sf.code, m.end() - 1)
+                if close is None:
+                    continue
+                body = sf.code[m.end():close]
+                target = (
+                    ser if m.group(1) == "serializeSnapshot"
+                    else deser
+                )
+                cls = types[-1]
+                target[cls] = target.get(cls, "") + "\n" + body
+        return ser, deser
+
+    def check_snapshot_serializers(
+        self,
+        sf: SourceFile,
+        cls: str,
+        body: str,
+        body_off: int,
+        ser_body: str,
+        deser_body: str,
+    ) -> Iterator[Finding]:
+        members, _, _ = self.scan_members(body, body_off)
+        for name, off in members:
+            pat = re.compile(r"\b%s\b" % re.escape(name))
+            missing = []
+            if not pat.search(ser_body):
+                missing.append("serializeSnapshot")
+            if not pat.search(deser_body):
+                missing.append("deserializeSnapshot")
+            if missing:
+                line = sf.code.count("\n", 0, off) + 1
+                yield Finding(
+                    sf.relpath, line, self.check_id,
+                    "member '%s' of '%s::Snapshot' is not mentioned "
+                    "in %s; a member that skips either half of the "
+                    "serializer pair silently drifts the on-disk "
+                    "checkpoint format — encode it in both or "
+                    "justify with a suppression"
                     % (name, cls, " or ".join(missing)),
                 )
 

@@ -21,6 +21,7 @@
 #include "core/composite.hh"
 #include "core/eves.hh"
 #include "core/oracle.hh"
+#include "sim/checkpoint_store.hh"
 #include "sim/cvp1.hh"
 #include "sim/experiment.hh"
 #include "sim/options.hh"
@@ -65,6 +66,9 @@ struct CliOptions
     bool suite = false;
     std::size_t jobs = 1;
     std::string jsonPath;
+    std::string storeDir; ///< --store; "" = env / default resolution
+    bool storeSet = false;
+    std::uint64_t storeMaxBytes = 0;
 };
 
 void
@@ -106,6 +110,14 @@ usage()
         "(default 1; auto = cores)\n"
         "  --json <file>          write results in the schema of "
         "docs/results_schema.md\n"
+        "  --store <dir|off>      persistent checkpoint store "
+        "(docs/performance.md;\n"
+        "                         default LVPSIM_STORE, else "
+        "~/.cache/lvpsim)\n"
+        "  --store-max-bytes <n>  LRU size budget for --store "
+        "(default\n"
+        "                         LVPSIM_STORE_MAX_BYTES or "
+        "unlimited)\n"
         "  --seed <n>             trace seed\n"
         "  --save-trace <file>    write the workload trace (.lvpt)\n"
         "  --save-cvp <file>      export the trace in CVP-1 format\n"
@@ -181,6 +193,12 @@ parse(int argc, char **argv, CliOptions &o)
             }
         } else if (a == "--json")
             o.jsonPath = next("--json");
+        else if (a == "--store") {
+            o.storeDir = next("--store");
+            o.storeSet = true;
+        } else if (a == "--store-max-bytes")
+            o.storeMaxBytes =
+                std::uint64_t(atoll(next("--store-max-bytes")));
         else if (a == "--seed")
             o.seed = std::uint64_t(atoll(next("--seed")));
         else if (a == "--save-trace")
@@ -280,6 +298,10 @@ emitJson(const CliOptions &o, const sim::RunConfig &rc,
     meta.intervalLen = rc.sampleK ? rc.sampleIntervalLen : 0;
     meta.progressInstrs = o.progress;
     meta.suite = suite_name;
+    const auto &store = sim::CheckpointStore::instance();
+    meta.storeHits = store.hits();
+    meta.storeMisses = store.misses();
+    meta.storeSeconds = store.seconds();
     std::string err;
     if (!sim::writeResultsFile(o.jsonPath, suites, meta, &err)) {
         std::cerr << err << "\n";
@@ -367,6 +389,20 @@ main(int argc, char **argv)
         return 2;
     }
     sim::setProgressReportEvery(o.progress);
+
+    // Point the process-wide checkpoint store (docs/performance.md):
+    // --store wins, then $LVPSIM_STORE, then ~/.cache/lvpsim; "off"
+    // disables. An unusable directory silently disables.
+    {
+        std::uint64_t budget = o.storeMaxBytes;
+        if (budget == 0)
+            if (const char *e = std::getenv("LVPSIM_STORE_MAX_BYTES"))
+                budget = std::uint64_t(atoll(e));
+        sim::CheckpointStore::instance().configure(
+            sim::CheckpointStore::resolveDir(
+                o.storeSet ? o.storeDir : ""),
+            budget);
+    }
 
     if (o.suite)
         return runSuite(o, rc);

@@ -16,11 +16,13 @@
 #              including the checkpoint/restore fuzz in
 #              test_checkpoint_fuzz.cc
 #
-# The TSan tree additionally runs the differential and sampling
-# labels at ctest -j4 — four concurrent simulations hammering the
-# TraceCache / CheckpointCache / PlanCache slot discipline, which is
-# exactly the interleaving the annotated locking contracts
-# (common/sync.hh, docs/static_analysis.md) claim to make safe.
+# The TSan tree additionally runs the differential, sampling, and
+# store labels at ctest -j4 — four concurrent simulations hammering
+# the TraceCache / CheckpointCache / PlanCache slot discipline plus
+# the CheckpointStore claim/publish protocol (test_checkpoint_store
+# and the two-process store_concurrency gate), which is exactly the
+# interleaving the annotated locking contracts (common/sync.hh,
+# docs/static_analysis.md) claim to make safe.
 #
 # Usage: tools/run_sanitizers.sh [source-dir]
 #   LVPSIM_SAN_JOBS=<n>   build/test parallelism (default: nproc)
@@ -35,8 +37,8 @@ only=${LVPSIM_SAN_ONLY:-}
 # whole tree (benches, examples, every test binary) under a
 # sanitizer takes many times longer for no extra coverage.
 targets="test_containers test_common test_trace test_harness \
-test_qa test_kernel_spec test_fuzz lvpsim_cli"
-tsan_targets="test_differential test_sampling"
+test_qa test_kernel_spec test_fuzz test_store lvpsim_cli"
+tsan_targets="test_differential test_sampling test_store"
 
 run_config() {
     name=$1
@@ -60,13 +62,14 @@ run_config() {
     (cd "$build_dir" && ctest -L fuzz --output-on-failure -j "$jobs")
 
     if [ "$name" = tsan ]; then
-        echo "== [$name] build (differential + sampling) =="
+        echo "== [$name] build (differential + sampling + store) =="
         # shellcheck disable=SC2086  # word-splitting is intended
         cmake --build "$build_dir" -j "$jobs" --target $tsan_targets
 
-        echo "== [$name] ctest -L 'differential|sampling' -j4 =="
+        echo "== [$name] ctest -L 'differential|sampling|store' -j4 =="
         (cd "$build_dir" &&
-             ctest -L 'differential|sampling' --output-on-failure -j 4)
+             ctest -L 'differential|sampling|store' \
+                 --output-on-failure -j 4)
     fi
 }
 
